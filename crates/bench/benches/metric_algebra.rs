@@ -1,0 +1,134 @@
+//! Micro-benchmarks of the metric algebra and link estimators: the code on
+//! the hot path of every JOIN QUERY hop.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcast_metrics::{
+    choose_path, CandidatePath, EstimatorConfig, LinkEstimate, LinkObservation, Metric,
+    MetricKind, NeighborTable, ProbeMsg,
+};
+use mesh_sim::ids::NodeId;
+use mesh_sim::time::{SimDuration, SimTime};
+
+fn obs(df: f64) -> LinkObservation {
+    LinkObservation {
+        df,
+        delay_s: Some(0.005 / df),
+        bandwidth_bps: Some(2.0e6 * df),
+        reverse_df: Some(df),
+    }
+}
+
+fn bench_link_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("link_cost");
+    for kind in MetricKind::PAPER_SET {
+        let m = kind.build();
+        let o = obs(0.73);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &o, |b, o| {
+            b.iter(|| m.link_cost(black_box(o)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_path_accumulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("path_accumulate_8_hops");
+    let dfs: Vec<f64> = (0..8).map(|i| 0.5 + 0.05 * i as f64).collect();
+    for kind in MetricKind::PAPER_SET {
+        let m = kind.build();
+        let links: Vec<_> = dfs.iter().map(|&d| m.link_cost(&obs(d))).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &links, |b, l| {
+            b.iter(|| {
+                let mut p = m.identity();
+                for &c in l.iter() {
+                    p = m.accumulate(p, black_box(c));
+                }
+                p
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_choose_path(c: &mut Criterion) {
+    let cands: Vec<CandidatePath> = (0..16)
+        .map(|i| {
+            CandidatePath::new(
+                format!("p{i}"),
+                (0..6).map(|j| 0.4 + 0.03 * ((i + j) % 17) as f64).collect(),
+            )
+        })
+        .collect();
+    c.bench_function("choose_path_16x6", |b| {
+        let m = MetricKind::Spp.build();
+        b.iter(|| choose_path(&m, black_box(&cands)))
+    });
+}
+
+fn bench_estimator_updates(c: &mut Criterion) {
+    let cfg = EstimatorConfig::default();
+    c.bench_function("estimator_single_probe_update", |b| {
+        let mut e = LinkEstimate::new(&cfg);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            e.on_single(seq, SimDuration::from_secs(5), SimTime::from_secs(seq * 5));
+            e.forward_ratio(SimTime::from_secs(seq * 5), &cfg)
+        })
+    });
+    c.bench_function("estimator_pair_update", |b| {
+        let mut e = LinkEstimate::new(&cfg);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let t = SimTime::from_secs(seq * 10);
+            e.on_pair_small(seq, SimDuration::from_secs(10), t, &cfg);
+            e.on_pair_large(seq, 1137, t + SimDuration::from_millis(5), &cfg);
+            e.pp_delay_s(t + SimDuration::from_millis(5), &cfg)
+        })
+    });
+}
+
+fn bench_neighbor_table(c: &mut Criterion) {
+    c.bench_function("neighbor_table_probe_and_cost_20_neighbors", |b| {
+        let mut t = NeighborTable::new(EstimatorConfig::default());
+        let me = NodeId::new(0);
+        let metric = MetricKind::Etx.build();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let now = SimTime::from_secs(seq * 5);
+            for n in 1..=20u32 {
+                t.handle_probe(
+                    NodeId::new(n),
+                    &ProbeMsg::Single {
+                        seq,
+                        interval_ns: SimDuration::from_secs(5).as_nanos(),
+                        reverse_df: Vec::new(),
+                    },
+                    me,
+                    now,
+                );
+            }
+            t.link_cost(&metric, NodeId::new(7), now)
+        })
+    });
+}
+
+fn tuned() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets =
+    bench_link_cost,
+    bench_path_accumulate,
+    bench_choose_path,
+    bench_estimator_updates,
+    bench_neighbor_table
+}
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Simulator substrate benchmarks: raw event throughput of the DES, the
+//! 802.11 MAC, and the propagation models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mesh_sim::prelude::*;
+
+/// A protocol that floods: every received message is rebroadcast once per
+/// node (classic broadcast storm), bounded by the message hop budget.
+#[derive(Debug, Default)]
+struct Storm {
+    seen: std::collections::HashSet<u64>,
+}
+
+impl Protocol for Storm {
+    type Msg = (u64, u8);
+    fn start(&mut self, ctx: &mut Ctx<'_, (u64, u8)>) {
+        if ctx.node().index() == 0 {
+            for i in 0..20 {
+                let _ = ctx.send_broadcast((i, 6), 256, 0);
+            }
+        }
+    }
+    fn handle_message(
+        &mut self,
+        ctx: &mut Ctx<'_, (u64, u8)>,
+        _src: NodeId,
+        msg: &(u64, u8),
+        _meta: RxMeta,
+    ) {
+        if msg.1 > 0 && self.seen.insert(msg.0) {
+            let _ = ctx.send_broadcast((msg.0, msg.1 - 1), 256, 0);
+        }
+    }
+    fn handle_timer(&mut self, _: &mut Ctx<'_, (u64, u8)>, _: TimerId, _: u64) {}
+}
+
+fn bench_broadcast_storm(c: &mut Criterion) {
+    c.bench_function("storm_25_nodes_20_floods", |b| {
+        b.iter(|| {
+            let positions = mesh_sim::topology::grid(5, 5, 120.0);
+            let medium = Box::new(PhysicalMedium::new(PhyParams {
+                fading: FadingModel::None,
+                ..PhyParams::default()
+            }));
+            let protos = (0..25).map(|_| Storm::default()).collect();
+            let mut sim = Simulator::new(positions, medium, WorldConfig::default(), protos);
+            sim.run_until(SimTime::from_secs(2));
+            black_box(sim.counters().events)
+        })
+    });
+}
+
+#[derive(Debug, Default)]
+struct PingPong {
+    count: u32,
+}
+
+impl Protocol for PingPong {
+    type Msg = u32;
+    fn start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        if ctx.node().index() == 0 {
+            let _ = ctx.send_unicast(NodeId::new(1), 0, 512, 0);
+        }
+    }
+    fn handle_message(&mut self, ctx: &mut Ctx<'_, u32>, src: NodeId, msg: &u32, _meta: RxMeta) {
+        self.count += 1;
+        if *msg < 200 {
+            let _ = ctx.send_unicast(src, msg + 1, 512, 0);
+        }
+    }
+    fn handle_timer(&mut self, _: &mut Ctx<'_, u32>, _: TimerId, _: u64) {}
+}
+
+fn bench_unicast_exchange(c: &mut Criterion) {
+    // Full RTS/CTS/DATA/ACK exchanges back and forth.
+    c.bench_function("unicast_200_rtscts_exchanges", |b| {
+        b.iter(|| {
+            let positions = vec![Pos::new(0.0, 0.0), Pos::new(150.0, 0.0)];
+            let medium = Box::new(PhysicalMedium::new(PhyParams {
+                fading: FadingModel::None,
+                ..PhyParams::default()
+            }));
+            let mut sim = Simulator::new(
+                positions,
+                medium,
+                WorldConfig::default(),
+                vec![PingPong::default(), PingPong::default()],
+            );
+            sim.run_until(SimTime::from_secs(10));
+            black_box(sim.protocols()[0].count)
+        })
+    });
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let phy = PhyParams::default();
+    let mut rng = SimRng::seed_from(1);
+    c.bench_function("two_ray_rayleigh_sample", |b| {
+        b.iter(|| phy.sample_rx_power_w(black_box(187.3), &mut rng))
+    });
+}
+
+fn bench_fan_out(c: &mut Criterion) {
+    let mut medium = PhysicalMedium::default();
+    let mut rng = SimRng::seed_from(2);
+    let positions = mesh_sim::topology::random_placement(
+        50,
+        Area::square(1000.0),
+        &mut SimRng::seed_from(3),
+    );
+    let mut out = Vec::new();
+    c.bench_function("fan_out_50_nodes", |b| {
+        b.iter(|| {
+            out.clear();
+            medium.fan_out(NodeId::new(0), &positions, SimTime::ZERO, &mut rng, &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
+fn tuned() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = tuned();
+    targets =
+    bench_broadcast_storm,
+    bench_unicast_exchange,
+    bench_propagation,
+    bench_fan_out
+}
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! WCETT — Weighted Cumulative ETT, the multi-radio/multi-channel extension
+//! the paper defers to future work (§6).
+//!
+//! The paper adapts ETT rather than WCETT because it assumes a single
+//! channel (§2.2). WCETT generalizes ETT for paths whose hops may use
+//! different channels:
+//!
+//! ```text
+//! WCETT = (1 − β) · Σ_i ETT_i  +  β · max_j X_j
+//! X_j   = Σ_{hop i on channel j} ETT_i
+//! ```
+//!
+//! The `max_j X_j` term charges the most-used channel: consecutive hops on
+//! the same channel cannot transmit simultaneously, so channel-diverse paths
+//! win. This module is *analytic* — it evaluates candidate paths given
+//! per-hop `(ETT, channel)` — because plugging it into the broadcast-based
+//! multicast protocol would require the multi-radio substrate that the
+//! paper itself leaves open.
+
+/// One hop of a multi-channel path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelHop {
+    /// Expected transmission time of the hop, in seconds.
+    pub ett_s: f64,
+    /// Channel the hop's radio pair uses.
+    pub channel: u8,
+}
+
+impl ChannelHop {
+    /// Create a hop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ett_s` is not positive and finite.
+    pub fn new(ett_s: f64, channel: u8) -> Self {
+        assert!(ett_s > 0.0 && ett_s.is_finite(), "ETT must be positive");
+        ChannelHop { ett_s, channel }
+    }
+}
+
+/// The WCETT path metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wcett {
+    beta: f64,
+}
+
+impl Wcett {
+    /// Create WCETT with tunable β in `[0, 1]` (0 = plain ETT sum, 1 = pure
+    /// bottleneck-channel cost; Draves et al. use β = 0.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `[0, 1]`.
+    pub fn new(beta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+        Wcett { beta }
+    }
+
+    /// The β in use.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// WCETT of a path, in seconds. Lower is better. Empty paths cost 0.
+    pub fn path_cost(&self, hops: &[ChannelHop]) -> f64 {
+        let total: f64 = hops.iter().map(|h| h.ett_s).sum();
+        let mut per_channel = std::collections::HashMap::new();
+        for h in hops {
+            *per_channel.entry(h.channel).or_insert(0.0f64) += h.ett_s;
+        }
+        let bottleneck = per_channel.values().copied().fold(0.0f64, f64::max);
+        (1.0 - self.beta) * total + self.beta * bottleneck
+    }
+
+    /// Index of the best path among `candidates`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn choose(&self, candidates: &[Vec<ChannelHop>]) -> usize {
+        assert!(!candidates.is_empty(), "need at least one candidate");
+        let mut best = 0;
+        let mut best_cost = self.path_cost(&candidates[0]);
+        for (i, c) in candidates.iter().enumerate().skip(1) {
+            let cost = self.path_cost(c);
+            if cost < best_cost {
+                best = i;
+                best_cost = cost;
+            }
+        }
+        best
+    }
+}
+
+impl Default for Wcett {
+    fn default() -> Self {
+        Wcett::new(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(ett_ms: f64, ch: u8) -> ChannelHop {
+        ChannelHop::new(ett_ms / 1e3, ch)
+    }
+
+    #[test]
+    fn beta_zero_is_ett_sum() {
+        let w = Wcett::new(0.0);
+        let p = vec![hop(2.0, 1), hop(3.0, 2)];
+        assert!((w.path_cost(&p) - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_one_is_bottleneck_channel() {
+        let w = Wcett::new(1.0);
+        let p = vec![hop(2.0, 1), hop(3.0, 1), hop(4.0, 2)];
+        // Channel 1 carries 5ms, channel 2 carries 4ms.
+        assert!((w.path_cost(&p) - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_diversity_wins_over_same_total_ett() {
+        let w = Wcett::default();
+        let same_channel = vec![hop(3.0, 1), hop(3.0, 1)];
+        let diverse = vec![hop(3.0, 1), hop(3.0, 2)];
+        assert!(w.path_cost(&diverse) < w.path_cost(&same_channel));
+        assert_eq!(w.choose(&[same_channel, diverse]), 1);
+    }
+
+    #[test]
+    fn degenerates_to_ett_on_single_channel() {
+        // On a single channel (the paper's setting) WCETT ranks paths
+        // exactly like the ETT sum for any beta.
+        for beta in [0.0, 0.3, 0.7, 1.0] {
+            let w = Wcett::new(beta);
+            let short = vec![hop(4.0, 1)];
+            let long = vec![hop(3.0, 1), hop(2.0, 1)];
+            // sum(short)=4ms < sum(long)=5ms and same single-channel shape.
+            assert!(w.path_cost(&short) < w.path_cost(&long), "beta={beta}");
+        }
+    }
+
+    #[test]
+    fn empty_path_costs_zero() {
+        assert_eq!(Wcett::default().path_cost(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn bad_beta_rejected() {
+        let _ = Wcett::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_ett_rejected() {
+        let _ = ChannelHop::new(-1.0, 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! The `NEIGHBOR_TABLE` of §3.1: per-neighbor link-quality records.
+//!
+//! Each node records, for every neighbor it has heard probes from, the cost
+//! of the link **from that neighbor to itself** (the direction data will
+//! travel). When a `JOIN QUERY` arrives, the node looks up the link it came
+//! over and accumulates that cost into the query.
+
+use std::collections::HashMap;
+
+use mesh_sim::ids::NodeId;
+use mesh_sim::time::SimTime;
+
+use crate::cost::LinkCost;
+use crate::estimator::{EstimatorConfig, LinkEstimate, LinkObservation};
+use crate::probe::ProbeMsg;
+use crate::Metric;
+
+/// Per-node table of link estimates keyed by neighbor.
+#[derive(Debug, Clone)]
+pub struct NeighborTable {
+    cfg: EstimatorConfig,
+    links: HashMap<NodeId, LinkEstimate>,
+}
+
+impl NeighborTable {
+    /// Create an empty table.
+    pub fn new(cfg: EstimatorConfig) -> Self {
+        NeighborTable {
+            cfg,
+            links: HashMap::new(),
+        }
+    }
+
+    /// The estimator configuration in use.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.cfg
+    }
+
+    /// Process a probe received from `from` at `now`. `me` is this node's id
+    /// (needed to pick our entry out of piggybacked reverse reports).
+    pub fn handle_probe(&mut self, from: NodeId, msg: &ProbeMsg, me: NodeId, now: SimTime) {
+        let cfg = self.cfg.clone();
+        let est = self
+            .links
+            .entry(from)
+            .or_insert_with(|| LinkEstimate::new(&cfg));
+        match msg {
+            ProbeMsg::Single {
+                seq,
+                interval_ns,
+                reverse_df,
+            } => {
+                est.on_single(
+                    *seq,
+                    mesh_sim::time::SimDuration::from_nanos(*interval_ns),
+                    now,
+                );
+                if let Some(&(_, df)) = reverse_df.iter().find(|(n, _)| *n == me) {
+                    est.on_reverse_report(df as f64);
+                }
+            }
+            ProbeMsg::PairSmall { seq, interval_ns } => {
+                est.on_pair_small(
+                    *seq,
+                    mesh_sim::time::SimDuration::from_nanos(*interval_ns),
+                    now,
+                    &cfg,
+                );
+            }
+            ProbeMsg::PairLarge { seq, bytes } => {
+                est.on_pair_large(*seq, *bytes, now, &cfg);
+            }
+        }
+    }
+
+    /// Current observation of the link *from* `from` to this node;
+    /// a pessimistic default if that neighbor was never heard.
+    pub fn observe(&self, from: NodeId, now: SimTime) -> LinkObservation {
+        match self.links.get(&from) {
+            Some(est) => est.observe(now, &self.cfg),
+            None => LinkObservation::unknown(&self.cfg),
+        }
+    }
+
+    /// Cost of the link from `from` under `metric` at `now`.
+    pub fn link_cost<M: Metric + ?Sized>(&self, metric: &M, from: NodeId, now: SimTime) -> LinkCost {
+        metric.link_cost(&self.observe(from, now))
+    }
+
+    /// Forward delivery ratios of all known neighbors (piggybacked into
+    /// single probes for the bidirectional-ETX ablation).
+    pub fn reverse_report(&self, now: SimTime) -> Vec<(NodeId, f32)> {
+        let mut v: Vec<(NodeId, f32)> = self
+            .links
+            .iter()
+            .map(|(&n, est)| (n, est.forward_ratio(now, &self.cfg) as f32))
+            .collect();
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+
+    /// Neighbors heard from within `horizon` before `now`.
+    pub fn active_neighbors(&self, now: SimTime, horizon: mesh_sim::time::SimDuration) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .links
+            .iter()
+            .filter(|(_, est)| {
+                est.last_heard()
+                    .map_or(false, |t| now.saturating_since(t) <= horizon)
+            })
+            .map(|(&n, _)| n)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of neighbors ever heard.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Etx;
+    use mesh_sim::time::SimDuration;
+
+    fn single(seq: u64) -> ProbeMsg {
+        ProbeMsg::Single {
+            seq,
+            interval_ns: SimDuration::from_secs(5).as_nanos(),
+            reverse_df: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn probes_populate_table() {
+        let mut t = NeighborTable::new(EstimatorConfig::default());
+        assert!(t.is_empty());
+        let me = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        for i in 0..20 {
+            t.handle_probe(n1, &single(i), me, SimTime::from_secs(i * 5));
+        }
+        assert_eq!(t.len(), 1);
+        let obs = t.observe(n1, SimTime::from_secs(96));
+        assert!((obs.df - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_neighbor_gets_default_observation() {
+        let t = NeighborTable::new(EstimatorConfig::default());
+        let obs = t.observe(NodeId::new(9), SimTime::from_secs(1));
+        assert_eq!(obs.df, t.config().default_df);
+    }
+
+    #[test]
+    fn link_cost_via_metric() {
+        let mut t = NeighborTable::new(EstimatorConfig::default());
+        let me = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        for i in 0..20 {
+            t.handle_probe(n1, &single(i), me, SimTime::from_secs(i * 5));
+        }
+        let c = t.link_cost(&Etx::default(), n1, SimTime::from_secs(96));
+        assert!((c.value() - 1.0).abs() < 1e-6); // perfect link: ETX = 1
+    }
+
+    #[test]
+    fn reverse_reports_are_extracted() {
+        let mut t = NeighborTable::new(EstimatorConfig::default());
+        let me = NodeId::new(3);
+        let n1 = NodeId::new(1);
+        let msg = ProbeMsg::Single {
+            seq: 0,
+            interval_ns: SimDuration::from_secs(5).as_nanos(),
+            reverse_df: vec![(NodeId::new(2), 0.2), (me, 0.75)],
+        };
+        t.handle_probe(n1, &msg, me, SimTime::from_secs(1));
+        assert_eq!(t.observe(n1, SimTime::from_secs(1)).reverse_df, Some(0.75));
+    }
+
+    #[test]
+    fn active_neighbors_expire() {
+        let mut t = NeighborTable::new(EstimatorConfig::default());
+        let me = NodeId::new(0);
+        t.handle_probe(NodeId::new(1), &single(0), me, SimTime::from_secs(0));
+        t.handle_probe(NodeId::new(2), &single(0), me, SimTime::from_secs(50));
+        let horizon = SimDuration::from_secs(15);
+        let active = t.active_neighbors(SimTime::from_secs(55), horizon);
+        assert_eq!(active, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn reverse_report_covers_all_neighbors_sorted() {
+        let mut t = NeighborTable::new(EstimatorConfig::default());
+        let me = NodeId::new(0);
+        t.handle_probe(NodeId::new(5), &single(0), me, SimTime::from_secs(0));
+        t.handle_probe(NodeId::new(2), &single(0), me, SimTime::from_secs(0));
+        let rep = t.reverse_report(SimTime::from_secs(1));
+        assert_eq!(rep.len(), 2);
+        assert!(rep[0].0 < rep[1].0);
+    }
+}

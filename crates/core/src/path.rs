@@ -1,0 +1,141 @@
+//! Analytic path evaluation on abstract topologies.
+//!
+//! These helpers evaluate a metric over a path described only by per-link
+//! delivery ratios — no simulator involved. They power the worked examples
+//! of Figures 1 and 3 of the paper (see `experiments`) and the cross-checks
+//! between the incremental accumulation used in routing and the closed
+//! forms.
+
+use crate::cost::PathCost;
+use crate::estimator::LinkObservation;
+use crate::{Metric, MetricKind};
+
+/// Evaluate `metric` over a path whose links have the given forward delivery
+/// ratios (delay/bandwidth unknown).
+pub fn path_cost_from_dfs<M: Metric>(metric: &M, dfs: &[f64]) -> PathCost {
+    metric.path_cost(dfs.iter().map(|&df| {
+        metric.link_cost(&LinkObservation {
+            df,
+            delay_s: None,
+            bandwidth_bps: None,
+            reverse_df: None,
+        })
+    }))
+}
+
+/// A named candidate path through an abstract example network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidatePath {
+    /// Human-readable route, e.g. `"A-C-D"`.
+    pub name: String,
+    /// Forward delivery ratio of each link in order.
+    pub dfs: Vec<f64>,
+}
+
+impl CandidatePath {
+    /// Create a candidate path.
+    pub fn new(name: impl Into<String>, dfs: Vec<f64>) -> Self {
+        CandidatePath {
+            name: name.into(),
+            dfs,
+        }
+    }
+}
+
+/// Which of several candidate paths a metric selects, with all evaluated
+/// costs (for printing paper-style comparison tables).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathChoice {
+    /// Index of the winning path in the input slice.
+    pub winner: usize,
+    /// `(name, cost)` per candidate, in input order.
+    pub costs: Vec<(String, f64)>,
+    /// The metric that made the choice.
+    pub metric: MetricKind,
+}
+
+/// Evaluate all `candidates` under `metric` and pick the best.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn choose_path<M: Metric>(metric: &M, candidates: &[CandidatePath]) -> PathChoice {
+    assert!(!candidates.is_empty(), "need at least one candidate path");
+    let mut best = 0;
+    let mut best_cost = path_cost_from_dfs(metric, &candidates[0].dfs);
+    let mut costs = vec![(candidates[0].name.clone(), best_cost.value())];
+    for (i, c) in candidates.iter().enumerate().skip(1) {
+        let cost = path_cost_from_dfs(metric, &c.dfs);
+        costs.push((c.name.clone(), cost.value()));
+        if metric.better(cost, best_cost) {
+            best = i;
+            best_cost = cost;
+        }
+    }
+    PathChoice {
+        winner: best,
+        costs,
+        metric: metric.kind(),
+    }
+}
+
+/// The example network of **Figure 1**: SPP vs METX.
+///
+/// Links: A→C = 1.0, C→D = 1/3; A→B = 0.25, B→D = 1.0.
+pub fn figure1_candidates() -> Vec<CandidatePath> {
+    vec![
+        CandidatePath::new("A-C-D", vec![1.0, 1.0 / 3.0]),
+        CandidatePath::new("A-B-D", vec![0.25, 1.0]),
+    ]
+}
+
+/// The example network of **Figure 3**: SPP vs ETX.
+///
+/// Links: A→B = B→C = C→D = 0.8; A→E = 0.9, E→D = 0.4.
+pub fn figure3_candidates() -> Vec<CandidatePath> {
+    vec![
+        CandidatePath::new("A-B-C-D", vec![0.8, 0.8, 0.8]),
+        CandidatePath::new("A-E-D", vec![0.9, 0.4]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Etx, Metx, Spp};
+
+    #[test]
+    fn figure1_metx_picks_abd_spp_picks_acd() {
+        let cands = figure1_candidates();
+        let metx = choose_path(&Metx::default(), &cands);
+        assert_eq!(cands[metx.winner].name, "A-B-D");
+        assert!((metx.costs[0].1 - 6.0).abs() < 1e-9);
+        assert!((metx.costs[1].1 - 5.0).abs() < 1e-9);
+
+        let spp = choose_path(&Spp::default(), &cands);
+        assert_eq!(cands[spp.winner].name, "A-C-D");
+        // Paper reports 1/SPP: 3 for A-C-D, 4 for A-B-D.
+        assert!((1.0 / spp.costs[0].1 - 3.0).abs() < 1e-9);
+        assert!((1.0 / spp.costs[1].1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure3_etx_picks_aed_spp_picks_abcd() {
+        let cands = figure3_candidates();
+        let etx = choose_path(&Etx::default(), &cands);
+        assert_eq!(cands[etx.winner].name, "A-E-D");
+        assert!((etx.costs[0].1 - 3.75).abs() < 1e-9);
+        assert!((etx.costs[1].1 - 3.61).abs() < 0.01);
+
+        let spp = choose_path(&Spp::default(), &cands);
+        assert_eq!(cands[spp.winner].name, "A-B-C-D");
+        assert!((spp.costs[0].1 - 0.512).abs() < 1e-9);
+        assert!((spp.costs[1].1 - 0.36).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_candidates_panic() {
+        let _ = choose_path(&Etx::default(), &[]);
+    }
+}

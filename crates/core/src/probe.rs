@@ -1,0 +1,265 @@
+//! Probe scheduling and probe messages.
+//!
+//! All metrics estimate link quality from **broadcast** probes (§2.2 of the
+//! paper): ETX, METX and SPP send one small probe every 5 s; PP and ETT send
+//! a packet *pair* — a small probe immediately followed by a large one —
+//! every 10 s. Receivers never acknowledge probes; everything is measured in
+//! the forward direction.
+
+use mesh_sim::ids::NodeId;
+use mesh_sim::time::SimDuration;
+
+/// Default single-probe interval (ETX / METX / SPP).
+pub const DEFAULT_SINGLE_INTERVAL: SimDuration = SimDuration::from_secs(5);
+/// Default packet-pair interval (PP / ETT).
+pub const DEFAULT_PAIR_INTERVAL: SimDuration = SimDuration::from_secs(10);
+/// Size of a small probe in bytes (as in the Roofnet/LQSR measurements).
+pub const SMALL_PROBE_BYTES: u32 = 137;
+/// Size of the large packet of a pair in bytes.
+pub const LARGE_PROBE_BYTES: u32 = 1137;
+
+/// What kind of probing a metric requires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbePlan {
+    /// No probing (hop count / original ODMRP).
+    None,
+    /// A single small probe per interval.
+    Single {
+        /// Time between probes.
+        interval: SimDuration,
+        /// Probe size in bytes.
+        bytes: u32,
+    },
+    /// A small+large packet pair per interval (PP, ETT).
+    Pair {
+        /// Time between pairs.
+        interval: SimDuration,
+        /// Small packet size in bytes.
+        small_bytes: u32,
+        /// Large packet size in bytes.
+        large_bytes: u32,
+    },
+}
+
+impl ProbePlan {
+    /// The standard single-probe plan, with the interval divided by `rate`
+    /// (`rate = 5.0` reproduces the paper's "high overhead" configuration,
+    /// `rate = 0.1` its low-rate note).
+    pub fn single_at_rate(rate: f64) -> ProbePlan {
+        ProbePlan::Single {
+            interval: scale_interval(DEFAULT_SINGLE_INTERVAL, rate),
+            bytes: SMALL_PROBE_BYTES,
+        }
+    }
+
+    /// The standard packet-pair plan at the given rate factor.
+    pub fn pair_at_rate(rate: f64) -> ProbePlan {
+        ProbePlan::Pair {
+            interval: scale_interval(DEFAULT_PAIR_INTERVAL, rate),
+            small_bytes: SMALL_PROBE_BYTES,
+            large_bytes: LARGE_PROBE_BYTES,
+        }
+    }
+
+    /// The interval between probe rounds, if any probing happens.
+    pub fn interval(&self) -> Option<SimDuration> {
+        match *self {
+            ProbePlan::None => None,
+            ProbePlan::Single { interval, .. } | ProbePlan::Pair { interval, .. } => {
+                Some(interval)
+            }
+        }
+    }
+
+    /// Bytes sent per probing round.
+    pub fn bytes_per_round(&self) -> u32 {
+        match *self {
+            ProbePlan::None => 0,
+            ProbePlan::Single { bytes, .. } => bytes,
+            ProbePlan::Pair {
+                small_bytes,
+                large_bytes,
+                ..
+            } => small_bytes + large_bytes,
+        }
+    }
+}
+
+fn scale_interval(base: SimDuration, rate: f64) -> SimDuration {
+    assert!(rate > 0.0, "probe rate factor must be positive");
+    base.mul_f64(1.0 / rate)
+}
+
+/// A probe on the air.
+///
+/// `reverse_df` piggybacks the sender's own forward-delivery measurements of
+/// its neighbors (as classic unicast ETX probes do); it is ignored by all of
+/// the paper's multicast metrics and exists for the *bidirectional-ETX
+/// ablation*, which demonstrates why reverse-path quality must not be used
+/// for broadcast routing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeMsg {
+    /// A standalone small probe.
+    Single {
+        /// Sender's probe sequence number.
+        seq: u64,
+        /// Sender's probing interval in nanoseconds.
+        interval_ns: u64,
+        /// Sender's measured forward ratios `neighbor -> df` (see above).
+        reverse_df: Vec<(NodeId, f32)>,
+    },
+    /// The small packet of a pair.
+    PairSmall {
+        /// Sender's pair sequence number.
+        seq: u64,
+        /// Sender's probing interval in nanoseconds.
+        interval_ns: u64,
+    },
+    /// The large packet of a pair.
+    PairLarge {
+        /// Pair sequence number matching the preceding small packet.
+        seq: u64,
+        /// Size of this packet in bytes (receivers use it for the bandwidth
+        /// estimate).
+        bytes: u32,
+    },
+}
+
+/// Sender-side probe generator: owns the sequence counters.
+#[derive(Debug, Clone)]
+pub struct Prober {
+    plan: ProbePlan,
+    seq: u64,
+}
+
+impl Prober {
+    /// Create a prober for the given plan.
+    pub fn new(plan: ProbePlan) -> Self {
+        Prober { plan, seq: 0 }
+    }
+
+    /// The plan this prober follows.
+    pub fn plan(&self) -> ProbePlan {
+        self.plan
+    }
+
+    /// Produce the messages for the next probing round, with their payload
+    /// sizes in bytes. Empty for [`ProbePlan::None`].
+    ///
+    /// `reverse_df` is embedded into single probes (pass an empty vec unless
+    /// running the bidirectional ablation).
+    pub fn next_round(&mut self, reverse_df: Vec<(NodeId, f32)>) -> Vec<(ProbeMsg, u32)> {
+        match self.plan {
+            ProbePlan::None => Vec::new(),
+            ProbePlan::Single { interval, bytes } => {
+                let seq = self.seq;
+                self.seq += 1;
+                // Each piggybacked entry costs 6 bytes (4B id + 2B ratio).
+                let total = bytes + 6 * reverse_df.len() as u32;
+                vec![(
+                    ProbeMsg::Single {
+                        seq,
+                        interval_ns: interval.as_nanos(),
+                        reverse_df,
+                    },
+                    total,
+                )]
+            }
+            ProbePlan::Pair {
+                interval,
+                small_bytes,
+                large_bytes,
+            } => {
+                let seq = self.seq;
+                self.seq += 1;
+                vec![
+                    (
+                        ProbeMsg::PairSmall {
+                            seq,
+                            interval_ns: interval.as_nanos(),
+                        },
+                        small_bytes,
+                    ),
+                    (
+                        ProbeMsg::PairLarge {
+                            seq,
+                            bytes: large_bytes,
+                        },
+                        large_bytes,
+                    ),
+                ]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plans_match_paper() {
+        let s = ProbePlan::single_at_rate(1.0);
+        assert_eq!(
+            s,
+            ProbePlan::Single {
+                interval: SimDuration::from_secs(5),
+                bytes: 137
+            }
+        );
+        let p = ProbePlan::pair_at_rate(1.0);
+        assert_eq!(p.interval(), Some(SimDuration::from_secs(10)));
+        assert_eq!(p.bytes_per_round(), 137 + 1137);
+    }
+
+    #[test]
+    fn rate_factor_scales_interval() {
+        let fast = ProbePlan::single_at_rate(5.0);
+        assert_eq!(fast.interval(), Some(SimDuration::from_secs(1)));
+        let slow = ProbePlan::single_at_rate(0.1);
+        assert_eq!(slow.interval(), Some(SimDuration::from_secs(50)));
+    }
+
+    #[test]
+    fn prober_sequences_increase() {
+        let mut p = Prober::new(ProbePlan::single_at_rate(1.0));
+        let r1 = p.next_round(Vec::new());
+        let r2 = p.next_round(Vec::new());
+        match (&r1[0].0, &r2[0].0) {
+            (ProbeMsg::Single { seq: a, .. }, ProbeMsg::Single { seq: b, .. }) => {
+                assert_eq!(*b, a + 1)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pair_round_has_small_then_large_same_seq() {
+        let mut p = Prober::new(ProbePlan::pair_at_rate(1.0));
+        let round = p.next_round(Vec::new());
+        assert_eq!(round.len(), 2);
+        match (&round[0].0, &round[1].0) {
+            (ProbeMsg::PairSmall { seq: a, .. }, ProbeMsg::PairLarge { seq: b, bytes }) => {
+                assert_eq!(a, b);
+                assert_eq!(*bytes, LARGE_PROBE_BYTES);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(round[0].1, SMALL_PROBE_BYTES);
+    }
+
+    #[test]
+    fn none_plan_produces_nothing() {
+        let mut p = Prober::new(ProbePlan::None);
+        assert!(p.next_round(Vec::new()).is_empty());
+        assert_eq!(ProbePlan::None.interval(), None);
+        assert_eq!(ProbePlan::None.bytes_per_round(), 0);
+    }
+
+    #[test]
+    fn piggybacked_entries_increase_size() {
+        let mut p = Prober::new(ProbePlan::single_at_rate(1.0));
+        let round = p.next_round(vec![(NodeId::new(1), 0.5), (NodeId::new(2), 0.9)]);
+        assert_eq!(round[0].1, SMALL_PROBE_BYTES + 12);
+    }
+}

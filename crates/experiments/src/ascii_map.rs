@@ -1,0 +1,165 @@
+//! ASCII rendering of topologies and trees — a stand-in for the paper's
+//! floor-map figures (Fig. 4 and Fig. 5).
+
+use mesh_sim::geometry::Pos;
+
+/// A canvas that plots positions scaled into a character grid.
+#[derive(Debug)]
+pub struct AsciiMap {
+    cols: usize,
+    rows: usize,
+    cells: Vec<char>,
+    min: Pos,
+    max: Pos,
+}
+
+impl AsciiMap {
+    /// Create a canvas of `cols × rows` characters covering the bounding box
+    /// of `positions` (with a small margin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty or the canvas is smaller than 2×2.
+    pub fn new(positions: &[Pos], cols: usize, rows: usize) -> Self {
+        assert!(!positions.is_empty(), "need at least one position");
+        assert!(cols >= 2 && rows >= 2, "canvas too small");
+        let mut min = Pos::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Pos::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in positions {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        // Degenerate extents get a unit box so scaling stays finite.
+        if max.x - min.x < 1e-9 {
+            max.x = min.x + 1.0;
+        }
+        if max.y - min.y < 1e-9 {
+            max.y = min.y + 1.0;
+        }
+        AsciiMap {
+            cols,
+            rows,
+            cells: vec![' '; cols * rows],
+            min,
+            max,
+        }
+    }
+
+    fn project(&self, p: Pos) -> (usize, usize) {
+        let fx = (p.x - self.min.x) / (self.max.x - self.min.x);
+        let fy = (p.y - self.min.y) / (self.max.y - self.min.y);
+        let c = (fx * (self.cols - 1) as f64).round() as usize;
+        // Screen y grows downward.
+        let r = ((1.0 - fy) * (self.rows - 1) as f64).round() as usize;
+        (c.min(self.cols - 1), r.min(self.rows - 1))
+    }
+
+    fn put(&mut self, c: usize, r: usize, ch: char) {
+        self.cells[r * self.cols + c] = ch;
+    }
+
+    /// Draw a line between two positions with the given character
+    /// (labels drawn later win over line characters).
+    pub fn line(&mut self, a: Pos, b: Pos, ch: char) {
+        let (c0, r0) = self.project(a);
+        let (c1, r1) = self.project(b);
+        let steps = c0.abs_diff(c1).max(r0.abs_diff(r1)).max(1);
+        for s in 0..=steps {
+            let t = s as f64 / steps as f64;
+            let c = (c0 as f64 + t * (c1 as f64 - c0 as f64)).round() as usize;
+            let r = (r0 as f64 + t * (r1 as f64 - r0 as f64)).round() as usize;
+            self.put(c, r, ch);
+        }
+    }
+
+    /// Place a (short) label at a position.
+    pub fn label(&mut self, p: Pos, text: &str) {
+        let (c, r) = self.project(p);
+        for (i, ch) in text.chars().enumerate() {
+            if c + i < self.cols {
+                self.put(c + i, r, ch);
+            }
+        }
+    }
+
+    /// Render the canvas to a string (rows separated by newlines).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for r in 0..self.rows {
+            let row: String = self.cells[r * self.cols..(r + 1) * self.cols]
+                .iter()
+                .collect();
+            out.push_str(row.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render the Figure-4 floorplan: node labels, `-` solid (low-loss) links
+/// and `.` dashed (lossy) links.
+pub fn render_floorplan() -> String {
+    let positions = testbed::floorplan::positions();
+    let mut map = AsciiMap::new(&positions, 72, 18);
+    for (a, b, class) in testbed::floorplan::links() {
+        let pa = positions[testbed::id_of(a).index()];
+        let pb = positions[testbed::id_of(b).index()];
+        let ch = match class {
+            testbed::LinkClass::LowLoss => '-',
+            testbed::LinkClass::Lossy => '.',
+        };
+        map.line(pa, pb, ch);
+    }
+    for (i, &p) in positions.iter().enumerate() {
+        map.label(p, &testbed::LABELS[i].to_string());
+    }
+    map.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floorplan_renders_all_labels() {
+        let s = render_floorplan();
+        for l in testbed::LABELS {
+            assert!(
+                s.contains(&l.to_string()),
+                "label {l} missing from map:\n{s}"
+            );
+        }
+        assert!(s.contains('-'), "no solid links drawn");
+        assert!(s.contains('.'), "no lossy links drawn");
+    }
+
+    #[test]
+    fn projection_stays_in_bounds() {
+        let ps = vec![Pos::new(-5.0, 3.0), Pos::new(100.0, 80.0), Pos::new(40.0, 40.0)];
+        let mut map = AsciiMap::new(&ps, 20, 10);
+        for &p in &ps {
+            map.label(p, "x");
+        }
+        let rendered = map.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines.len() <= 10);
+        assert!(lines.iter().all(|l| l.len() <= 20));
+    }
+
+    #[test]
+    fn degenerate_positions_do_not_panic() {
+        let ps = vec![Pos::new(1.0, 1.0), Pos::new(1.0, 1.0)];
+        let mut map = AsciiMap::new(&ps, 10, 5);
+        map.line(ps[0], ps[1], '-');
+        map.label(ps[0], "a");
+        assert!(map.render().contains('a'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_positions_rejected() {
+        let _ = AsciiMap::new(&[], 10, 10);
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 2, column "Delay": normalized end-to-end delay of every variant
+//! on the 50-node random mesh.
+//!
+//! Note (recorded in EXPERIMENTS.md): the paper attributes delay differences
+//! mainly to probing-overhead contention; in our reproduction path *length*
+//! dominates, so variants that choose longer, more reliable routes show
+//! higher delay than the paper's bars.
+
+use experiments::cli::CliArgs;
+use experiments::runner::{paper_variants, run_matrix, run_mesh_once, summarize};
+use experiments::scenario::MeshScenario;
+use experiments::report;
+use odmrp::Variant;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let mut scenario = if args.quick {
+        MeshScenario::quick()
+    } else {
+        MeshScenario::paper_default()
+    };
+    if let Some(r) = args.probe_rate {
+        scenario.probe_rate = r;
+    }
+    let seeds = args.seeds(10);
+    eprintln!("fig2 (delay): {} topologies", seeds.len());
+    let results = run_matrix(&paper_variants(), &seeds, |v, s| {
+        run_mesh_once(&scenario, v, s)
+    });
+    let summaries = summarize(&results, Variant::Original);
+
+    println!("== Figure 2, column \"Delay\" ==");
+    println!("{}", report::delay_table(&summaries));
+}

@@ -1,0 +1,81 @@
+//! Figure 2, column "Throughput-testbed": normalized throughput on the
+//! 8-node office-floor testbed model (Figure 4 topology, 40–60 % lossy
+//! links with temporal variation), 2 groups: node 2 → {3, 5} and node
+//! 4 → {1, 7}, five repetitions.
+
+use experiments::cli::CliArgs;
+use experiments::runner::{paper_variants, run_matrix, run_testbed_once, summarize};
+use experiments::scenario::TestbedScenario;
+use experiments::{paper, report};
+use mcast_metrics::MetricKind;
+use odmrp::Variant;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let mut scenario = if args.quick {
+        TestbedScenario::quick()
+    } else {
+        TestbedScenario::paper_default()
+    };
+    if let Some(r) = args.probe_rate {
+        scenario.probe_rate = r;
+    }
+    let seeds = args.seeds(5); // the paper repeats each experiment 5 times
+    eprintln!(
+        "fig2 (testbed): {} runs, data {}..{}",
+        seeds.len(),
+        scenario.data_start,
+        scenario.data_stop
+    );
+    let results = run_matrix(&paper_variants(), &seeds, |v, s| {
+        let m = run_testbed_once(&scenario, v, s);
+        eprintln!("  {} run={} pdr={:.3}", m.variant, s, m.pdr());
+        m
+    });
+    let summaries = summarize(&results, Variant::Original);
+
+    println!("== Figure 2, column \"Throughput-testbed\" ==");
+    println!(
+        "{}",
+        report::throughput_table(&summaries, &paper::FIG2_THROUGHPUT_TESTBED)
+    );
+    println!(
+        "{}",
+        report::throughput_bars(&summaries, &paper::FIG2_THROUGHPUT_TESTBED)
+    );
+
+    // Shape: every metric beats ODMRP; PP leads (its EWMA history never
+    // forgives the 40-60% links); SPP second tier.
+    let get = |k: MetricKind| {
+        summaries
+            .iter()
+            .find(|s| s.variant == Variant::Metric(k))
+            .map(|s| s.normalized_throughput.mean)
+            .unwrap_or(f64::NAN)
+    };
+    let mut fails = Vec::new();
+    for k in MetricKind::PAPER_SET {
+        if get(k) <= 1.0 {
+            fails.push(format!("{k} does not beat ODMRP ({:.3})", get(k)));
+        }
+    }
+    let (pp, spp) = (get(MetricKind::Pp), get(MetricKind::Spp));
+    let rest_max = get(MetricKind::Etx)
+        .max(get(MetricKind::Ett))
+        .max(get(MetricKind::Metx));
+    if pp.max(spp) < rest_max - 0.02 {
+        fails.push(format!(
+            "PP/SPP (best {:.3}) should lead the testbed column (others up to {rest_max:.3})",
+            pp.max(spp)
+        ));
+    }
+    if fails.is_empty() {
+        println!("shape checks: all passed");
+    } else {
+        println!("shape checks FAILED:");
+        for f in &fails {
+            println!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

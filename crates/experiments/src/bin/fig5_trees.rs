@@ -1,0 +1,96 @@
+//! Figure 5: the dissemination trees built by ODMRP vs ODMRP_PP on the
+//! testbed. The paper's observation: ODMRP keeps using the lossy one-hop
+//! links (2→5, 4→7, 1–3, 9–3) while ODMRP_PP detours over the clean two-hop
+//! paths (2→10→5, 4→9→7).
+
+use experiments::cli::CliArgs;
+use experiments::scenario::TestbedScenario;
+use experiments::trees::{heavy_edges, tree_usage, EdgeUse};
+use mcast_metrics::MetricKind;
+use odmrp::Variant;
+use testbed::{label_of, LinkClass};
+
+fn classify(e: &EdgeUse) -> &'static str {
+    let (a, b) = (label_of(e.from), label_of(e.to));
+    for (la, lb, class) in testbed::floorplan::links() {
+        if (la == a && lb == b) || (la == b && lb == a) {
+            return match class {
+                LinkClass::Lossy => "LOSSY",
+                LinkClass::LowLoss => "clean",
+            };
+        }
+    }
+    "?"
+}
+
+fn run(variant: Variant, scenario: &TestbedScenario, seed: u64) -> Vec<EdgeUse> {
+    let mut sim = scenario.build(variant, seed);
+    sim.run_until(scenario.run_until());
+    tree_usage(&sim)
+}
+
+fn print_tree(label: &str, edges: &[EdgeUse]) -> f64 {
+    println!("-- tree edges (selections per refresh round), {label} --");
+    let heavy = heavy_edges(edges, 0.25);
+    let total: u64 = edges.iter().map(|e| e.packets).sum();
+    let lossy: u64 = edges
+        .iter()
+        .filter(|e| classify(e) == "LOSSY")
+        .map(|e| e.packets)
+        .sum();
+    for e in &heavy {
+        println!(
+            "  {:>2} -> {:<2}  {:>6} rounds  [{}]",
+            label_of(e.from),
+            label_of(e.to),
+            e.packets,
+            classify(e)
+        );
+    }
+    let frac = if total > 0 {
+        lossy as f64 / total as f64
+    } else {
+        0.0
+    };
+    println!("  selections over LOSSY links: {:.1}%\n", frac * 100.0);
+    frac
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    let scenario = if args.quick {
+        TestbedScenario::quick()
+    } else {
+        TestbedScenario::paper_default()
+    };
+    println!("== Figure 5: trees built by ODMRP vs ODMRP_PP (testbed) ==\n");
+    println!("Figure-4 floor map ('-' = low-loss link, '.' = lossy link):\n");
+    println!("{}", experiments::ascii_map::render_floorplan());
+    let seeds = args.seeds(3);
+    let mut orig_frac = 0.0;
+    let mut pp_frac = 0.0;
+    for &seed in &seeds {
+        let orig = run(Variant::Original, &scenario, seed);
+        let pp = run(Variant::Metric(MetricKind::Pp), &scenario, seed);
+        println!("--- run {seed} ---");
+        orig_frac += print_tree("ODMRP", &orig);
+        pp_frac += print_tree("ODMRP_PP", &pp);
+    }
+    orig_frac /= seeds.len() as f64;
+    pp_frac /= seeds.len() as f64;
+    println!(
+        "mean tree-edge share over lossy links: ODMRP {:.1}%  ODMRP_PP {:.1}%",
+        orig_frac * 100.0,
+        pp_frac * 100.0
+    );
+    println!(
+        "paper: ODMRP's tree uses the lossy one-hop links (2-5, 4-7, 1-3, 9-3); \
+         ODMRP_PP routes around them via 10 and 9."
+    );
+    if pp_frac < orig_frac {
+        println!("reproduced: ODMRP_PP shifts its tree off the lossy links");
+    } else {
+        println!("NOT reproduced: ODMRP_PP did not reduce lossy-link usage");
+        std::process::exit(1);
+    }
+}

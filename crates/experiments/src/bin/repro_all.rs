@@ -1,0 +1,53 @@
+//! Run the complete reproduction suite: every table and figure, in order.
+//!
+//! With `--quick` this finishes in a couple of minutes on one core; without
+//! it, expect the paper-scale matrices (10 topologies × 6 variants each for
+//! four different simulation experiments, plus the testbed runs).
+
+use std::process::Command;
+
+fn main() {
+    let pass_through: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "fig1_metx_vs_spp",
+        "fig3_etx_vs_spp",
+        "fig2_throughput_sim",
+        "fig2_high_overhead",
+        "probe_rate_sweep",
+        "table1_overhead",
+        "multi_source",
+        "fig2_testbed",
+        "fig5_trees",
+        "tree_multicast",
+        "ablation_delta_alpha",
+        "ablation_bidir_etx",
+        "optimal_probe_rate",
+        "receiver_fairness",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n################ {bin} ################\n");
+        // The analytic figures take no flags.
+        let args: &[String] = if bin.starts_with("fig1") || bin.starts_with("fig3") {
+            &[]
+        } else {
+            &pass_through
+        };
+        let status = Command::new(dir.join(bin))
+            .args(args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    println!("\n################ summary ################");
+    if failures.is_empty() {
+        println!("all experiments completed with shape checks passing");
+    } else {
+        println!("experiments with failed shape checks: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Table 1: probing overhead of each metric as a percentage of the data
+//! bytes received, on the paper's 50-node simulation setup.
+
+use experiments::cli::CliArgs;
+use experiments::runner::{paper_variants, run_matrix, run_mesh_once, summarize};
+use experiments::scenario::MeshScenario;
+use experiments::report;
+use odmrp::Variant;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let mut scenario = if args.quick {
+        MeshScenario::quick()
+    } else {
+        MeshScenario::paper_default()
+    };
+    if let Some(r) = args.probe_rate {
+        scenario.probe_rate = r;
+    }
+    let seeds = args.seeds(10);
+    eprintln!("table1: {} topologies", seeds.len());
+    let results = run_matrix(&paper_variants(), &seeds, |v, s| {
+        run_mesh_once(&scenario, v, s)
+    });
+    let summaries = summarize(&results, Variant::Original);
+
+    println!("== Table 1: comparative percentage overhead ==");
+    println!("{}", report::overhead_table(&summaries));
+
+    let fails = report::overhead_shape_failures(&summaries);
+    if fails.is_empty() {
+        println!("shape checks: all passed (pair probing costs several times single probing)");
+    } else {
+        println!("shape checks FAILED:");
+        for f in &fails {
+            println!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

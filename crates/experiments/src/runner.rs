@@ -1,0 +1,219 @@
+//! Running variant × topology matrices, in parallel across topologies.
+
+use std::sync::Mutex;
+
+use odmrp::Variant;
+
+use crate::measure::RunMeasurement;
+use crate::scenario::{MeshScenario, TestbedScenario};
+use crate::stats::Summary;
+
+/// All variants of Figure 2, baseline first.
+pub fn paper_variants() -> Vec<Variant> {
+    let mut v = vec![Variant::Original];
+    v.extend(
+        mcast_metrics::MetricKind::PAPER_SET
+            .iter()
+            .map(|&k| Variant::Metric(k)),
+    );
+    v
+}
+
+/// Run one mesh-scenario simulation to completion and measure it.
+pub fn run_mesh_once(scenario: &MeshScenario, variant: Variant, seed: u64) -> RunMeasurement {
+    let groups = scenario.layout(seed).groups;
+    let mut sim = scenario.build(variant, seed);
+    sim.run_until(scenario.run_until());
+    RunMeasurement::from_sim(&sim, &groups, seed)
+}
+
+/// Run one mesh-scenario simulation under the **tree-based** protocol.
+pub fn run_tree_once(scenario: &MeshScenario, variant: Variant, seed: u64) -> RunMeasurement {
+    let groups = scenario.layout(seed).groups;
+    let mut sim = scenario.build_tree(variant, seed);
+    sim.run_until(scenario.run_until());
+    RunMeasurement::from_sim(&sim, &groups, seed)
+}
+
+/// Run one testbed simulation to completion and measure it.
+pub fn run_testbed_once(scenario: &TestbedScenario, variant: Variant, seed: u64) -> RunMeasurement {
+    let groups = scenario.layout().groups;
+    let mut sim = scenario.build(variant, seed);
+    sim.run_until(scenario.run_until());
+    RunMeasurement::from_sim(&sim, &groups, seed)
+}
+
+/// Run every `(variant, seed)` pair, parallelized across available cores.
+///
+/// `run` must be pure: results are collected and re-ordered by input index,
+/// so the output order matches the input order deterministically.
+pub fn run_matrix<F>(variants: &[Variant], seeds: &[u64], run: F) -> Vec<RunMeasurement>
+where
+    F: Fn(Variant, u64) -> RunMeasurement + Sync,
+{
+    let jobs: Vec<(usize, Variant, u64)> = variants
+        .iter()
+        .flat_map(|&v| seeds.iter().map(move |&s| (v, s)))
+        .enumerate()
+        .map(|(i, (v, s))| (i, v, s))
+        .collect();
+    let results: Mutex<Vec<Option<RunMeasurement>>> = Mutex::new(vec![None; jobs.len()]);
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (idx, v, s) = jobs[i];
+                let m = run(v, s);
+                results.lock().expect("runner mutex").get_mut(idx).map(|slot| *slot = Some(m));
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("runner mutex")
+        .into_iter()
+        .map(|m| m.expect("every job ran"))
+        .collect()
+}
+
+/// Aggregate of one variant across topologies, normalized to the baseline.
+#[derive(Debug, Clone)]
+pub struct VariantSummary {
+    /// The variant.
+    pub variant: Variant,
+    /// PDR across topologies.
+    pub pdr: Summary,
+    /// Throughput normalized to the baseline variant, per-topology ratios
+    /// summarized (this is what Fig. 2 plots).
+    pub normalized_throughput: Summary,
+    /// End-to-end delay normalized to the baseline.
+    pub normalized_delay: Summary,
+    /// Probe overhead %, Table-1 definition.
+    pub probe_overhead_pct: Summary,
+}
+
+/// Group raw measurements by variant and normalize against `baseline`
+/// per-topology (matching seeds), as the paper does.
+///
+/// # Panics
+///
+/// Panics if `baseline` is missing from `measurements` or seed sets differ.
+pub fn summarize(measurements: &[RunMeasurement], baseline: Variant) -> Vec<VariantSummary> {
+    let base: std::collections::HashMap<u64, &RunMeasurement> = measurements
+        .iter()
+        .filter(|m| m.variant == baseline)
+        .map(|m| (m.seed, m))
+        .collect();
+    assert!(!base.is_empty(), "baseline variant missing");
+
+    let mut variants: Vec<Variant> = Vec::new();
+    for m in measurements {
+        if !variants.contains(&m.variant) {
+            variants.push(m.variant);
+        }
+    }
+
+    variants
+        .into_iter()
+        .map(|v| {
+            let of_v: Vec<&RunMeasurement> =
+                measurements.iter().filter(|m| m.variant == v).collect();
+            let pdr = Summary::of(of_v.iter().map(|m| m.pdr()));
+            let norm_tp = Summary::of(of_v.iter().map(|m| {
+                let b = base.get(&m.seed).expect("baseline run for seed");
+                if b.pdr() > 0.0 {
+                    m.pdr() / b.pdr()
+                } else {
+                    1.0
+                }
+            }));
+            let norm_delay = Summary::of(of_v.iter().map(|m| {
+                let b = base.get(&m.seed).expect("baseline run for seed");
+                if b.mean_delay_s > 0.0 {
+                    m.mean_delay_s / b.mean_delay_s
+                } else {
+                    1.0
+                }
+            }));
+            let overhead = Summary::of(of_v.iter().map(|m| m.probe_overhead_pct));
+            VariantSummary {
+                variant: v,
+                pdr,
+                normalized_throughput: norm_tp,
+                normalized_delay: norm_delay,
+                probe_overhead_pct: overhead,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_sim::counters::Counters;
+
+    fn meas(variant: Variant, seed: u64, pdr_milli: u64, delay: f64) -> RunMeasurement {
+        RunMeasurement {
+            variant,
+            seed,
+            sent: 1000,
+            expected: 1000,
+            delivered: pdr_milli,
+            mean_delay_s: delay,
+            probe_overhead_pct: 1.0,
+            counters: Counters::default(),
+        }
+    }
+
+    #[test]
+    fn summarize_normalizes_per_seed() {
+        let spp = Variant::Metric(mcast_metrics::MetricKind::Spp);
+        let ms = vec![
+            meas(Variant::Original, 1, 500, 0.02),
+            meas(Variant::Original, 2, 400, 0.04),
+            meas(spp, 1, 600, 0.01),
+            meas(spp, 2, 480, 0.02),
+        ];
+        let sums = summarize(&ms, Variant::Original);
+        let spp_sum = sums.iter().find(|s| s.variant == spp).unwrap();
+        // 600/500 = 1.2 and 480/400 = 1.2.
+        assert!((spp_sum.normalized_throughput.mean - 1.2).abs() < 1e-9);
+        assert!((spp_sum.normalized_delay.mean - 0.5).abs() < 1e-9);
+        let base_sum = sums.iter().find(|s| s.variant == Variant::Original).unwrap();
+        assert!((base_sum.normalized_throughput.mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline variant missing")]
+    fn summarize_requires_baseline() {
+        let spp = Variant::Metric(mcast_metrics::MetricKind::Spp);
+        let ms = vec![meas(spp, 1, 600, 0.01)];
+        let _ = summarize(&ms, Variant::Original);
+    }
+
+    #[test]
+    fn run_matrix_preserves_order_and_runs_all() {
+        let variants = [Variant::Original, Variant::Metric(mcast_metrics::MetricKind::Etx)];
+        let seeds = [10u64, 20, 30];
+        let out = run_matrix(&variants, &seeds, |v, s| meas(v, s, s, 0.01));
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[0].variant, Variant::Original);
+        assert_eq!(out[0].seed, 10);
+        assert_eq!(out[5].seed, 30);
+    }
+
+    #[test]
+    fn paper_variants_start_with_baseline() {
+        let v = paper_variants();
+        assert_eq!(v[0], Variant::Original);
+        assert_eq!(v.len(), 6);
+    }
+}

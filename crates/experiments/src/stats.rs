@@ -1,0 +1,221 @@
+//! Small summary statistics for experiment reporting.
+
+/// Mean / spread summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub std_dev: f64,
+    /// Smallest value (0 for an empty sample).
+    pub min: f64,
+    /// Largest value (0 for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize an iterator of values.
+    pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Summary {
+        let v: Vec<f64> = values.into_iter().collect();
+        if v.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        };
+        let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Half-width of an approximate 95 % confidence interval for the mean
+    /// (normal approximation; fine for reporting, not for inference).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3} (n={})", self.mean, self.ci95_half_width(), self.n)
+    }
+}
+
+/// Percentile of a sample via linear interpolation between order statistics
+/// (`q` in `[0, 1]`). Returns `None` for an empty sample.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in sample"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(v[lo] + (v[hi] - v[lo]) * frac)
+}
+
+/// Median of a sample (`None` if empty).
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 0.5)
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`; 1.0 = perfectly fair,
+/// `1/n` = maximally unfair. Returns `None` for an empty or all-zero sample.
+pub fn jain_fairness(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        None
+    } else {
+        Some(sum * sum / (values.len() as f64 * sum_sq))
+    }
+}
+
+/// Render a plain-text table: `headers` then aligned `rows`.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<w$}", c, w = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&headers_owned, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138).abs() < 0.001);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(std::iter::empty());
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of([3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["metric", "value"],
+            &[
+                vec!["ETX".into(), "1.0".into()],
+                vec!["longer-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("metric"));
+        assert!(lines[2].starts_with("ETX"));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn display_includes_ci() {
+        let s = Summary::of([1.0, 2.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains('±'));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 1.0), Some(4.0));
+        assert_eq!(median(&v), Some(2.5));
+        assert_eq!(percentile(&v, 0.25), Some(1.75));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median(&v), Some(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn percentile_rejects_bad_q() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_fairness(&[5.0, 5.0, 5.0]), Some(1.0));
+        let unfair = jain_fairness(&[1.0, 0.0, 0.0]).unwrap();
+        assert!((unfair - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[]), None);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), None);
+    }
+}

@@ -1,0 +1,76 @@
+//! Tree-multicast configuration.
+
+use mcast_metrics::EstimatorConfig;
+use mesh_sim::time::SimDuration;
+use odmrp::Variant;
+
+/// Per-node protocol parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaodvConfig {
+    /// Route-selection policy (shared with ODMRP: original = first arrival,
+    /// metric = cost-accumulating with δ/α).
+    pub variant: Variant,
+    /// Probe-interval scaling.
+    pub probe_rate: f64,
+    /// Member wait before grafting (δ).
+    pub delta: SimDuration,
+    /// Duplicate-forwarding window (α).
+    pub alpha: SimDuration,
+    /// Source refresh period for route-request floods.
+    pub refresh_interval: SimDuration,
+    /// Tree-branch lifetime without a refreshing graft.
+    pub tree_timeout: SimDuration,
+    /// Network-layer jitter before rebroadcasting control packets.
+    pub control_jitter: SimDuration,
+    /// Maximum hops a request may travel.
+    pub max_hops: u8,
+    /// Link estimation tuning.
+    pub estimator: EstimatorConfig,
+}
+
+impl Default for MaodvConfig {
+    fn default() -> Self {
+        MaodvConfig {
+            variant: Variant::Original,
+            probe_rate: 1.0,
+            delta: SimDuration::from_millis(30),
+            alpha: SimDuration::from_millis(20),
+            refresh_interval: SimDuration::from_secs(3),
+            tree_timeout: SimDuration::from_secs(9),
+            control_jitter: SimDuration::from_millis(4),
+            max_hops: 32,
+            estimator: EstimatorConfig::default(),
+        }
+    }
+}
+
+impl MaodvConfig {
+    /// Configuration for a metric-enhanced variant at the default probe rate.
+    pub fn with_metric(kind: mcast_metrics::MetricKind) -> Self {
+        MaodvConfig {
+            variant: Variant::Metric(kind),
+            ..MaodvConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_mirror_odmrp_parameters() {
+        let m = MaodvConfig::default();
+        let o = odmrp::OdmrpConfig::default();
+        assert_eq!(m.delta, o.delta);
+        assert_eq!(m.alpha, o.alpha);
+        assert_eq!(m.refresh_interval, o.refresh_interval);
+        assert_eq!(m.tree_timeout, o.fg_timeout);
+    }
+
+    #[test]
+    fn with_metric_sets_variant() {
+        let c = MaodvConfig::with_metric(mcast_metrics::MetricKind::Spp);
+        assert_eq!(c.variant.metric_kind(), Some(mcast_metrics::MetricKind::Spp));
+    }
+}

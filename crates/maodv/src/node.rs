@@ -1,0 +1,512 @@
+//! The tree-multicast node.
+//!
+//! Route discovery mirrors metric-enhanced ODMRP (cost-accumulating floods,
+//! α-bounded improving duplicates, δ-delayed best-route selection) so that
+//! the *only* structural difference from ODMRP is what §4.3 isolates: state
+//! is kept **per source** and activated hop-by-hop with **unicast grafts**,
+//! producing a tree with no mesh redundancy.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use mcast_metrics::{AnyMetric, Metric, NeighborTable, PathCost, Prober};
+use mesh_sim::ids::{GroupId, NodeId, TimerId, TxHandle};
+use mesh_sim::protocol::{Protocol, RxMeta, TxOutcome};
+use mesh_sim::time::{SimDuration, SimTime};
+use mesh_sim::world::Ctx;
+use odmrp::messages::{class, DataPacket};
+use odmrp::{Delivered, MulticastApp, NodeRole, NodeStats, Variant};
+
+use crate::config::MaodvConfig;
+use crate::messages::{Graft, MaodvMsg, RouteRequest};
+
+const DATA_CACHE_CAP: usize = 50_000;
+const GRAFT_RETRIES: u32 = 2;
+
+#[derive(Debug)]
+enum TimerPayload {
+    Probe,
+    Cbr(usize),
+    Refresh(usize),
+    /// δ expired for `(source, seq)`: graft toward the best upstream.
+    Delta(NodeId, u32),
+    /// Jittered rebroadcast of the route request for `(source, seq)`.
+    ForwardRequest(NodeId, u32),
+    /// Retry a failed graft transmission.
+    GraftRetry(Graft, u32),
+}
+
+#[derive(Debug)]
+struct RequestState {
+    group: GroupId,
+    best_cost: PathCost,
+    upstream: NodeId,
+    hop_count: u8,
+    alpha_deadline: SimTime,
+    best_forwarded: Option<PathCost>,
+    forward_pending: bool,
+}
+
+/// Per-`(group, source)` tree membership.
+#[derive(Debug, Default)]
+struct TreeState {
+    /// Downstream tree neighbors and their expiry.
+    children: HashMap<NodeId, SimTime>,
+}
+
+impl TreeState {
+    fn live_children(&self, now: SimTime) -> usize {
+        self.children.values().filter(|&&t| t > now).count()
+    }
+}
+
+/// A tree-based multicast protocol instance (MAODV-style).
+#[derive(Debug)]
+pub struct MaodvNode {
+    cfg: MaodvConfig,
+    role: NodeRole,
+    metric: Option<AnyMetric>,
+    prober: Option<Prober>,
+    table: NeighborTable,
+    me: NodeId,
+
+    timers: HashMap<u64, TimerPayload>,
+    timer_token: u64,
+
+    requests: HashMap<(NodeId, u32), RequestState>,
+    trees: HashMap<(GroupId, NodeId), TreeState>,
+    /// Rounds for which this node already sent its own graft upstream.
+    grafted: HashSet<(NodeId, u32)>,
+    delta_scheduled: HashSet<(NodeId, u32)>,
+    /// Outstanding graft transmissions by MAC handle, for retry on failure.
+    pending_grafts: HashMap<TxHandle, (Graft, u32)>,
+
+    data_seen: HashSet<(NodeId, u32)>,
+    data_seen_order: VecDeque<(NodeId, u32)>,
+    data_seq: u32,
+    refresh_seq: u32,
+
+    stats: NodeStats,
+}
+
+impl MaodvNode {
+    /// Create a node with the given configuration and role.
+    pub fn new(cfg: MaodvConfig, role: NodeRole) -> Self {
+        let metric = cfg
+            .variant
+            .metric_kind()
+            .map(|k| k.build_with_rate(cfg.probe_rate));
+        let prober = metric
+            .as_ref()
+            .map(|m| Prober::new(m.probe_plan()))
+            .filter(|p| !matches!(p.plan(), mcast_metrics::ProbePlan::None));
+        let table = NeighborTable::new(cfg.estimator.clone());
+        MaodvNode {
+            cfg,
+            role,
+            metric,
+            prober,
+            table,
+            me: NodeId::new(0),
+            timers: HashMap::new(),
+            timer_token: 0,
+            requests: HashMap::new(),
+            trees: HashMap::new(),
+            grafted: HashSet::new(),
+            delta_scheduled: HashSet::new(),
+            pending_grafts: HashMap::new(),
+            data_seen: HashSet::new(),
+            data_seen_order: VecDeque::new(),
+            data_seq: 0,
+            refresh_seq: 0,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Whether this node currently forwards for the tree of `(group, source)`.
+    pub fn is_tree_forwarder(&self, group: GroupId, source: NodeId, now: SimTime) -> bool {
+        self.trees
+            .get(&(group, source))
+            .map_or(false, |t| t.live_children(now) > 0)
+    }
+
+    /// Number of distinct `(group, source)` trees this node has children in.
+    pub fn tree_count(&self, now: SimTime) -> usize {
+        self.trees
+            .values()
+            .filter(|t| t.live_children(now) > 0)
+            .count()
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx<'_, MaodvMsg>, delay: SimDuration, payload: TimerPayload) {
+        self.timer_token += 1;
+        let token = self.timer_token;
+        self.timers.insert(token, payload);
+        ctx.set_timer(delay, token);
+    }
+
+    fn jitter(&self, ctx: &mut Ctx<'_, MaodvMsg>) -> SimDuration {
+        let max = self.cfg.control_jitter.as_nanos();
+        SimDuration::from_nanos((ctx.rng().uniform() * max as f64) as u64)
+    }
+
+    fn send_probe_round(&mut self, ctx: &mut Ctx<'_, MaodvMsg>) {
+        let Some(prober) = self.prober.as_mut() else {
+            return;
+        };
+        for (msg, bytes) in prober.next_round(Vec::new()) {
+            if ctx
+                .send_broadcast(MaodvMsg::Probe(msg), bytes, class::PROBE)
+                .is_ok()
+            {
+                self.stats.probes_sent += 1;
+            }
+        }
+        if let Some(interval) = self.prober.as_ref().and_then(|p| p.plan().interval()) {
+            let f = 0.9 + 0.2 * ctx.rng().uniform();
+            self.arm(ctx, interval.mul_f64(f), TimerPayload::Probe);
+        }
+    }
+
+    fn send_cbr(&mut self, ctx: &mut Ctx<'_, MaodvMsg>, idx: usize) {
+        let spec = self.role.sources[idx];
+        if ctx.now() >= spec.stop {
+            return;
+        }
+        self.data_seq += 1;
+        let pkt = DataPacket {
+            group: spec.group,
+            source: self.me,
+            seq: self.data_seq,
+            sent_at: ctx.now(),
+            bytes: spec.bytes,
+        };
+        *self.stats.sent.entry(spec.group).or_insert(0) += 1;
+        let _ = ctx.send_broadcast(MaodvMsg::Data(pkt), spec.bytes, class::DATA);
+        self.arm(ctx, spec.interval, TimerPayload::Cbr(idx));
+    }
+
+    fn send_refresh(&mut self, ctx: &mut Ctx<'_, MaodvMsg>, idx: usize) {
+        let spec = self.role.sources[idx];
+        if ctx.now() >= spec.stop {
+            return;
+        }
+        self.refresh_seq += 1;
+        let identity = self.metric.as_ref().map_or(0.0, |m| m.identity().value());
+        let rq = RouteRequest {
+            group: spec.group,
+            source: self.me,
+            seq: self.refresh_seq,
+            prev_hop: self.me,
+            hop_count: 0,
+            cost: identity,
+        };
+        if ctx
+            .send_broadcast(
+                MaodvMsg::RouteRequest(rq),
+                RouteRequest::BYTES,
+                class::CONTROL,
+            )
+            .is_ok()
+        {
+            self.stats.queries_sent += 1;
+        }
+        self.arm(ctx, self.cfg.refresh_interval, TimerPayload::Refresh(idx));
+    }
+
+    fn handle_request(&mut self, ctx: &mut Ctx<'_, MaodvMsg>, from: NodeId, rq: &RouteRequest) {
+        if rq.source == self.me || rq.hop_count >= self.cfg.max_hops {
+            return;
+        }
+        let now = ctx.now();
+        let key = (rq.source, rq.seq);
+        let is_member = self.role.is_member(rq.group, now);
+
+        let (new_cost, better) = match self.metric.clone() {
+            None => {
+                // First-arrival baseline.
+                if self.requests.contains_key(&key) {
+                    return;
+                }
+                (PathCost::new(rq.hop_count as f64 + 1.0), false)
+            }
+            Some(metric) => {
+                let link = self.table.link_cost(&metric, from, now);
+                let cost = metric.accumulate(PathCost::new(rq.cost), link);
+                let better = self
+                    .requests
+                    .get(&key)
+                    .map_or(false, |st| metric.better(cost, st.best_cost));
+                (cost, better)
+            }
+        };
+
+        match self.requests.get_mut(&key) {
+            None => {
+                self.requests.insert(
+                    key,
+                    RequestState {
+                        group: rq.group,
+                        best_cost: new_cost,
+                        upstream: from,
+                        hop_count: rq.hop_count + 1,
+                        alpha_deadline: now + self.cfg.alpha,
+                        best_forwarded: None,
+                        forward_pending: true,
+                    },
+                );
+                let j = self.jitter(ctx);
+                self.arm(ctx, j, TimerPayload::ForwardRequest(rq.source, rq.seq));
+                if is_member && self.delta_scheduled.insert(key) {
+                    let delay = if self.metric.is_some() {
+                        self.cfg.delta
+                    } else {
+                        self.jitter(ctx)
+                    };
+                    self.arm(ctx, delay, TimerPayload::Delta(rq.source, rq.seq));
+                }
+            }
+            Some(st) if better => {
+                st.best_cost = new_cost;
+                st.upstream = from;
+                st.hop_count = rq.hop_count + 1;
+                let improves = st
+                    .best_forwarded
+                    .map_or(true, |f| match self.metric.as_ref() {
+                        Some(m) => m.better(new_cost, f),
+                        None => false,
+                    });
+                if now <= st.alpha_deadline && improves && !st.forward_pending {
+                    st.forward_pending = true;
+                    let j = self.jitter(ctx);
+                    self.arm(ctx, j, TimerPayload::ForwardRequest(rq.source, rq.seq));
+                }
+            }
+            Some(_) => {}
+        }
+    }
+
+    fn forward_request(&mut self, ctx: &mut Ctx<'_, MaodvMsg>, source: NodeId, seq: u32) {
+        let Some(st) = self.requests.get_mut(&(source, seq)) else {
+            return;
+        };
+        st.forward_pending = false;
+        if st.hop_count >= self.cfg.max_hops {
+            return;
+        }
+        if let (Some(metric), Some(fwd)) = (self.metric.as_ref(), st.best_forwarded) {
+            if !metric.better(st.best_cost, fwd) {
+                return;
+            }
+        } else if self.metric.is_none() && st.best_forwarded.is_some() {
+            return;
+        }
+        st.best_forwarded = Some(st.best_cost);
+        let rq = RouteRequest {
+            group: st.group,
+            source,
+            seq,
+            prev_hop: self.me,
+            hop_count: st.hop_count,
+            cost: st.best_cost.value(),
+        };
+        if ctx
+            .send_broadcast(
+                MaodvMsg::RouteRequest(rq),
+                RouteRequest::BYTES,
+                class::CONTROL,
+            )
+            .is_ok()
+        {
+            self.stats.queries_forwarded += 1;
+        }
+    }
+
+    /// Send (or re-send) a graft unicast to our upstream for its round.
+    fn send_graft(&mut self, ctx: &mut Ctx<'_, MaodvMsg>, graft: Graft, attempt: u32) {
+        let Some(st) = self.requests.get(&(graft.source, graft.seq)) else {
+            return;
+        };
+        let upstream = st.upstream;
+        match ctx.send_unicast(upstream, MaodvMsg::Graft(graft), Graft::BYTES, class::CONTROL) {
+            Ok(handle) => {
+                self.pending_grafts.insert(handle, (graft, attempt));
+                self.stats.replies_sent += 1;
+                *self
+                    .stats
+                    .tree_edges
+                    .entry((upstream, self.me))
+                    .or_insert(0) += 1;
+            }
+            Err(_) => {
+                // Queue full: try again shortly.
+                if attempt < GRAFT_RETRIES {
+                    self.arm(
+                        ctx,
+                        SimDuration::from_millis(20),
+                        TimerPayload::GraftRetry(graft, attempt + 1),
+                    );
+                }
+            }
+        }
+    }
+
+    /// δ expired at a member: graft toward the best upstream of the round.
+    fn begin_graft(&mut self, ctx: &mut Ctx<'_, MaodvMsg>, source: NodeId, seq: u32) {
+        if source == self.me || !self.grafted.insert((source, seq)) {
+            return;
+        }
+        let Some(st) = self.requests.get(&(source, seq)) else {
+            return;
+        };
+        let graft = Graft {
+            group: st.group,
+            source,
+            seq,
+            origin: self.me,
+        };
+        self.send_graft(ctx, graft, 0);
+    }
+
+    fn handle_graft(&mut self, ctx: &mut Ctx<'_, MaodvMsg>, from: NodeId, g: &Graft) {
+        let now = ctx.now();
+        // The grafting neighbor becomes our child on this source's tree.
+        let tree = self.trees.entry((g.group, g.source)).or_default();
+        let expiry = now + self.cfg.tree_timeout;
+        let slot = tree.children.entry(from).or_insert(expiry);
+        *slot = (*slot).max(expiry);
+        self.stats.fg_refreshes += 1;
+
+        if g.source == self.me {
+            return; // the branch reached the root
+        }
+        // Extend the branch toward the source once per round.
+        if self.grafted.insert((g.source, g.seq)) {
+            let graft = Graft {
+                origin: self.me,
+                ..*g
+            };
+            self.send_graft(ctx, graft, 0);
+        }
+    }
+
+    fn handle_data(&mut self, ctx: &mut Ctx<'_, MaodvMsg>, from: NodeId, d: &DataPacket) {
+        if d.source == self.me {
+            return;
+        }
+        let key = (d.source, d.seq);
+        if self.data_seen.contains(&key) {
+            self.stats.duplicate_data += 1;
+            return;
+        }
+        self.data_seen.insert(key);
+        self.data_seen_order.push_back(key);
+        if self.data_seen_order.len() > DATA_CACHE_CAP {
+            if let Some(old) = self.data_seen_order.pop_front() {
+                self.data_seen.remove(&old);
+            }
+        }
+        *self.stats.data_edges.entry((from, self.me)).or_insert(0) += 1;
+
+        let now = ctx.now();
+        if self.role.is_member(d.group, now) {
+            let rec = self
+                .stats
+                .delivered
+                .entry((d.group, d.source))
+                .or_insert_with(Delivered::default);
+            rec.count += 1;
+            rec.delay_sum_s += now.saturating_since(d.sent_at).as_secs_f64();
+        }
+        if self.is_tree_forwarder(d.group, d.source, now) {
+            if ctx
+                .send_broadcast(MaodvMsg::Data(d.clone()), d.bytes, class::DATA)
+                .is_ok()
+            {
+                self.stats.data_forwards += 1;
+            }
+        }
+    }
+}
+
+impl MulticastApp for MaodvNode {
+    fn node_stats(&self) -> &NodeStats {
+        &self.stats
+    }
+    fn variant(&self) -> Variant {
+        self.cfg.variant
+    }
+}
+
+impl Protocol for MaodvNode {
+    type Msg = MaodvMsg;
+
+    fn start(&mut self, ctx: &mut Ctx<'_, MaodvMsg>) {
+        self.me = ctx.node();
+        if let Some(interval) = self.prober.as_ref().and_then(|p| p.plan().interval()) {
+            let phase = interval.mul_f64(ctx.rng().uniform());
+            self.arm(ctx, phase, TimerPayload::Probe);
+        }
+        for i in 0..self.role.sources.len() {
+            let spec = self.role.sources[i];
+            let start = spec.start.saturating_since(SimTime::ZERO);
+            self.arm(ctx, start, TimerPayload::Refresh(i));
+            self.arm(ctx, start, TimerPayload::Cbr(i));
+        }
+    }
+
+    fn handle_message(
+        &mut self,
+        ctx: &mut Ctx<'_, MaodvMsg>,
+        src: NodeId,
+        msg: &MaodvMsg,
+        _meta: RxMeta,
+    ) {
+        match msg {
+            MaodvMsg::Probe(p) => {
+                let now = ctx.now();
+                self.table.handle_probe(src, p, self.me, now);
+            }
+            MaodvMsg::RouteRequest(rq) => self.handle_request(ctx, src, rq),
+            MaodvMsg::Graft(g) => self.handle_graft(ctx, src, g),
+            MaodvMsg::Data(d) => self.handle_data(ctx, src, d),
+        }
+    }
+
+    fn handle_timer(&mut self, ctx: &mut Ctx<'_, MaodvMsg>, _timer: TimerId, kind: u64) {
+        let Some(payload) = self.timers.remove(&kind) else {
+            return;
+        };
+        match payload {
+            TimerPayload::Probe => self.send_probe_round(ctx),
+            TimerPayload::Cbr(i) => self.send_cbr(ctx, i),
+            TimerPayload::Refresh(i) => self.send_refresh(ctx, i),
+            TimerPayload::Delta(source, seq) => self.begin_graft(ctx, source, seq),
+            TimerPayload::ForwardRequest(source, seq) => self.forward_request(ctx, source, seq),
+            TimerPayload::GraftRetry(graft, attempt) => self.send_graft(ctx, graft, attempt),
+        }
+    }
+
+    fn handle_tx_complete(
+        &mut self,
+        ctx: &mut Ctx<'_, MaodvMsg>,
+        handle: TxHandle,
+        outcome: TxOutcome,
+    ) {
+        if let Some((graft, attempt)) = self.pending_grafts.remove(&handle) {
+            if !outcome.is_sent() && attempt < GRAFT_RETRIES {
+                // The MAC exhausted its retries; try the graft again after a
+                // short pause (the upstream may be temporarily drowned out).
+                self.arm(
+                    ctx,
+                    SimDuration::from_millis(50),
+                    TimerPayload::GraftRetry(graft, attempt + 1),
+                );
+            }
+        }
+    }
+}

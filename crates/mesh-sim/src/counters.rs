@@ -1,0 +1,157 @@
+//! Measurement counters.
+//!
+//! Byte counts are kept per protocol-defined *traffic class* (an opaque
+//! `u8 < 16`), which is how the experiments separate probe overhead from data
+//! traffic (Table 1 of the paper).
+
+/// Maximum number of traffic classes.
+pub const MAX_CLASSES: usize = 16;
+
+/// Per-class frame/byte tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Frames observed.
+    pub frames: u64,
+    /// Payload bytes observed (MAC/PHY overhead excluded).
+    pub bytes: u64,
+}
+
+/// Global medium/MAC statistics for a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Data frames transmitted, by class.
+    pub tx_data: [ClassCounts; MAX_CLASSES],
+    /// Data frames delivered to a protocol, by class (each broadcast frame
+    /// counts once per receiver that decoded it).
+    pub rx_data: [ClassCounts; MAX_CLASSES],
+    /// Control frames transmitted (RTS/CTS/ACK).
+    pub tx_ctrl_frames: u64,
+    /// Control bytes transmitted.
+    pub tx_ctrl_bytes: u64,
+    /// Receptions destroyed by collisions (both frames within capture ratio).
+    pub collisions: u64,
+    /// Receptions lost because a stronger frame captured the receiver.
+    pub capture_losses: u64,
+    /// Arrivals sensed above CS but below the receive threshold.
+    pub below_rx_threshold: u64,
+    /// Arrivals that found the receiver already transmitting.
+    pub rx_while_tx: u64,
+    /// Frames dropped at the MAC queue (drop-tail overflow).
+    pub queue_drops: u64,
+    /// Unicast transmissions abandoned after exhausting retries.
+    pub unicast_failures: u64,
+    /// Total MAC retransmission attempts (RTS or data).
+    pub retries: u64,
+    /// Unicast data frames suppressed by receive-side duplicate detection.
+    pub duplicate_rx_suppressed: u64,
+    /// Events processed (a progress/size measure).
+    pub events: u64,
+}
+
+impl Counters {
+    /// Total transmitted payload bytes across all data classes.
+    pub fn tx_data_bytes_total(&self) -> u64 {
+        self.tx_data.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Total delivered payload bytes across all data classes.
+    pub fn rx_data_bytes_total(&self) -> u64 {
+        self.rx_data.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Merge another counter set into this one (used by parallel runners).
+    pub fn merge(&mut self, other: &Counters) {
+        for i in 0..MAX_CLASSES {
+            self.tx_data[i].frames += other.tx_data[i].frames;
+            self.tx_data[i].bytes += other.tx_data[i].bytes;
+            self.rx_data[i].frames += other.rx_data[i].frames;
+            self.rx_data[i].bytes += other.rx_data[i].bytes;
+        }
+        self.tx_ctrl_frames += other.tx_ctrl_frames;
+        self.tx_ctrl_bytes += other.tx_ctrl_bytes;
+        self.collisions += other.collisions;
+        self.capture_losses += other.capture_losses;
+        self.below_rx_threshold += other.below_rx_threshold;
+        self.rx_while_tx += other.rx_while_tx;
+        self.queue_drops += other.queue_drops;
+        self.unicast_failures += other.unicast_failures;
+        self.retries += other.retries;
+        self.duplicate_rx_suppressed += other.duplicate_rx_suppressed;
+        self.events += other.events;
+    }
+
+    pub(crate) fn record_tx_data(&mut self, class: u8, bytes: u64) {
+        let c = &mut self.tx_data[class as usize % MAX_CLASSES];
+        c.frames += 1;
+        c.bytes += bytes;
+    }
+
+    pub(crate) fn record_rx_data(&mut self, class: u8, bytes: u64) {
+        let c = &mut self.rx_data[class as usize % MAX_CLASSES];
+        c.frames += 1;
+        c.bytes += bytes;
+    }
+}
+
+/// Per-node tallies (coarser than [`Counters`]; one per node in the world).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Data frames this node transmitted (any class).
+    pub tx_data_frames: u64,
+    /// Payload bytes this node transmitted.
+    pub tx_data_bytes: u64,
+    /// Data frames delivered to this node's protocol.
+    pub rx_data_frames: u64,
+    /// Control frames (RTS/CTS/ACK) this node transmitted.
+    pub tx_ctrl_frames: u64,
+    /// Receptions at this node destroyed by collisions.
+    pub collisions: u64,
+    /// Approximate airtime this node occupied, in nanoseconds.
+    pub airtime_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_counters_default_zero() {
+        let n = NodeCounters::default();
+        assert_eq!(n.tx_data_frames, 0);
+        assert_eq!(n.airtime_ns, 0);
+    }
+
+    #[test]
+    fn totals_sum_classes() {
+        let mut c = Counters::default();
+        c.record_tx_data(0, 100);
+        c.record_tx_data(3, 50);
+        c.record_rx_data(3, 50);
+        assert_eq!(c.tx_data_bytes_total(), 150);
+        assert_eq!(c.rx_data_bytes_total(), 50);
+        assert_eq!(c.tx_data[0].frames, 1);
+        assert_eq!(c.tx_data[3].frames, 1);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Counters::default();
+        a.record_tx_data(1, 10);
+        a.collisions = 2;
+        let mut b = Counters::default();
+        b.record_tx_data(1, 5);
+        b.collisions = 3;
+        b.retries = 7;
+        a.merge(&b);
+        assert_eq!(a.tx_data[1].bytes, 15);
+        assert_eq!(a.collisions, 5);
+        assert_eq!(a.retries, 7);
+    }
+
+    #[test]
+    fn class_wraps_instead_of_panicking() {
+        let mut c = Counters::default();
+        c.record_tx_data(200, 1);
+        assert_eq!(c.tx_data[200 % MAX_CLASSES].frames, 1);
+    }
+}

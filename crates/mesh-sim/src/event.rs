@@ -1,0 +1,173 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence number)`: ties in simulated time
+//! are broken by insertion order, which makes runs fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::ids::{FrameId, NodeId, TimerId};
+use crate::time::SimTime;
+
+/// The kinds of events the simulator processes.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum EventKind {
+    /// A MAC state-machine timer (DIFS end, backoff end, CTS/ACK timeout).
+    MacTimer { node: NodeId, gen: u64 },
+    /// A pending SIFS-spaced control response (CTS or ACK) is due.
+    CtrlTimer { node: NodeId, gen: u64 },
+    /// A transmission by `node` finishes.
+    TxEnd { node: NodeId, frame: FrameId },
+    /// The first energy of `frame` arrives at `node`.
+    RxStart {
+        node: NodeId,
+        frame: FrameId,
+        power_w: f64,
+    },
+    /// The last energy of `frame` leaves `node`.
+    RxEnd {
+        node: NodeId,
+        frame: FrameId,
+        power_w: f64,
+    },
+    /// A protocol timer fires.
+    ProtoTimer {
+        node: NodeId,
+        timer: TimerId,
+        kind: u64,
+    },
+    /// The mobility model is due for a position update.
+    MobilityTick,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ScheduledEvent {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest event first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of scheduled events with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, kind });
+    }
+
+    /// Pop the earliest event if it occurs at or before `limit`.
+    pub fn pop_if_at_or_before(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
+        if self.heap.peek().map_or(false, |e| e.time <= limit) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Time of the next event, if any.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(node: u32) -> EventKind {
+        EventKind::MacTimer {
+            node: NodeId::new(node),
+            gen: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), dummy(3));
+        q.push(SimTime::from_nanos(10), dummy(1));
+        q.push(SimTime::from_nanos(20), dummy(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_if_at_or_before(SimTime::MAX))
+            .map(|e| e.time.as_nanos())
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        q.push(t, dummy(1));
+        q.push(t, dummy(2));
+        q.push(t, dummy(3));
+        let nodes: Vec<u32> = std::iter::from_fn(|| q.pop_if_at_or_before(SimTime::MAX))
+            .map(|e| match e.kind {
+                EventKind::MacTimer { node, .. } => node.as_u32(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(nodes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn respects_limit() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), dummy(1));
+        assert!(q.pop_if_at_or_before(SimTime::from_nanos(99)).is_none());
+        assert!(q.pop_if_at_or_before(SimTime::from_nanos(100)).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_nanos(42), dummy(1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
+        assert_eq!(q.len(), 1);
+    }
+}

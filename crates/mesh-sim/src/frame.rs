@@ -1,0 +1,219 @@
+//! Frames in flight on the medium, and their storage.
+//!
+//! The simulator never serializes payloads: a frame carries the protocol
+//! message by value plus an explicit on-air size in bytes. Frames live in a
+//! slab while any reception or transmission event still references them.
+
+use crate::ids::{FrameId, NodeId, TxHandle};
+use crate::time::SimDuration;
+
+/// What a frame is, at the MAC level.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum FrameBody<M> {
+    /// Request-to-send; `nav` covers CTS + DATA + ACK.
+    Rts { dst: NodeId, nav: SimDuration },
+    /// Clear-to-send; `nav` covers DATA + ACK.
+    Cts { dst: NodeId, nav: SimDuration },
+    /// Link-layer acknowledgment.
+    Ack { dst: NodeId },
+    /// A data frame carrying a protocol message.
+    Data {
+        /// `None` means link-layer broadcast.
+        dst: Option<NodeId>,
+        msg: M,
+        /// Protocol-defined traffic class for byte accounting.
+        class: u8,
+        handle: TxHandle,
+        /// MAC-level sequence number for receive-side duplicate detection
+        /// (constant across retransmissions of the same frame).
+        mac_seq: u64,
+    },
+}
+
+/// A frame occupying the medium.
+#[derive(Debug, Clone)]
+pub(crate) struct Frame<M> {
+    pub src: NodeId,
+    pub body: FrameBody<M>,
+    /// Total on-air size in bytes (payload + MAC header for data frames).
+    pub bytes: u32,
+    /// Airtime of the frame.
+    pub duration: SimDuration,
+    /// Outstanding event references (one per scheduled RxEnd, plus TxEnd).
+    pub refs: u32,
+}
+
+impl<M> Frame<M> {
+    /// Destination of the frame, `None` for broadcast.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn dst(&self) -> Option<NodeId> {
+        match &self.body {
+            FrameBody::Rts { dst, .. } | FrameBody::Cts { dst, .. } | FrameBody::Ack { dst } => {
+                Some(*dst)
+            }
+            FrameBody::Data { dst, .. } => *dst,
+        }
+    }
+}
+
+/// Slab of in-flight frames with id reuse.
+#[derive(Debug)]
+pub(crate) struct FrameSlab<M> {
+    slots: Vec<Option<Frame<M>>>,
+    free: Vec<u32>,
+    /// Generation counters make stale `FrameId`s detectable.
+    gens: Vec<u32>,
+    live: usize,
+}
+
+impl<M> Default for FrameSlab<M> {
+    fn default() -> Self {
+        FrameSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            gens: Vec::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<M> FrameSlab<M> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a frame with an initial reference count.
+    pub fn insert(&mut self, frame: Frame<M>) -> FrameId {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize] = Some(frame);
+            FrameId(encode(slot, self.gens[slot as usize]))
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Some(frame));
+            self.gens.push(0);
+            FrameId(encode(slot, 0))
+        }
+    }
+
+    pub fn get(&self, id: FrameId) -> Option<&Frame<M>> {
+        let (slot, gen) = decode(id.0);
+        if self.gens.get(slot as usize) != Some(&gen) {
+            return None;
+        }
+        self.slots[slot as usize].as_ref()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn get_mut(&mut self, id: FrameId) -> Option<&mut Frame<M>> {
+        let (slot, gen) = decode(id.0);
+        if self.gens.get(slot as usize) != Some(&gen) {
+            return None;
+        }
+        self.slots[slot as usize].as_mut()
+    }
+
+    /// Drop one reference; frees the frame when the count reaches zero.
+    /// Returns the frame if this was the final reference.
+    pub fn release(&mut self, id: FrameId) -> Option<Frame<M>> {
+        let (slot, gen) = decode(id.0);
+        if self.gens.get(slot as usize) != Some(&gen) {
+            return None;
+        }
+        let f = self.slots[slot as usize].as_mut()?;
+        debug_assert!(f.refs > 0, "released a frame with zero refs");
+        f.refs -= 1;
+        if f.refs == 0 {
+            let f = self.slots[slot as usize].take();
+            self.gens[slot as usize] = self.gens[slot as usize].wrapping_add(1);
+            self.free.push(slot);
+            self.live -= 1;
+            f
+        } else {
+            None
+        }
+    }
+
+    /// Number of live frames (for leak assertions in tests).
+    pub fn live(&self) -> usize {
+        self.live
+    }
+}
+
+fn encode(slot: u32, gen: u32) -> u64 {
+    ((gen as u64) << 32) | slot as u64
+}
+
+fn decode(id: u64) -> (u32, u32) {
+    (id as u32, (id >> 32) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(refs: u32) -> Frame<u32> {
+        Frame {
+            src: NodeId::new(0),
+            body: FrameBody::Data {
+                dst: None,
+                msg: 7,
+                class: 0,
+                handle: TxHandle(1),
+                mac_seq: 0,
+            },
+            bytes: 100,
+            duration: SimDuration::from_micros(400),
+            refs,
+        }
+    }
+
+    #[test]
+    fn insert_get_release() {
+        let mut slab = FrameSlab::new();
+        let id = slab.insert(frame(2));
+        assert!(slab.get(id).is_some());
+        assert!(slab.release(id).is_none());
+        assert_eq!(slab.live(), 1);
+        let last = slab.release(id);
+        assert!(last.is_some());
+        assert_eq!(slab.live(), 0);
+        assert!(slab.get(id).is_none());
+    }
+
+    #[test]
+    fn stale_ids_do_not_alias_reused_slots() {
+        let mut slab = FrameSlab::new();
+        let a = slab.insert(frame(1));
+        slab.release(a);
+        let b = slab.insert(frame(1));
+        // Slot is reused but generation differs.
+        assert!(slab.get(a).is_none());
+        assert!(slab.get(b).is_some());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dst_of_bodies() {
+        let f = frame(1);
+        assert_eq!(f.dst(), None);
+        let r: Frame<u32> = Frame {
+            body: FrameBody::Rts {
+                dst: NodeId::new(4),
+                nav: SimDuration::ZERO,
+            },
+            ..frame(1)
+        };
+        assert_eq!(r.dst(), Some(NodeId::new(4)));
+    }
+
+    #[test]
+    fn get_mut_allows_marking() {
+        let mut slab = FrameSlab::new();
+        let id = slab.insert(frame(1));
+        if let Some(f) = slab.get_mut(id) {
+            f.bytes = 200;
+        }
+        assert_eq!(slab.get(id).unwrap().bytes, 200);
+    }
+}

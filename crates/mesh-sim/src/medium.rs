@@ -1,0 +1,360 @@
+//! The shared wireless medium.
+//!
+//! A [`Medium`] decides, for each transmission, which nodes hear it, at what
+//! power, and after what propagation delay. Two implementations are provided:
+//!
+//! * [`PhysicalMedium`] — positions + path loss + fading (the simulation
+//!   configuration of the paper), and
+//! * trace-driven media (see the `testbed` crate) that replace physics with
+//!   measured/synthetic per-link loss processes, used to reproduce the
+//!   testbed experiments.
+
+use crate::geometry::Pos;
+use crate::ids::NodeId;
+use crate::propagation::PhyParams;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One receiver's view of a transmitted frame, as decided by the medium.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RxPlan {
+    /// The receiving node.
+    pub node: NodeId,
+    /// Received power in watts (already includes fading/shadowing).
+    pub power_w: f64,
+    /// Propagation delay from transmitter to this receiver.
+    pub delay: SimDuration,
+}
+
+/// Strategy deciding who hears a transmission and how strongly.
+///
+/// Implementations must be deterministic given the `rng` stream. Receivers
+/// whose power would fall below any threshold of interest may simply be
+/// omitted from `out`.
+pub trait Medium {
+    /// Plan the reception of one frame transmitted by `tx` at `now`.
+    ///
+    /// Appends one [`RxPlan`] per node that hears any energy. Must not include
+    /// `tx` itself.
+    fn fan_out(
+        &mut self,
+        tx: NodeId,
+        positions: &[Pos],
+        now: SimTime,
+        rng: &mut SimRng,
+        out: &mut Vec<RxPlan>,
+    );
+
+    /// The PHY parameters (thresholds, capture ratio) the world should use to
+    /// interpret the powers this medium emits.
+    fn phy(&self) -> &PhyParams;
+}
+
+/// Physics-based medium: path loss + fading from node positions.
+#[derive(Debug, Clone)]
+pub struct PhysicalMedium {
+    phy: PhyParams,
+    /// Powers below `cs_threshold * floor_factor` are dropped outright; they
+    /// cannot affect carrier sense or capture in the reception model.
+    floor_w: f64,
+}
+
+impl PhysicalMedium {
+    /// Create a physical medium with the given PHY parameters.
+    pub fn new(phy: PhyParams) -> Self {
+        let floor_w = phy.cs_threshold_w;
+        PhysicalMedium { phy, floor_w }
+    }
+}
+
+impl Default for PhysicalMedium {
+    fn default() -> Self {
+        PhysicalMedium::new(PhyParams::default())
+    }
+}
+
+impl Medium for PhysicalMedium {
+    fn fan_out(
+        &mut self,
+        tx: NodeId,
+        positions: &[Pos],
+        _now: SimTime,
+        rng: &mut SimRng,
+        out: &mut Vec<RxPlan>,
+    ) {
+        let src = positions[tx.index()];
+        for (i, &pos) in positions.iter().enumerate() {
+            if i == tx.index() {
+                continue;
+            }
+            let d = src.distance_to(pos);
+            // Skip nodes whose *mean* power is hopelessly below the floor
+            // (fading is unit-mean; a 100x margin keeps the tail harmless
+            // while pruning the fan-out for large networks).
+            if self.phy.mean_rx_power_w(d) < self.floor_w / 100.0 {
+                continue;
+            }
+            let power = self.phy.sample_rx_power_w(d, rng);
+            if power < self.floor_w {
+                continue;
+            }
+            out.push(RxPlan {
+                node: NodeId::new(i as u32),
+                power_w: power,
+                delay: self.phy.propagation_delay(d),
+            });
+        }
+    }
+
+    fn phy(&self) -> &PhyParams {
+        &self.phy
+    }
+}
+
+/// Trace/table-driven medium: reception is a Bernoulli trial per directed
+/// link, ignoring positions and physics.
+///
+/// This models environments — like the paper's indoor testbed — where link
+/// quality is dominated by obstacles rather than distance. A lost frame is
+/// still delivered to the receiver *below the decode threshold*, so it
+/// occupies the channel (carrier sense, collisions) exactly like a real
+/// corrupted frame would.
+///
+/// Links absent from the table can never carry or interfere. Loss
+/// probabilities may be changed between events ([`LinkTableMedium::set_loss`])
+/// to model temporal variation.
+#[derive(Debug, Clone)]
+pub struct LinkTableMedium {
+    phy: PhyParams,
+    /// Directed link -> loss probability in `[0, 1]`.
+    links: std::collections::HashMap<(NodeId, NodeId), f64>,
+    /// Fixed propagation delay applied to every link.
+    delay: SimDuration,
+}
+
+impl LinkTableMedium {
+    /// Create an empty table medium (no links).
+    pub fn new() -> Self {
+        LinkTableMedium {
+            // Thresholds are kept from the default PHY; emitted powers are
+            // chosen relative to them.
+            phy: PhyParams::default(),
+            links: std::collections::HashMap::new(),
+            delay: SimDuration::from_nanos(200),
+        }
+    }
+
+    /// Add (or update) a **bidirectional** link with the given loss
+    /// probability in each direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not in `[0, 1]`.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, loss: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        self.links.insert((a, b), loss);
+        self.links.insert((b, a), loss);
+        self
+    }
+
+    /// Set the loss probability of one **directed** link (must exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link does not exist or `loss` is not in `[0, 1]`.
+    pub fn set_loss(&mut self, from: NodeId, to: NodeId, loss: f64) {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        let slot = self
+            .links
+            .get_mut(&(from, to))
+            .expect("link must be added before set_loss");
+        *slot = loss;
+    }
+
+    /// Current loss probability of a directed link, if present.
+    pub fn loss(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        self.links.get(&(from, to)).copied()
+    }
+
+    /// Directed links in the table.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+}
+
+impl Default for LinkTableMedium {
+    fn default() -> Self {
+        LinkTableMedium::new()
+    }
+}
+
+impl Medium for LinkTableMedium {
+    fn fan_out(
+        &mut self,
+        tx: NodeId,
+        positions: &[Pos],
+        _now: SimTime,
+        rng: &mut SimRng,
+        out: &mut Vec<RxPlan>,
+    ) {
+        for i in 0..positions.len() {
+            let node = NodeId::new(i as u32);
+            if node == tx {
+                continue;
+            }
+            let Some(&loss) = self.links.get(&(tx, node)) else {
+                continue;
+            };
+            let decodable = !rng.chance(loss);
+            let power = if decodable {
+                self.phy.rx_threshold_w * 10.0
+            } else {
+                // Below decode, above carrier sense: busies the channel.
+                self.phy.cs_threshold_w * 2.0
+            };
+            out.push(RxPlan {
+                node,
+                power_w: power,
+                delay: self.delay,
+            });
+        }
+    }
+
+    fn phy(&self) -> &PhyParams {
+        &self.phy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positions() -> Vec<Pos> {
+        vec![
+            Pos::new(0.0, 0.0),
+            Pos::new(100.0, 0.0),
+            Pos::new(400.0, 0.0),
+            Pos::new(5000.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn fan_out_excludes_sender() {
+        let mut m = PhysicalMedium::default();
+        let mut rng = SimRng::seed_from(1);
+        let mut out = Vec::new();
+        m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut out);
+        assert!(out.iter().all(|p| p.node != NodeId::new(0)));
+    }
+
+    #[test]
+    fn far_node_never_hears() {
+        let mut m = PhysicalMedium::default();
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..200 {
+            let mut out = Vec::new();
+            m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut out);
+            assert!(out.iter().all(|p| p.node != NodeId::new(3)));
+        }
+    }
+
+    #[test]
+    fn near_node_usually_hears_strongly() {
+        let mut m = PhysicalMedium::default();
+        let mut rng = SimRng::seed_from(3);
+        let mut decodable = 0;
+        let trials = 500;
+        for _ in 0..trials {
+            let mut out = Vec::new();
+            m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut out);
+            if out
+                .iter()
+                .any(|p| p.node == NodeId::new(1) && p.power_w >= m.phy().rx_threshold_w)
+            {
+                decodable += 1;
+            }
+        }
+        assert!(decodable as f64 / trials as f64 > 0.85);
+    }
+
+    #[test]
+    fn delays_increase_with_distance() {
+        let mut m = PhysicalMedium::new(PhyParams {
+            fading: crate::propagation::FadingModel::None,
+            ..PhyParams::default()
+        });
+        let mut rng = SimRng::seed_from(4);
+        let mut out = Vec::new();
+        m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut out);
+        let d1 = out.iter().find(|p| p.node == NodeId::new(1)).unwrap().delay;
+        let d2 = out.iter().find(|p| p.node == NodeId::new(2)).unwrap().delay;
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn no_fading_fan_out_is_deterministic() {
+        let mut m = PhysicalMedium::new(PhyParams {
+            fading: crate::propagation::FadingModel::None,
+            ..PhyParams::default()
+        });
+        let mut rng = SimRng::seed_from(5);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut a);
+        m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn link_table_respects_topology() {
+        let mut m = LinkTableMedium::new();
+        m.add_link(NodeId::new(0), NodeId::new(1), 0.0);
+        assert_eq!(m.num_links(), 2);
+        let mut rng = SimRng::seed_from(6);
+        let mut out = Vec::new();
+        m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].node, NodeId::new(1));
+        assert!(out[0].power_w >= m.phy().rx_threshold_w);
+        // Node 2 has no link from 0: never appears.
+        out.clear();
+        m.fan_out(NodeId::new(2), &positions(), SimTime::ZERO, &mut rng, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn link_table_loss_rate_matches_probability() {
+        let mut m = LinkTableMedium::new();
+        m.add_link(NodeId::new(0), NodeId::new(1), 0.4);
+        let mut rng = SimRng::seed_from(7);
+        let trials = 20_000;
+        let mut decoded = 0;
+        let mut out = Vec::new();
+        for _ in 0..trials {
+            out.clear();
+            m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut out);
+            // A lost frame is still sensed, just not decodable.
+            assert_eq!(out.len(), 1);
+            if out[0].power_w >= m.phy().rx_threshold_w {
+                decoded += 1;
+            }
+        }
+        let rate = decoded as f64 / trials as f64;
+        assert!((rate - 0.6).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn link_table_set_loss_updates_direction() {
+        let mut m = LinkTableMedium::new();
+        m.add_link(NodeId::new(0), NodeId::new(1), 0.1);
+        m.set_loss(NodeId::new(0), NodeId::new(1), 0.9);
+        assert_eq!(m.loss(NodeId::new(0), NodeId::new(1)), Some(0.9));
+        assert_eq!(m.loss(NodeId::new(1), NodeId::new(0)), Some(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn link_table_rejects_bad_loss() {
+        LinkTableMedium::new().add_link(NodeId::new(0), NodeId::new(1), 1.5);
+    }
+}

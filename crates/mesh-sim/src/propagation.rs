@@ -1,0 +1,386 @@
+//! Radio propagation models.
+//!
+//! The paper's simulations use the TwoRay ground-reflection model with
+//! Rayleigh fading (GloMoSim defaults); this module provides Friis free-space,
+//! TwoRay, optional log-normal shadowing, and per-frame Rayleigh fading, with
+//! the classic constants that yield a 250 m nominal communication range and a
+//! 550 m carrier-sense range at 2 Mbps.
+
+use crate::rng::SimRng;
+
+/// Speed of light in m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Deterministic large-scale path-loss models.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PathLossModel {
+    /// Friis free-space model (`1/d^2`).
+    FreeSpace,
+    /// Two-ray ground reflection: Friis below the crossover distance, `1/d^4`
+    /// beyond. This is the model the paper names.
+    #[default]
+    TwoRayGround,
+    /// Log-distance: Friis up to a reference distance `d0`, then
+    /// `1/d^exponent`. Exponents of 3-5 approximate obstructed indoor
+    /// environments like the paper's testbed floor (an alternative to the
+    /// table-driven testbed medium when physics-based variation is wanted).
+    LogDistance {
+        /// Path-loss exponent (free space = 2; indoor obstructed 3-5).
+        exponent: f64,
+        /// Reference distance in meters where Friis hands over.
+        reference_m: f64,
+    },
+}
+
+/// Stochastic small-scale fading applied per frame per link.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FadingModel {
+    /// No fading; reception is a pure function of distance.
+    None,
+    /// Rayleigh fading: received power is multiplied by a unit-mean
+    /// exponential gain, drawn independently per frame. Appropriate for
+    /// non-line-of-sight environments with many reflectors — the paper's
+    /// stated choice.
+    #[default]
+    Rayleigh,
+    /// Ricean fading with K-factor (ratio of line-of-sight to scattered
+    /// power). `K = 0` degenerates to Rayleigh.
+    Ricean {
+        /// Linear (not dB) K-factor.
+        k: f64,
+    },
+}
+
+/// Radio/PHY parameters shared by every node.
+///
+/// Defaults are the classic ns-2/GloMoSim 914 MHz WaveLAN constants: 281.8 mW
+/// transmit power, receive threshold 3.652e-10 W (≈250 m under TwoRay) and
+/// carrier-sense threshold 1.559e-11 W (≈550 m).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhyParams {
+    /// Transmit power in watts.
+    pub tx_power_w: f64,
+    /// Transmit antenna gain (linear).
+    pub tx_gain: f64,
+    /// Receive antenna gain (linear).
+    pub rx_gain: f64,
+    /// Antenna height above ground in meters (both ends).
+    pub antenna_height_m: f64,
+    /// Carrier frequency in Hz.
+    pub frequency_hz: f64,
+    /// System loss factor `L >= 1` (linear).
+    pub system_loss: f64,
+    /// Minimum power for successful decode, in watts.
+    pub rx_threshold_w: f64,
+    /// Minimum power for the channel to be sensed busy, in watts.
+    pub cs_threshold_w: f64,
+    /// Capture ratio: a frame is decodable during interference if it is this
+    /// factor (linear) stronger than the interferer.
+    pub capture_ratio: f64,
+    /// Large-scale path loss model.
+    pub path_loss: PathLossModel,
+    /// Small-scale fading model.
+    pub fading: FadingModel,
+    /// Log-normal shadowing standard deviation in dB (0 disables).
+    pub shadowing_sigma_db: f64,
+}
+
+impl Default for PhyParams {
+    fn default() -> Self {
+        PhyParams {
+            tx_power_w: 0.2818,
+            tx_gain: 1.0,
+            rx_gain: 1.0,
+            antenna_height_m: 1.5,
+            frequency_hz: 914e6,
+            system_loss: 1.0,
+            rx_threshold_w: 3.652e-10,
+            cs_threshold_w: 1.559e-11,
+            capture_ratio: 10.0,
+            path_loss: PathLossModel::TwoRayGround,
+            fading: FadingModel::Rayleigh,
+            shadowing_sigma_db: 0.0,
+        }
+    }
+}
+
+impl PhyParams {
+    /// Carrier wavelength in meters.
+    pub fn wavelength_m(&self) -> f64 {
+        SPEED_OF_LIGHT / self.frequency_hz
+    }
+
+    /// Crossover distance of the two-ray model: below it Friis applies,
+    /// beyond it the `1/d^4` ground-reflection term dominates.
+    pub fn crossover_distance_m(&self) -> f64 {
+        4.0 * std::f64::consts::PI * self.antenna_height_m * self.antenna_height_m
+            / self.wavelength_m()
+    }
+
+    /// Mean (unfaded) received power in watts at distance `d` meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is negative or NaN.
+    pub fn mean_rx_power_w(&self, d: f64) -> f64 {
+        assert!(d >= 0.0, "distance must be non-negative");
+        // Clamp tiny distances: co-located antennas receive at the reference
+        // distance of one wavelength rather than infinite power.
+        let d = d.max(self.wavelength_m());
+        let friis = |d: f64| {
+            let lambda = self.wavelength_m();
+            self.tx_power_w * self.tx_gain * self.rx_gain * lambda * lambda
+                / (16.0 * std::f64::consts::PI * std::f64::consts::PI * d * d * self.system_loss)
+        };
+        match self.path_loss {
+            PathLossModel::FreeSpace => friis(d),
+            PathLossModel::TwoRayGround => {
+                let dc = self.crossover_distance_m();
+                if d <= dc {
+                    friis(d)
+                } else {
+                    let h2 = self.antenna_height_m * self.antenna_height_m;
+                    self.tx_power_w * self.tx_gain * self.rx_gain * h2 * h2
+                        / (d * d * d * d * self.system_loss)
+                }
+            }
+            PathLossModel::LogDistance {
+                exponent,
+                reference_m,
+            } => {
+                let d0 = reference_m.max(self.wavelength_m());
+                if d <= d0 {
+                    friis(d)
+                } else {
+                    friis(d0) * (d0 / d).powf(exponent)
+                }
+            }
+        }
+    }
+
+    /// Sample the actual received power in watts for one frame at distance
+    /// `d`, applying shadowing and fading.
+    pub fn sample_rx_power_w(&self, d: f64, rng: &mut SimRng) -> f64 {
+        let mut p = self.mean_rx_power_w(d);
+        if self.shadowing_sigma_db > 0.0 {
+            let db = rng.normal_db(self.shadowing_sigma_db);
+            p *= 10f64.powf(db / 10.0);
+        }
+        match self.fading {
+            FadingModel::None => p,
+            FadingModel::Rayleigh => p * rng.rayleigh_power_gain(),
+            FadingModel::Ricean { k } => {
+                // Power gain of a Ricean channel: |sqrt(K/(K+1)) + X/sqrt(K+1)|^2
+                // with X complex normal; sampled via two gaussians.
+                let k = k.max(0.0);
+                let s = (k / (k + 1.0)).sqrt();
+                let sigma = (1.0 / (2.0 * (k + 1.0))).sqrt();
+                let re = s + sigma * rng.normal_db(1.0);
+                let im = sigma * rng.normal_db(1.0);
+                p * (re * re + im * im)
+            }
+        }
+    }
+
+    /// The deterministic (no-fading) communication range implied by the
+    /// receive threshold, found by bisection.
+    pub fn nominal_range_m(&self) -> f64 {
+        self.range_for_threshold(self.rx_threshold_w)
+    }
+
+    /// The deterministic carrier-sense range implied by the CS threshold.
+    pub fn carrier_sense_range_m(&self) -> f64 {
+        self.range_for_threshold(self.cs_threshold_w)
+    }
+
+    fn range_for_threshold(&self, thresh: f64) -> f64 {
+        let (mut lo, mut hi) = (0.1, 1.0e5);
+        if self.mean_rx_power_w(hi) >= thresh {
+            return hi;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.mean_rx_power_w(mid) >= thresh {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Propagation delay over `d` meters.
+    pub fn propagation_delay(&self, d: f64) -> crate::time::SimDuration {
+        crate::time::SimDuration::from_secs_f64(d / SPEED_OF_LIGHT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_range_is_250m() {
+        let p = PhyParams::default();
+        let r = p.nominal_range_m();
+        assert!(
+            (r - 250.0).abs() < 5.0,
+            "expected ~250m nominal range, got {r}"
+        );
+    }
+
+    #[test]
+    fn default_cs_range_is_550m() {
+        let p = PhyParams::default();
+        let r = p.carrier_sense_range_m();
+        assert!((r - 550.0).abs() < 12.0, "expected ~550m CS range, got {r}");
+    }
+
+    #[test]
+    fn power_monotonically_decreases() {
+        let p = PhyParams::default();
+        let mut last = f64::INFINITY;
+        for d in [1.0, 10.0, 50.0, 100.0, 200.0, 400.0, 800.0] {
+            let pw = p.mean_rx_power_w(d);
+            assert!(pw < last, "power should decrease with distance");
+            last = pw;
+        }
+    }
+
+    #[test]
+    fn two_ray_matches_friis_below_crossover() {
+        let mut p = PhyParams::default();
+        let dc = p.crossover_distance_m();
+        let d = dc * 0.5;
+        let two_ray = p.mean_rx_power_w(d);
+        p.path_loss = PathLossModel::FreeSpace;
+        let friis = p.mean_rx_power_w(d);
+        assert!((two_ray - friis).abs() / friis < 1e-12);
+    }
+
+    #[test]
+    fn two_ray_decays_faster_beyond_crossover() {
+        let p = PhyParams::default();
+        let dc = p.crossover_distance_m();
+        // Doubling the distance divides power by 16 in the d^4 regime.
+        let p1 = p.mean_rx_power_w(2.0 * dc);
+        let p2 = p.mean_rx_power_w(4.0 * dc);
+        assert!((p1 / p2 - 16.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn log_distance_matches_friis_at_reference() {
+        let ld = PhyParams {
+            path_loss: PathLossModel::LogDistance {
+                exponent: 3.5,
+                reference_m: 10.0,
+            },
+            ..PhyParams::default()
+        };
+        let fs = PhyParams {
+            path_loss: PathLossModel::FreeSpace,
+            ..PhyParams::default()
+        };
+        let at_ref = ld.mean_rx_power_w(10.0);
+        assert!((at_ref - fs.mean_rx_power_w(10.0)).abs() / at_ref < 1e-12);
+        // Beyond the reference, decay is steeper than free space.
+        assert!(ld.mean_rx_power_w(100.0) < fs.mean_rx_power_w(100.0));
+        // Exponent check: 10x distance past reference = 35 dB drop.
+        let ratio = ld.mean_rx_power_w(10.0) / ld.mean_rx_power_w(100.0);
+        assert!((ratio.log10() * 10.0 - 35.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn log_distance_monotone() {
+        let ld = PhyParams {
+            path_loss: PathLossModel::LogDistance {
+                exponent: 4.0,
+                reference_m: 5.0,
+            },
+            ..PhyParams::default()
+        };
+        let mut last = f64::INFINITY;
+        for d in [1.0, 4.0, 5.0, 6.0, 20.0, 100.0, 400.0] {
+            let p = ld.mean_rx_power_w(d);
+            assert!(p <= last * (1.0 + 1e-12), "at {d}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn rayleigh_fading_preserves_mean_power() {
+        let p = PhyParams::default();
+        let mut rng = SimRng::seed_from(11);
+        let d = 150.0;
+        let mean_model = p.mean_rx_power_w(d);
+        let n = 40_000;
+        let mean_sampled: f64 =
+            (0..n).map(|_| p.sample_rx_power_w(d, &mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (mean_sampled / mean_model - 1.0).abs() < 0.05,
+            "ratio={}",
+            mean_sampled / mean_model
+        );
+    }
+
+    #[test]
+    fn rayleigh_makes_long_links_lossy_but_not_dead() {
+        // At 200m (within nominal range) fading should cause some loss;
+        // at 300m (beyond range) fading should allow occasional reception.
+        let p = PhyParams::default();
+        let mut rng = SimRng::seed_from(13);
+        let trials = 20_000;
+        let recv_at = |d: f64, rng: &mut SimRng| {
+            (0..trials)
+                .filter(|_| p.sample_rx_power_w(d, rng) >= p.rx_threshold_w)
+                .count() as f64
+                / trials as f64
+        };
+        let p200 = recv_at(200.0, &mut rng);
+        let p300 = recv_at(300.0, &mut rng);
+        assert!(p200 > 0.6 && p200 < 1.0, "p200={p200}");
+        assert!(p300 > 0.0 && p300 < 0.5, "p300={p300}");
+        assert!(p200 > p300);
+    }
+
+    #[test]
+    fn ricean_large_k_approaches_no_fading() {
+        let mut p = PhyParams::default();
+        p.fading = FadingModel::Ricean { k: 1e6 };
+        let mut rng = SimRng::seed_from(17);
+        let d = 100.0;
+        let mean = p.mean_rx_power_w(d);
+        for _ in 0..100 {
+            let s = p.sample_rx_power_w(d, &mut rng);
+            assert!((s / mean - 1.0).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn shadowing_varies_power() {
+        let mut p = PhyParams::default();
+        p.fading = FadingModel::None;
+        p.shadowing_sigma_db = 6.0;
+        let mut rng = SimRng::seed_from(19);
+        let d = 100.0;
+        let a = p.sample_rx_power_w(d, &mut rng);
+        let b = p.sample_rx_power_w(d, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn propagation_delay_scale() {
+        let p = PhyParams::default();
+        let d = p.propagation_delay(300.0);
+        // 300 m at light speed ≈ 1 microsecond.
+        assert!((d.as_secs_f64() - 1.0e-6).abs() < 2e-8);
+    }
+
+    #[test]
+    fn tiny_distance_clamped() {
+        let p = PhyParams::default();
+        let at_zero = p.mean_rx_power_w(0.0);
+        assert!(at_zero.is_finite());
+        assert!(at_zero >= p.mean_rx_power_w(1.0));
+    }
+}

@@ -1,0 +1,93 @@
+//! The protocol trait implemented by network-layer code running on each node.
+
+use crate::ids::{NodeId, TimerId, TxHandle};
+use crate::time::SimTime;
+use crate::world::Ctx;
+
+/// Metadata attached to a received message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RxMeta {
+    /// Arrival time (end of the frame).
+    pub at: SimTime,
+    /// Received power in watts.
+    pub power_w: f64,
+}
+
+/// Final outcome of a transmission request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// Frame left the radio successfully (for unicast: ACKed).
+    Sent,
+    /// Unicast abandoned after exhausting MAC retries.
+    Failed {
+        /// Total retry attempts made.
+        retries: u32,
+    },
+}
+
+impl TxOutcome {
+    /// Whether the transmission succeeded.
+    pub fn is_sent(self) -> bool {
+        matches!(self, TxOutcome::Sent)
+    }
+}
+
+/// A network-layer protocol instance, one per node.
+///
+/// All interaction with the simulated world happens through the [`Ctx`]
+/// passed to each callback. Implementations should be deterministic given
+/// the RNG stream offered by the context.
+///
+/// # Examples
+///
+/// A protocol that floods a single message once and counts deliveries:
+///
+/// ```
+/// use mesh_sim::prelude::*;
+///
+/// struct Flood { origin: bool, got: u32 }
+///
+/// impl Protocol for Flood {
+///     type Msg = u64;
+///     fn start(&mut self, ctx: &mut Ctx<'_, u64>) {
+///         if self.origin {
+///             ctx.send_broadcast(7, 64, 0).expect("queue empty at start");
+///         }
+///     }
+///     fn handle_message(&mut self, _ctx: &mut Ctx<'_, u64>, _src: NodeId,
+///                       _msg: &u64, _meta: RxMeta) {
+///         self.got += 1;
+///     }
+///     fn handle_timer(&mut self, _ctx: &mut Ctx<'_, u64>, _timer: TimerId, _kind: u64) {}
+/// }
+/// ```
+pub trait Protocol: Sized {
+    /// The message type this protocol exchanges.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Called once at simulation start (time zero), in node-id order.
+    fn start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// A message was received (link-layer broadcast heard, or unicast
+    /// addressed to this node).
+    fn handle_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg>,
+        src: NodeId,
+        msg: &Self::Msg,
+        meta: RxMeta,
+    );
+
+    /// A timer armed via [`Ctx::set_timer`] fired.
+    fn handle_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, timer: TimerId, kind: u64);
+
+    /// A transmission queued earlier completed (default: ignored).
+    fn handle_tx_complete(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg>,
+        handle: TxHandle,
+        outcome: TxOutcome,
+    ) {
+        let _ = (ctx, handle, outcome);
+    }
+}

@@ -1,0 +1,191 @@
+//! Topology generation: node placements and connectivity checks.
+//!
+//! The paper's simulations place 50 static nodes uniformly at random in a
+//! 1000 m × 1000 m area and rely on the topology being connected at the
+//! nominal 250 m range; [`random_connected`] reproduces that procedure,
+//! resampling until the disk graph is connected.
+
+use crate::geometry::{Area, Pos};
+use crate::rng::SimRng;
+
+/// Place `n` nodes uniformly at random in `area`.
+pub fn random_placement(n: usize, area: Area, rng: &mut SimRng) -> Vec<Pos> {
+    (0..n)
+        .map(|_| {
+            Pos::new(
+                rng.uniform_range(0.0, area.width),
+                rng.uniform_range(0.0, area.height),
+            )
+        })
+        .collect()
+}
+
+/// Place `n` nodes uniformly at random, resampling until the unit-disk graph
+/// with the given `range` is connected.
+///
+/// # Panics
+///
+/// Panics if no connected placement is found within `max_attempts` tries —
+/// a sign the density is far too low for the requested range.
+pub fn random_connected(
+    n: usize,
+    area: Area,
+    range: f64,
+    rng: &mut SimRng,
+    max_attempts: usize,
+) -> Vec<Pos> {
+    for _ in 0..max_attempts {
+        let placement = random_placement(n, area, rng);
+        if is_connected(&placement, range) {
+            return placement;
+        }
+    }
+    panic!(
+        "no connected {n}-node placement in {area} at range {range}m after {max_attempts} attempts"
+    );
+}
+
+/// Evenly spaced chain along the x axis with the given spacing.
+pub fn chain(n: usize, spacing: f64) -> Vec<Pos> {
+    (0..n).map(|i| Pos::new(i as f64 * spacing, 0.0)).collect()
+}
+
+/// `cols × rows` grid with the given spacing.
+pub fn grid(cols: usize, rows: usize, spacing: f64) -> Vec<Pos> {
+    let mut out = Vec::with_capacity(cols * rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            out.push(Pos::new(c as f64 * spacing, r as f64 * spacing));
+        }
+    }
+    out
+}
+
+/// Whether the unit-disk graph over `positions` with `range` is connected.
+pub fn is_connected(positions: &[Pos], range: f64) -> bool {
+    let n = positions.len();
+    if n <= 1 {
+        return true;
+    }
+    let range_sq = range * range;
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(i) = stack.pop() {
+        for j in 0..n {
+            if !seen[j] && positions[i].distance_sq(positions[j]) <= range_sq {
+                seen[j] = true;
+                count += 1;
+                stack.push(j);
+            }
+        }
+    }
+    count == n
+}
+
+/// Neighbor lists of the unit-disk graph over `positions` with `range`.
+pub fn disk_graph(positions: &[Pos], range: f64) -> Vec<Vec<usize>> {
+    let n = positions.len();
+    let range_sq = range * range;
+    let mut adj = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if positions[i].distance_sq(positions[j]) <= range_sq {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    adj
+}
+
+/// Hop distances from `src` in the unit-disk graph (BFS); `usize::MAX` marks
+/// unreachable nodes.
+pub fn hop_distances(positions: &[Pos], range: f64, src: usize) -> Vec<usize> {
+    let adj = disk_graph(positions, range);
+    let mut dist = vec![usize::MAX; positions.len()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(i) = queue.pop_front() {
+        for &j in &adj[i] {
+            if dist[j] == usize::MAX {
+                dist[j] = dist[i] + 1;
+                queue.push_back(j);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_connected_at_spacing() {
+        let c = chain(10, 100.0);
+        assert!(is_connected(&c, 100.0));
+        assert!(!is_connected(&c, 99.0));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 2, 50.0);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[5], Pos::new(100.0, 50.0));
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = SimRng::seed_from(21);
+        let area = Area::square(1000.0);
+        let p = random_connected(50, area, 250.0, &mut rng, 1000);
+        assert_eq!(p.len(), 50);
+        assert!(is_connected(&p, 250.0));
+        assert!(p.iter().all(|&pos| area.contains(pos)));
+    }
+
+    #[test]
+    fn random_placement_is_deterministic_per_seed() {
+        let area = Area::square(500.0);
+        let a = random_placement(10, area, &mut SimRng::seed_from(5));
+        let b = random_placement(10, area, &mut SimRng::seed_from(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_and_empty_graphs_connected() {
+        assert!(is_connected(&[], 10.0));
+        assert!(is_connected(&[Pos::new(0.0, 0.0)], 10.0));
+    }
+
+    #[test]
+    fn hop_distances_on_chain() {
+        let c = chain(5, 100.0);
+        let d = hop_distances(&c, 100.0, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d2 = hop_distances(&c, 100.0, 2);
+        assert_eq!(d2, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn hop_distances_unreachable() {
+        let p = vec![Pos::new(0.0, 0.0), Pos::new(1000.0, 0.0)];
+        let d = hop_distances(&p, 100.0, 0);
+        assert_eq!(d[1], usize::MAX);
+    }
+
+    #[test]
+    fn disk_graph_symmetry() {
+        let mut rng = SimRng::seed_from(9);
+        let p = random_placement(20, Area::square(400.0), &mut rng);
+        let adj = disk_graph(&p, 150.0);
+        for (i, ns) in adj.iter().enumerate() {
+            for &j in ns {
+                assert!(adj[j].contains(&i));
+            }
+        }
+    }
+}

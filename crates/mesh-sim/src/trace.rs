@@ -1,0 +1,186 @@
+//! Structured event tracing.
+//!
+//! A [`TraceSink`] attached to the world receives one [`TraceRecord`] per
+//! PHY/MAC event — transmissions, decodes, losses — independent of the
+//! protocol message type. Tests use it to assert exact MAC sequences
+//! (RTS → CTS → DATA → ACK); debugging uses the bounded [`RingTrace`].
+
+use crate::ids::NodeId;
+use crate::time::SimTime;
+
+/// What kind of frame an event concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Request-to-send.
+    Rts,
+    /// Clear-to-send.
+    Cts,
+    /// Link-layer acknowledgment.
+    Ack,
+    /// Data frame (broadcast or unicast).
+    Data,
+}
+
+/// Why a reception failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossReason {
+    /// Destroyed by a collision (neither frame survived).
+    Collision,
+    /// A stronger frame captured the receiver.
+    Captured,
+    /// Power below the decode threshold.
+    BelowThreshold,
+    /// The radio was transmitting.
+    WhileTx,
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceRecord {
+    /// `node` put a frame on the air.
+    TxStart {
+        /// Transmitting node.
+        node: NodeId,
+        /// Frame kind.
+        kind: FrameKind,
+        /// Unicast destination, `None` for broadcast.
+        dst: Option<NodeId>,
+        /// On-air size in bytes.
+        bytes: u32,
+        /// When the transmission began.
+        at: SimTime,
+    },
+    /// `node` decoded a frame intact.
+    RxOk {
+        /// Receiving node.
+        node: NodeId,
+        /// Originating node.
+        src: NodeId,
+        /// Frame kind.
+        kind: FrameKind,
+        /// When decoding finished.
+        at: SimTime,
+    },
+    /// An arrival at `node` was not decodable.
+    RxLost {
+        /// Receiving node.
+        node: NodeId,
+        /// Why it was lost.
+        reason: LossReason,
+        /// When the loss was determined (arrival start).
+        at: SimTime,
+    },
+}
+
+impl TraceRecord {
+    /// The simulated time of the event.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceRecord::TxStart { at, .. }
+            | TraceRecord::RxOk { at, .. }
+            | TraceRecord::RxLost { at, .. } => at,
+        }
+    }
+}
+
+/// Receives trace records as the simulation runs.
+pub trait TraceSink: std::fmt::Debug {
+    /// Called once per traced event, in simulation order.
+    fn record(&mut self, record: TraceRecord);
+
+    /// Downcasting support so callers can recover the concrete sink after
+    /// [`take_trace`](crate::world::World::take_trace).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// A bounded in-memory trace, dropping the oldest records when full.
+#[derive(Debug)]
+pub struct RingTrace {
+    cap: usize,
+    records: std::collections::VecDeque<TraceRecord>,
+}
+
+impl RingTrace {
+    /// Create a ring holding up to `cap` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "trace capacity must be positive");
+        RingTrace {
+            cap,
+            records: std::collections::VecDeque::with_capacity(cap.min(4096)),
+        }
+    }
+
+    /// The records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl TraceSink for RingTrace {
+    fn record(&mut self, record: TraceRecord) {
+        if self.records.len() == self.cap {
+            self.records.pop_front();
+        }
+        self.records.push_back(record);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(node: u32, at_ns: u64) -> TraceRecord {
+        TraceRecord::TxStart {
+            node: NodeId::new(node),
+            kind: FrameKind::Data,
+            dst: None,
+            bytes: 100,
+            at: SimTime::from_nanos(at_ns),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest() {
+        let mut r = RingTrace::new(3);
+        for i in 0..5 {
+            r.record(tx(i, i as u64));
+        }
+        assert_eq!(r.len(), 3);
+        let ats: Vec<u64> = r.records().map(|x| x.at().as_nanos()).collect();
+        assert_eq!(ats, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn record_time_accessor() {
+        let rec = TraceRecord::RxLost {
+            node: NodeId::new(1),
+            reason: LossReason::Collision,
+            at: SimTime::from_nanos(7),
+        };
+        assert_eq!(rec.at().as_nanos(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = RingTrace::new(0);
+    }
+}

@@ -1,0 +1,982 @@
+//! The simulation world: event dispatch, PHY reception, and the 802.11 DCF
+//! state-machine driver.
+//!
+//! [`World`] owns everything except the protocol instances; protocol code
+//! interacts with it through [`Ctx`], and the world talks back through
+//! internal upcalls that the [`crate::simulator::Simulator`] routes to protocols.
+
+use std::collections::HashSet;
+
+use crate::counters::{Counters, NodeCounters};
+use crate::event::{EventKind, EventQueue};
+use crate::frame::{Frame, FrameBody, FrameSlab};
+use crate::geometry::Pos;
+use crate::ids::{FrameId, NodeId, TimerId, TxHandle};
+use crate::mac::{CtrlResponse, Mac, MacParams, MacState, OutFrame};
+use crate::medium::{Medium, RxPlan};
+use crate::protocol::{RxMeta, TxOutcome};
+use crate::radio::{ArrivalOutcome, Radio};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::mobility::Mobility;
+use crate::trace::{FrameKind as TraceFrameKind, LossReason, TraceRecord, TraceSink};
+
+/// Error returned when a transmit queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFullError;
+
+impl std::fmt::Display for QueueFullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MAC transmit queue is full")
+    }
+}
+
+impl std::error::Error for QueueFullError {}
+
+/// Error for invalid send targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The MAC transmit queue is full (drop-tail).
+    QueueFull,
+    /// Destination equals the sender or does not exist.
+    BadDestination,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::QueueFull => write!(f, "MAC transmit queue is full"),
+            SendError::BadDestination => write!(f, "invalid destination node"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Notifications from the world to a protocol instance.
+#[derive(Debug)]
+pub(crate) enum Upcall<M> {
+    Deliver {
+        node: NodeId,
+        src: NodeId,
+        msg: M,
+        meta: RxMeta,
+    },
+    TxDone {
+        node: NodeId,
+        handle: TxHandle,
+        outcome: TxOutcome,
+    },
+    Timer {
+        node: NodeId,
+        timer: TimerId,
+        kind: u64,
+    },
+}
+
+/// World configuration.
+#[derive(Debug, Clone, Default)]
+pub struct WorldConfig {
+    /// MAC parameters shared by all nodes.
+    pub mac: MacParams,
+    /// Seed for the world's RNG stream (fading, backoff, jitter).
+    pub seed: u64,
+}
+
+/// Everything in the simulation except the protocol instances.
+pub struct World<M> {
+    now: SimTime,
+    queue: EventQueue,
+    positions: Vec<Pos>,
+    radios: Vec<Radio>,
+    macs: Vec<Mac<M>>,
+    frames: FrameSlab<M>,
+    medium: Box<dyn Medium>,
+    params: MacParams,
+    rng: SimRng,
+    counters: Counters,
+    node_counters: Vec<NodeCounters>,
+    cancelled_timers: HashSet<u64>,
+    timer_seq: u64,
+    handle_seq: u64,
+    mac_seq: u64,
+    fan_buf: Vec<RxPlan>,
+    trace: Option<Box<dyn TraceSink>>,
+    mobility: Option<Box<dyn Mobility>>,
+}
+
+impl<M> std::fmt::Debug for World<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("nodes", &self.positions.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<M: Clone + std::fmt::Debug> World<M> {
+    /// Create a world with one node per entry of `positions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.mac` is internally inconsistent
+    /// (see [`MacParams::validate`]).
+    pub fn new(positions: Vec<Pos>, medium: Box<dyn Medium>, config: WorldConfig) -> Self {
+        config.mac.validate();
+        let n = positions.len();
+        let mut macs: Vec<Mac<M>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut m = Mac::default();
+            m.cw = config.mac.cw_min;
+            macs.push(m);
+        }
+        World {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            positions,
+            radios: vec![Radio::default(); n],
+            macs,
+            frames: FrameSlab::new(),
+            medium,
+            params: config.mac,
+            rng: SimRng::seed_from(config.seed),
+            counters: Counters::default(),
+            node_counters: vec![NodeCounters::default(); n],
+            cancelled_timers: HashSet::new(),
+            timer_seq: 0,
+            handle_seq: 0,
+            mac_seq: 0,
+            fan_buf: Vec::new(),
+            trace: None,
+            mobility: None,
+        }
+    }
+
+    /// Attach a mobility model; positions update from the next event on.
+    pub fn set_mobility(&mut self, mut model: Box<dyn Mobility>) {
+        if let Some(next) = model.step(self.now, &mut self.positions, &mut self.rng) {
+            self.queue.push(next, EventKind::MobilityTick);
+        }
+        self.mobility = Some(model);
+    }
+
+    /// Attach a trace sink receiving every PHY/MAC event from now on.
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Detach and return the current trace sink, if any.
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    fn trace(&mut self, record: TraceRecord) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(record);
+        }
+    }
+
+    fn trace_kind(body: &FrameBody<M>) -> TraceFrameKind {
+        match body {
+            FrameBody::Rts { .. } => TraceFrameKind::Rts,
+            FrameBody::Cts { .. } => TraceFrameKind::Cts,
+            FrameBody::Ack { .. } => TraceFrameKind::Ack,
+            FrameBody::Data { .. } => TraceFrameKind::Data,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Position of a node.
+    pub fn position(&self, node: NodeId) -> Pos {
+        self.positions[node.index()]
+    }
+
+    /// Run statistics so far.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Per-node statistics so far (indexed by node id).
+    pub fn node_counters(&self) -> &[NodeCounters] {
+        &self.node_counters
+    }
+
+    /// MAC parameters in effect.
+    pub fn mac_params(&self) -> &MacParams {
+        &self.params
+    }
+
+    /// Number of frames currently on the medium (test/leak hook).
+    pub fn frames_in_flight(&self) -> usize {
+        self.frames.live()
+    }
+
+    // ------------------------------------------------------------------
+    // Event processing
+    // ------------------------------------------------------------------
+
+    /// Pop and process a single event at or before `limit`, appending any
+    /// protocol notifications to `upcalls`. Returns `false` when no such
+    /// event exists.
+    pub(crate) fn step(&mut self, limit: SimTime, upcalls: &mut Vec<Upcall<M>>) -> bool {
+        let Some(ev) = self.queue.pop_if_at_or_before(limit) else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.counters.events += 1;
+        match ev.kind {
+            EventKind::MacTimer { node, gen } => self.on_mac_timer(node, gen, upcalls),
+            EventKind::CtrlTimer { node, gen } => self.on_ctrl_timer(node, gen),
+            EventKind::TxEnd { node, frame } => self.on_tx_end(node, frame, upcalls),
+            EventKind::RxStart {
+                node,
+                frame,
+                power_w,
+            } => self.on_rx_start(node, frame, power_w),
+            EventKind::RxEnd {
+                node,
+                frame,
+                power_w,
+            } => self.on_rx_end(node, frame, power_w, upcalls),
+            EventKind::ProtoTimer { node, timer, kind } => {
+                if !self.cancelled_timers.remove(&timer.0) {
+                    upcalls.push(Upcall::Timer { node, timer, kind });
+                }
+            }
+            EventKind::MobilityTick => {
+                if let Some(model) = self.mobility.as_mut() {
+                    if let Some(next) =
+                        model.step(self.now, &mut self.positions, &mut self.rng)
+                    {
+                        self.queue.push(next, EventKind::MobilityTick);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Advance the clock to `t` without processing events (used at the end of
+    /// a bounded run).
+    pub(crate) fn advance_clock(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol-facing operations (via Ctx)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn set_timer(&mut self, node: NodeId, delay: SimDuration, kind: u64) -> TimerId {
+        self.timer_seq += 1;
+        let id = TimerId(self.timer_seq);
+        self.queue.push(
+            self.now + delay,
+            EventKind::ProtoTimer {
+                node,
+                timer: id,
+                kind,
+            },
+        );
+        id
+    }
+
+    pub(crate) fn cancel_timer(&mut self, timer: TimerId) {
+        self.cancelled_timers.insert(timer.0);
+    }
+
+    pub(crate) fn send_data(
+        &mut self,
+        node: NodeId,
+        dst: Option<NodeId>,
+        msg: M,
+        bytes: u32,
+        class: u8,
+    ) -> Result<TxHandle, SendError> {
+        if let Some(d) = dst {
+            if d == node || d.index() >= self.positions.len() {
+                return Err(SendError::BadDestination);
+            }
+        }
+        if self.macs[node.index()].queue.len() >= self.params.queue_cap {
+            self.counters.queue_drops += 1;
+            return Err(SendError::QueueFull);
+        }
+        self.handle_seq += 1;
+        self.mac_seq += 1;
+        let handle = TxHandle(self.handle_seq);
+        let was_empty = self.macs[node.index()].queue.is_empty();
+        let mac_seq = self.mac_seq;
+        self.macs[node.index()].queue.push_back(OutFrame {
+            dst,
+            msg,
+            bytes,
+            class,
+            handle,
+            mac_seq,
+        });
+        if was_empty && self.macs[node.index()].state == MacState::Idle {
+            self.new_head(node);
+        }
+        Ok(handle)
+    }
+
+    // ------------------------------------------------------------------
+    // MAC driver
+    // ------------------------------------------------------------------
+
+    /// A frame has just become head-of-queue: draw its backoff and contend.
+    fn new_head(&mut self, node: NodeId) {
+        let mac = &mut self.macs[node.index()];
+        debug_assert!(!mac.queue.is_empty());
+        mac.reset_contention(self.params.cw_min);
+        let cw = mac.cw;
+        mac.backoff_slots = self.rng.uniform_u32(cw + 1);
+        self.contend(node);
+    }
+
+    /// Begin (or resume) contention for the head frame.
+    fn contend(&mut self, node: NodeId) {
+        let i = node.index();
+        if self.radios[i].busy_with_nav(self.now) {
+            self.macs[i].state = MacState::WaitChannel;
+            let gen = self.macs[i].bump_timer();
+            if let Some(h) = self.radios[i].busy_horizon(self.now) {
+                // Busy only due to lingering energy/NAV: wake when it lapses.
+                self.queue.push(h, EventKind::MacTimer { node, gen });
+            }
+            // Otherwise an RxEnd/TxEnd will call `channel_maybe_idle`.
+        } else {
+            self.macs[i].state = MacState::Difs;
+            let gen = self.macs[i].bump_timer();
+            self.queue
+                .push(self.now + self.params.difs, EventKind::MacTimer { node, gen });
+        }
+    }
+
+    /// Energy appeared at `node` (or it started transmitting): freeze DCF.
+    fn channel_became_busy(&mut self, node: NodeId) {
+        let i = node.index();
+        match self.macs[i].state {
+            MacState::Difs => {
+                self.macs[i].bump_timer();
+                self.macs[i].state = MacState::WaitChannel;
+            }
+            MacState::Backoff { slot_start } => {
+                let elapsed = self.now.saturating_since(slot_start).as_nanos()
+                    / self.params.slot.as_nanos().max(1);
+                let mac = &mut self.macs[i];
+                mac.backoff_slots = mac.backoff_slots.saturating_sub(elapsed as u32);
+                mac.bump_timer();
+                mac.state = MacState::WaitChannel;
+            }
+            _ => {}
+        }
+    }
+
+    /// The channel at `node` may have gone idle: resume contention if waiting.
+    fn channel_maybe_idle(&mut self, node: NodeId) {
+        let i = node.index();
+        if self.macs[i].state == MacState::WaitChannel {
+            if !self.radios[i].busy_with_nav(self.now) {
+                self.macs[i].state = MacState::Difs;
+                let gen = self.macs[i].bump_timer();
+                self.queue
+                    .push(self.now + self.params.difs, EventKind::MacTimer { node, gen });
+            } else if let Some(h) = self.radios[i].busy_horizon(self.now) {
+                let gen = self.macs[i].bump_timer();
+                self.queue.push(h, EventKind::MacTimer { node, gen });
+            }
+        }
+    }
+
+    fn on_mac_timer(&mut self, node: NodeId, gen: u64, upcalls: &mut Vec<Upcall<M>>) {
+        let i = node.index();
+        if gen != self.macs[i].timer_gen {
+            return; // stale
+        }
+        match self.macs[i].state {
+            MacState::WaitChannel => self.channel_maybe_idle(node),
+            MacState::Difs => {
+                debug_assert!(!self.radios[i].busy_with_nav(self.now));
+                if self.macs[i].backoff_slots == 0 {
+                    self.transmit_head(node);
+                } else {
+                    let slots = self.macs[i].backoff_slots;
+                    self.macs[i].state = MacState::Backoff {
+                        slot_start: self.now,
+                    };
+                    let gen = self.macs[i].bump_timer();
+                    self.queue.push(
+                        self.now + self.params.slot.saturating_mul(slots as u64),
+                        EventKind::MacTimer { node, gen },
+                    );
+                }
+            }
+            MacState::Backoff { .. } => {
+                self.macs[i].backoff_slots = 0;
+                self.transmit_head(node);
+            }
+            MacState::WaitCts => {
+                self.counters.retries += 1;
+                self.retry_head(node, true, upcalls);
+            }
+            MacState::WaitAck => {
+                self.counters.retries += 1;
+                let long = self.head_uses_rts(node);
+                self.retry_head(node, !long, upcalls);
+            }
+            MacState::SifsBeforeData => self.transmit_data(node),
+            MacState::Idle | MacState::TxData | MacState::TxRts => {
+                debug_assert!(false, "MAC timer fired in state {:?}", self.macs[i].state);
+            }
+        }
+    }
+
+    fn head_uses_rts(&self, node: NodeId) -> bool {
+        let mac = &self.macs[node.index()];
+        match mac.queue.front() {
+            Some(f) => f.dst.is_some() && f.bytes >= self.params.rts_threshold_bytes,
+            None => false,
+        }
+    }
+
+    /// Contention won: send either an RTS or the data frame itself.
+    fn transmit_head(&mut self, node: NodeId) {
+        if self.head_uses_rts(node) {
+            let (dst, bytes) = {
+                let f = self.macs[node.index()].queue.front().expect("head exists");
+                (f.dst.expect("unicast"), f.bytes)
+            };
+            let nav = self.params.rts_nav(bytes);
+            self.macs[node.index()].state = MacState::TxRts;
+            let rts_bytes = self.params.rts_bytes;
+            self.counters.tx_ctrl_frames += 1;
+            self.counters.tx_ctrl_bytes += rts_bytes as u64;
+            self.node_counters[node.index()].tx_ctrl_frames += 1;
+            self.transmit_frame(
+                node,
+                FrameBody::Rts { dst, nav },
+                rts_bytes,
+                self.params.ctrl_airtime(rts_bytes),
+            );
+        } else {
+            self.transmit_data(node);
+        }
+    }
+
+    fn transmit_data(&mut self, node: NodeId) {
+        let (body, bytes, class) = {
+            let f = self.macs[node.index()].queue.front().expect("head exists");
+            (
+                FrameBody::Data {
+                    dst: f.dst,
+                    msg: f.msg.clone(),
+                    class: f.class,
+                    handle: f.handle,
+                    mac_seq: f.mac_seq,
+                },
+                f.bytes,
+                f.class,
+            )
+        };
+        self.macs[node.index()].state = MacState::TxData;
+        self.counters.record_tx_data(class, bytes as u64);
+        let air = self.params.data_airtime(bytes);
+        let nc = &mut self.node_counters[node.index()];
+        nc.tx_data_frames += 1;
+        nc.tx_data_bytes += bytes as u64;
+        self.transmit_frame(node, body, bytes, air);
+    }
+
+    /// Put a frame on the air: radio TX, fan-out to receivers, TxEnd event.
+    fn transmit_frame(&mut self, node: NodeId, body: FrameBody<M>, bytes: u32, air: SimDuration) {
+        if self.trace.is_some() {
+            self.trace(TraceRecord::TxStart {
+                node,
+                kind: Self::trace_kind(&body),
+                dst: body_dst(&body),
+                bytes,
+                at: self.now,
+            });
+        }
+        let end = self.now + air;
+        self.node_counters[node.index()].airtime_ns += air.as_nanos();
+        self.radios[node.index()].start_tx(end);
+        self.channel_became_busy(node);
+
+        self.fan_buf.clear();
+        self.medium
+            .fan_out(node, &self.positions, self.now, &mut self.rng, &mut self.fan_buf);
+        let refs = self.fan_buf.len() as u32 + 1;
+        let id = self.frames.insert(Frame {
+            src: node,
+            body,
+            bytes,
+            duration: air,
+            refs,
+        });
+        for plan in &self.fan_buf {
+            self.queue.push(
+                self.now + plan.delay,
+                EventKind::RxStart {
+                    node: plan.node,
+                    frame: id,
+                    power_w: plan.power_w,
+                },
+            );
+            self.queue.push(
+                self.now + plan.delay + air,
+                EventKind::RxEnd {
+                    node: plan.node,
+                    frame: id,
+                    power_w: plan.power_w,
+                },
+            );
+        }
+        self.queue.push(end, EventKind::TxEnd { node, frame: id });
+    }
+
+    fn on_tx_end(&mut self, node: NodeId, frame: FrameId, upcalls: &mut Vec<Upcall<M>>) {
+        let i = node.index();
+        self.radios[i].end_tx();
+
+        enum After {
+            Nothing,
+            RtsSent,
+            BroadcastDone(TxHandle),
+            UnicastSent,
+        }
+        let after = match self.frames.get(frame).map(|f| &f.body) {
+            Some(FrameBody::Rts { .. }) => After::RtsSent,
+            Some(FrameBody::Data { dst: None, handle, .. }) => After::BroadcastDone(*handle),
+            Some(FrameBody::Data { dst: Some(_), .. }) => After::UnicastSent,
+            Some(FrameBody::Cts { .. }) | Some(FrameBody::Ack { .. }) => After::Nothing,
+            None => After::Nothing,
+        };
+        self.frames.release(frame);
+
+        match after {
+            After::RtsSent => {
+                debug_assert_eq!(self.macs[i].state, MacState::TxRts);
+                self.macs[i].state = MacState::WaitCts;
+                let gen = self.macs[i].bump_timer();
+                self.queue.push(
+                    self.now + self.params.cts_timeout(),
+                    EventKind::MacTimer { node, gen },
+                );
+            }
+            After::BroadcastDone(handle) => {
+                debug_assert_eq!(self.macs[i].state, MacState::TxData);
+                upcalls.push(Upcall::TxDone {
+                    node,
+                    handle,
+                    outcome: TxOutcome::Sent,
+                });
+                self.finish_head(node);
+            }
+            After::UnicastSent => {
+                debug_assert_eq!(self.macs[i].state, MacState::TxData);
+                self.macs[i].state = MacState::WaitAck;
+                let gen = self.macs[i].bump_timer();
+                self.queue.push(
+                    self.now + self.params.ack_timeout(),
+                    EventKind::MacTimer { node, gen },
+                );
+            }
+            After::Nothing => {}
+        }
+        self.channel_maybe_idle(node);
+    }
+
+    /// Head frame is done (success or abandoned): move to the next one.
+    fn finish_head(&mut self, node: NodeId) {
+        let mac = &mut self.macs[node.index()];
+        mac.queue.pop_front();
+        mac.reset_contention(self.params.cw_min);
+        if mac.queue.is_empty() {
+            mac.state = MacState::Idle;
+            mac.bump_timer();
+        } else {
+            self.new_head(node);
+        }
+    }
+
+    /// A unicast attempt failed (no CTS / no ACK): retry or abandon.
+    fn retry_head(&mut self, node: NodeId, short: bool, upcalls: &mut Vec<Upcall<M>>) {
+        let i = node.index();
+        let over = {
+            let mac = &mut self.macs[i];
+            if short {
+                mac.short_retries += 1;
+                mac.short_retries > self.params.short_retry_limit
+            } else {
+                mac.long_retries += 1;
+                mac.long_retries > self.params.long_retry_limit
+            }
+        };
+        if over {
+            self.counters.unicast_failures += 1;
+            let (handle, retries) = {
+                let mac = &self.macs[i];
+                let f = mac.queue.front().expect("head exists");
+                (f.handle, mac.short_retries + mac.long_retries)
+            };
+            upcalls.push(Upcall::TxDone {
+                node,
+                handle,
+                outcome: TxOutcome::Failed { retries },
+            });
+            self.finish_head(node);
+        } else {
+            let mac = &mut self.macs[i];
+            mac.cw = self.params.next_cw(mac.cw);
+            let cw = mac.cw;
+            mac.backoff_slots = self.rng.uniform_u32(cw + 1);
+            self.contend(node);
+        }
+    }
+
+    fn on_rx_start(&mut self, node: NodeId, frame: FrameId, power_w: f64) {
+        let i = node.index();
+        let Some(f) = self.frames.get(frame) else {
+            debug_assert!(false, "RxStart for dead frame");
+            return;
+        };
+        let end = self.now + f.duration;
+        let phy = self.medium.phy();
+        let outcome = self.radios[i].arrival(
+            frame,
+            power_w,
+            end,
+            phy.rx_threshold_w,
+            phy.capture_ratio,
+        );
+        let loss = match outcome {
+            ArrivalOutcome::StartedRx => None,
+            ArrivalOutcome::CapturedOver => {
+                self.counters.capture_losses += 1;
+                Some(LossReason::Captured)
+            }
+            ArrivalOutcome::LostToStronger => {
+                self.counters.capture_losses += 1;
+                Some(LossReason::Captured)
+            }
+            ArrivalOutcome::Collision => {
+                self.counters.collisions += 1;
+                self.node_counters[i].collisions += 1;
+                Some(LossReason::Collision)
+            }
+            ArrivalOutcome::BelowRxThreshold => {
+                self.counters.below_rx_threshold += 1;
+                Some(LossReason::BelowThreshold)
+            }
+            ArrivalOutcome::WhileTx => {
+                self.counters.rx_while_tx += 1;
+                Some(LossReason::WhileTx)
+            }
+        };
+        if let Some(reason) = loss {
+            if self.trace.is_some() {
+                self.trace(TraceRecord::RxLost {
+                    node,
+                    reason,
+                    at: self.now,
+                });
+            }
+        }
+        self.channel_became_busy(node);
+    }
+
+    fn on_rx_end(
+        &mut self,
+        node: NodeId,
+        frame: FrameId,
+        _power_w: f64,
+        upcalls: &mut Vec<Upcall<M>>,
+    ) {
+        let i = node.index();
+        let done = self.radios[i].arrival_end(frame);
+        if let Some(rx) = done {
+            if !rx.corrupted {
+                self.decode_frame(node, frame, rx.power_w, upcalls);
+            }
+        }
+        self.frames.release(frame);
+        self.channel_maybe_idle(node);
+    }
+
+    /// A frame was received intact at `node`: act on its body.
+    fn decode_frame(
+        &mut self,
+        node: NodeId,
+        frame: FrameId,
+        power_w: f64,
+        upcalls: &mut Vec<Upcall<M>>,
+    ) {
+        let i = node.index();
+        let (src, body) = {
+            let f = self.frames.get(frame).expect("frame alive at RxEnd");
+            (f.src, f.body.clone())
+        };
+        if self.trace.is_some() {
+            self.trace(TraceRecord::RxOk {
+                node,
+                src,
+                kind: Self::trace_kind(&body),
+                at: self.now,
+            });
+        }
+        match body {
+            FrameBody::Rts { dst, nav } => {
+                if dst == node {
+                    // Respond with CTS after SIFS unless our NAV forbids it.
+                    if self.radios[i].nav_until <= self.now {
+                        let cts_nav = nav
+                            - (self.params.sifs + self.params.ctrl_airtime(self.params.cts_bytes));
+                        self.macs[i].pending_ctrl = Some(CtrlResponse::Cts {
+                            dst: src,
+                            nav: cts_nav,
+                        });
+                        let gen = self.macs[i].bump_ctrl();
+                        self.queue
+                            .push(self.now + self.params.sifs, EventKind::CtrlTimer { node, gen });
+                    }
+                } else {
+                    self.radios[i].nav_until = self.radios[i].nav_until.max(self.now + nav);
+                }
+            }
+            FrameBody::Cts { dst, nav } => {
+                if dst == node {
+                    if self.macs[i].state == MacState::WaitCts {
+                        self.macs[i].state = MacState::SifsBeforeData;
+                        let gen = self.macs[i].bump_timer();
+                        self.queue
+                            .push(self.now + self.params.sifs, EventKind::MacTimer { node, gen });
+                    }
+                } else {
+                    self.radios[i].nav_until = self.radios[i].nav_until.max(self.now + nav);
+                }
+            }
+            FrameBody::Ack { dst } => {
+                if dst == node && self.macs[i].state == MacState::WaitAck {
+                    let handle = self.macs[i]
+                        .queue
+                        .front()
+                        .map(|f| f.handle)
+                        .expect("head exists in WaitAck");
+                    self.macs[i].bump_timer();
+                    upcalls.push(Upcall::TxDone {
+                        node,
+                        handle,
+                        outcome: TxOutcome::Sent,
+                    });
+                    self.finish_head(node);
+                }
+            }
+            FrameBody::Data {
+                dst,
+                msg,
+                class,
+                mac_seq,
+                ..
+            } => {
+                let bytes = self.frames.get(frame).map(|f| f.bytes).unwrap_or(0);
+                match dst {
+                    None => {
+                        self.counters.record_rx_data(class, bytes as u64);
+                        self.node_counters[i].rx_data_frames += 1;
+                        upcalls.push(Upcall::Deliver {
+                            node,
+                            src,
+                            msg,
+                            meta: RxMeta {
+                                at: self.now,
+                                power_w,
+                            },
+                        });
+                    }
+                    Some(d) if d == node => {
+                        // ACK even duplicates (the sender missed our ACK).
+                        self.macs[i].pending_ctrl = Some(CtrlResponse::Ack { dst: src });
+                        let gen = self.macs[i].bump_ctrl();
+                        self.queue
+                            .push(self.now + self.params.sifs, EventKind::CtrlTimer { node, gen });
+                        let dup = self.macs[i].rx_dedup.get(&src) == Some(&mac_seq);
+                        if dup {
+                            self.counters.duplicate_rx_suppressed += 1;
+                        } else {
+                            self.macs[i].rx_dedup.insert(src, mac_seq);
+                            self.counters.record_rx_data(class, bytes as u64);
+                            self.node_counters[i].rx_data_frames += 1;
+                            upcalls.push(Upcall::Deliver {
+                                node,
+                                src,
+                                msg,
+                                meta: RxMeta {
+                                    at: self.now,
+                                    power_w,
+                                },
+                            });
+                        }
+                    }
+                    Some(_) => {} // unicast overheard; MAC drops it
+                }
+            }
+        }
+    }
+
+    fn on_ctrl_timer(&mut self, node: NodeId, gen: u64) {
+        let i = node.index();
+        if gen != self.macs[i].ctrl_gen {
+            return;
+        }
+        let Some(resp) = self.macs[i].pending_ctrl.take() else {
+            return;
+        };
+        if self.radios[i].tx_until.is_some() {
+            // Radio busy transmitting something else; the response is lost.
+            return;
+        }
+        match resp {
+            CtrlResponse::Cts { dst, nav } => {
+                let bytes = self.params.cts_bytes;
+                self.counters.tx_ctrl_frames += 1;
+                self.counters.tx_ctrl_bytes += bytes as u64;
+                self.node_counters[i].tx_ctrl_frames += 1;
+                self.transmit_frame(
+                    node,
+                    FrameBody::Cts { dst, nav },
+                    bytes,
+                    self.params.ctrl_airtime(bytes),
+                );
+            }
+            CtrlResponse::Ack { dst } => {
+                let bytes = self.params.ack_bytes;
+                self.counters.tx_ctrl_frames += 1;
+                self.counters.tx_ctrl_bytes += bytes as u64;
+                self.node_counters[i].tx_ctrl_frames += 1;
+                self.transmit_frame(
+                    node,
+                    FrameBody::Ack { dst },
+                    bytes,
+                    self.params.ctrl_airtime(bytes),
+                );
+            }
+        }
+    }
+}
+
+fn body_dst<M>(body: &FrameBody<M>) -> Option<NodeId> {
+    match body {
+        FrameBody::Rts { dst, .. } | FrameBody::Cts { dst, .. } | FrameBody::Ack { dst } => {
+            Some(*dst)
+        }
+        FrameBody::Data { dst, .. } => *dst,
+    }
+}
+
+/// The API surface a protocol sees while handling an event.
+///
+/// A `Ctx` borrows the world for the duration of one protocol callback; all
+/// actions (sending, timers) are performed through it.
+pub struct Ctx<'a, M> {
+    pub(crate) world: &'a mut World<M>,
+    pub(crate) node: NodeId,
+}
+
+impl<M> std::fmt::Debug for Ctx<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("node", &self.node)
+            .field("now", &self.world.now)
+            .finish()
+    }
+}
+
+impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
+    /// The node this callback runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// Total number of nodes in the network.
+    pub fn num_nodes(&self) -> usize {
+        self.world.num_nodes()
+    }
+
+    /// Position of this node.
+    pub fn position(&self) -> Pos {
+        self.world.position(self.node)
+    }
+
+    /// Deterministic RNG (shared world stream).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.world.rng
+    }
+
+    /// Queue a link-layer **broadcast** of `msg` with an on-air payload size
+    /// of `bytes`, tagged with traffic `class` for accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError::QueueFull`] if the MAC queue is full.
+    pub fn send_broadcast(&mut self, msg: M, bytes: u32, class: u8) -> Result<TxHandle, SendError> {
+        self.world.send_data(self.node, None, msg, bytes, class)
+    }
+
+    /// Queue a link-layer **unicast** of `msg` to `dst` (RTS/CTS + ACK +
+    /// retransmissions as configured).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError::QueueFull`] if the MAC queue is full, or
+    /// [`SendError::BadDestination`] if `dst` is this node or out of range of
+    /// valid ids.
+    pub fn send_unicast(
+        &mut self,
+        dst: NodeId,
+        msg: M,
+        bytes: u32,
+        class: u8,
+    ) -> Result<TxHandle, SendError> {
+        self.world.send_data(self.node, Some(dst), msg, bytes, class)
+    }
+
+    /// Arm a one-shot timer `delay` from now; `kind` is echoed back.
+    pub fn set_timer(&mut self, delay: SimDuration, kind: u64) -> TimerId {
+        self.world.set_timer(self.node, delay, kind)
+    }
+
+    /// Cancel a timer set earlier (no-op if it already fired).
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.world.cancel_timer(timer)
+    }
+
+    /// Current MAC transmit queue length of this node.
+    pub fn mac_queue_len(&self) -> usize {
+        self.world.macs[self.node.index()].queue.len()
+    }
+
+    /// Run counters (read-only).
+    pub fn counters(&self) -> &Counters {
+        self.world.counters()
+    }
+}

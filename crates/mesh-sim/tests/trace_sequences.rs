@@ -1,0 +1,99 @@
+//! Trace-based assertions on exact MAC sequences.
+
+use mesh_sim::prelude::*;
+use mesh_sim::trace::{FrameKind, RingTrace, TraceRecord};
+
+#[derive(Debug, Default)]
+struct SendOnce {
+    dst: Option<NodeId>,
+    sent: bool,
+}
+
+impl Protocol for SendOnce {
+    type Msg = u8;
+    fn start(&mut self, ctx: &mut Ctx<'_, u8>) {
+        if let Some(d) = self.dst.take() {
+            ctx.send_unicast(d, 1, 512, 0).expect("send");
+            self.sent = true;
+        }
+    }
+    fn handle_message(&mut self, _: &mut Ctx<'_, u8>, _: NodeId, _: &u8, _: RxMeta) {}
+    fn handle_timer(&mut self, _: &mut Ctx<'_, u8>, _: TimerId, _: u64) {}
+}
+
+#[test]
+fn unicast_exchange_is_rts_cts_data_ack_in_order() {
+    let mut m = LinkTableMedium::new();
+    m.add_link(NodeId::new(0), NodeId::new(1), 0.0);
+    let mut protos = vec![SendOnce::default(), SendOnce::default()];
+    protos[0].dst = Some(NodeId::new(1));
+    let mut sim = Simulator::new(
+        vec![Pos::new(0.0, 0.0), Pos::new(10.0, 0.0)],
+        Box::new(m),
+        WorldConfig::default(),
+        protos,
+    );
+    sim.world_mut().set_trace(Box::new(RingTrace::new(1024)));
+    sim.run_until(SimTime::from_secs(1));
+    let sink = sim.world_mut().take_trace().expect("trace attached");
+    let ring: &RingTrace = sink.as_any().downcast_ref().expect("RingTrace installed");
+    let tx_sequence: Vec<FrameKind> = ring
+        .records()
+        .filter_map(|r| match *r {
+            TraceRecord::TxStart { kind, .. } => Some(kind),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        tx_sequence,
+        vec![
+            FrameKind::Rts,
+            FrameKind::Cts,
+            FrameKind::Data,
+            FrameKind::Ack
+        ],
+        "unexpected MAC sequence"
+    );
+    // Every transmission was decoded by the peer: 4 RxOk records.
+    let rx_ok = ring
+        .records()
+        .filter(|r| matches!(r, TraceRecord::RxOk { .. }))
+        .count();
+    assert_eq!(rx_ok, 4);
+    // Times strictly increase across the exchange.
+    let times: Vec<_> = ring.records().map(|r| r.at()).collect();
+    let mut sorted = times.clone();
+    sorted.sort();
+    assert_eq!(times, sorted);
+}
+
+#[test]
+fn broadcast_emits_single_data_frame() {
+    let mut m = LinkTableMedium::new();
+    m.add_link(NodeId::new(0), NodeId::new(1), 0.0);
+    #[derive(Debug)]
+    struct Bcast;
+    impl Protocol for Bcast {
+        type Msg = u8;
+        fn start(&mut self, ctx: &mut Ctx<'_, u8>) {
+            if ctx.node().index() == 0 {
+                ctx.send_broadcast(1, 512, 0).expect("send");
+            }
+        }
+        fn handle_message(&mut self, _: &mut Ctx<'_, u8>, _: NodeId, _: &u8, _: RxMeta) {}
+        fn handle_timer(&mut self, _: &mut Ctx<'_, u8>, _: TimerId, _: u64) {}
+    }
+    let mut sim = Simulator::new(
+        vec![Pos::new(0.0, 0.0), Pos::new(10.0, 0.0)],
+        Box::new(m),
+        WorldConfig::default(),
+        vec![Bcast, Bcast],
+    );
+    sim.world_mut().set_trace(Box::new(RingTrace::new(64)));
+    sim.run_until(SimTime::from_secs(1));
+    let sink = sim.world_mut().take_trace().unwrap();
+    let dbg = format!("{sink:?}");
+    // One Data TxStart, no control frames at all.
+    assert_eq!(dbg.matches("TxStart").count(), 1, "{dbg}");
+    assert!(!dbg.contains("Rts") && !dbg.contains("Ack"), "{dbg}");
+}

@@ -1,0 +1,109 @@
+//! Detailed unicast MAC behavior: retransmission, receive-side duplicate
+//! suppression, and control-frame accounting under asymmetric links.
+
+use mesh_sim::prelude::*;
+
+#[derive(Debug, Default)]
+struct OneShot {
+    send_to: Option<NodeId>,
+    bytes: u32,
+    received: Vec<u64>,
+    outcomes: Vec<TxOutcome>,
+}
+
+impl Protocol for OneShot {
+    type Msg = u64;
+    fn start(&mut self, ctx: &mut Ctx<'_, u64>) {
+        if let Some(dst) = self.send_to {
+            ctx.send_unicast(dst, 42, self.bytes, 0).expect("send");
+        }
+    }
+    fn handle_message(&mut self, _: &mut Ctx<'_, u64>, _: NodeId, msg: &u64, _: RxMeta) {
+        self.received.push(*msg);
+    }
+    fn handle_timer(&mut self, _: &mut Ctx<'_, u64>, _: TimerId, _: u64) {}
+    fn handle_tx_complete(&mut self, _: &mut Ctx<'_, u64>, _: TxHandle, o: TxOutcome) {
+        self.outcomes.push(o);
+    }
+}
+
+/// Forward direction clean, reverse direction dead: data frames arrive but
+/// CTS/ACKs never come back.
+fn asymmetric_medium() -> LinkTableMedium {
+    let mut m = LinkTableMedium::new();
+    m.add_link(NodeId::new(0), NodeId::new(1), 0.0);
+    m.set_loss(NodeId::new(1), NodeId::new(0), 1.0);
+    m
+}
+
+#[test]
+fn lost_acks_cause_retries_and_final_failure() {
+    // Small frame (below RTS threshold): the data goes out repeatedly, each
+    // copy is delivered at the MAC of node 1 but deduplicated; node 0 sees a
+    // failure after the short retry limit.
+    let mut protos = vec![OneShot::default(), OneShot::default()];
+    protos[0].send_to = Some(NodeId::new(1));
+    protos[0].bytes = 64;
+    let mut sim = Simulator::new(
+        vec![Pos::new(0.0, 0.0), Pos::new(10.0, 0.0)],
+        Box::new(asymmetric_medium()),
+        WorldConfig::default(),
+        protos,
+    );
+    sim.run_until(SimTime::from_secs(5));
+
+    // Application got the payload exactly once despite the retransmissions.
+    assert_eq!(sim.protocols()[1].received, vec![42]);
+    assert!(sim.counters().duplicate_rx_suppressed > 0, "no dedup happened");
+    // Sender saw retries and an eventual failure.
+    assert_eq!(sim.protocols()[0].outcomes.len(), 1);
+    assert!(matches!(
+        sim.protocols()[0].outcomes[0],
+        TxOutcome::Failed { retries } if retries > 0
+    ));
+    assert!(sim.counters().retries > 0);
+    // Node 1 ACKed every copy; the ACKs died on the dead reverse link.
+    assert!(sim.counters().tx_ctrl_frames > 1);
+}
+
+#[test]
+fn rts_with_dead_reverse_fails_without_data_ever_sent() {
+    // Large frame: RTS goes out, CTS never returns, so the *data* frame is
+    // never transmitted at all — only RTS retries.
+    let mut protos = vec![OneShot::default(), OneShot::default()];
+    protos[0].send_to = Some(NodeId::new(1));
+    protos[0].bytes = 512;
+    let mut sim = Simulator::new(
+        vec![Pos::new(0.0, 0.0), Pos::new(10.0, 0.0)],
+        Box::new(asymmetric_medium()),
+        WorldConfig::default(),
+        protos,
+    );
+    sim.run_until(SimTime::from_secs(5));
+
+    assert!(sim.protocols()[1].received.is_empty(), "data leaked past failed RTS");
+    assert_eq!(sim.counters().tx_data[0].frames, 0, "data frame transmitted without CTS");
+    assert_eq!(sim.counters().unicast_failures, 1);
+}
+
+#[test]
+fn clean_bidirectional_link_needs_exactly_one_attempt() {
+    let mut m = LinkTableMedium::new();
+    m.add_link(NodeId::new(0), NodeId::new(1), 0.0);
+    let mut protos = vec![OneShot::default(), OneShot::default()];
+    protos[0].send_to = Some(NodeId::new(1));
+    protos[0].bytes = 512;
+    let mut sim = Simulator::new(
+        vec![Pos::new(0.0, 0.0), Pos::new(10.0, 0.0)],
+        Box::new(m),
+        WorldConfig::default(),
+        protos,
+    );
+    sim.run_until(SimTime::from_secs(1));
+    assert_eq!(sim.protocols()[1].received, vec![42]);
+    assert_eq!(sim.counters().retries, 0);
+    assert_eq!(sim.counters().duplicate_rx_suppressed, 0);
+    // RTS + CTS + ACK.
+    assert_eq!(sim.counters().tx_ctrl_frames, 3);
+    assert_eq!(sim.protocols()[0].outcomes, vec![TxOutcome::Sent]);
+}

@@ -1,0 +1,234 @@
+//! ODMRP configuration.
+
+use mcast_metrics::{EstimatorConfig, MetricKind};
+use mesh_sim::ids::GroupId;
+use mesh_sim::time::{SimDuration, SimTime};
+
+/// Which route-selection policy a protocol variant uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Variant {
+    /// Original ODMRP: a member answers the **first** `JOIN QUERY` it hears
+    /// (minimum-delay ≈ minimum-hop path); duplicates are never forwarded.
+    Original,
+    /// Metric-enhanced ODMRP (§3.1): queries accumulate link costs, members
+    /// wait δ and answer the best query; forwarders rebroadcast improving
+    /// duplicates within the α window.
+    Metric(MetricKind),
+}
+
+impl Variant {
+    /// The paper's label for the variant (e.g. `ODMRP_SPP`).
+    pub fn label(self) -> String {
+        match self {
+            Variant::Original => "ODMRP".to_string(),
+            Variant::Metric(k) => format!("ODMRP_{}", k.name()),
+        }
+    }
+
+    /// The metric kind, if any.
+    pub fn metric_kind(self) -> Option<MetricKind> {
+        match self {
+            Variant::Original => None,
+            Variant::Metric(k) => Some(k),
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Per-node protocol parameters (identical across a run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OdmrpConfig {
+    /// Route-selection policy.
+    pub variant: Variant,
+    /// Probe-interval scaling for metric variants: probe intervals are
+    /// divided by this factor (1.0 = the paper's default rates; 5.0 = the
+    /// "high overhead" column of Fig. 2).
+    pub probe_rate: f64,
+    /// Member wait before answering (paper: 30 ms).
+    pub delta: SimDuration,
+    /// Duplicate-forwarding window at intermediate nodes (paper: 20 ms).
+    pub alpha: SimDuration,
+    /// Source refresh period for `JOIN QUERY` floods (classic ODMRP: 3 s).
+    pub refresh_interval: SimDuration,
+    /// Forwarding-group membership lifetime (classic: 3 × refresh).
+    pub fg_timeout: SimDuration,
+    /// Maximum network-layer jitter before (re)broadcasting control packets.
+    pub control_jitter: SimDuration,
+    /// Maximum hop count a query may travel.
+    pub max_hops: u8,
+    /// Link estimation tuning.
+    pub estimator: EstimatorConfig,
+}
+
+impl Default for OdmrpConfig {
+    fn default() -> Self {
+        OdmrpConfig {
+            variant: Variant::Original,
+            probe_rate: 1.0,
+            delta: SimDuration::from_millis(30),
+            alpha: SimDuration::from_millis(20),
+            refresh_interval: SimDuration::from_secs(3),
+            fg_timeout: SimDuration::from_secs(9),
+            control_jitter: SimDuration::from_millis(4),
+            max_hops: 32,
+            estimator: EstimatorConfig::default(),
+        }
+    }
+}
+
+impl OdmrpConfig {
+    /// Configuration for a metric-enhanced variant at the default probe rate.
+    pub fn with_metric(kind: MetricKind) -> Self {
+        OdmrpConfig {
+            variant: Variant::Metric(kind),
+            ..OdmrpConfig::default()
+        }
+    }
+}
+
+/// A constant-bit-rate traffic source attached to a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CbrSource {
+    /// Group the traffic is sent to.
+    pub group: GroupId,
+    /// Payload size per packet in bytes (paper: 512).
+    pub bytes: u32,
+    /// Packet inter-departure time (paper: 50 ms = 20 packets/s).
+    pub interval: SimDuration,
+    /// First packet departure.
+    pub start: SimTime,
+    /// No departures at or after this instant.
+    pub stop: SimTime,
+}
+
+impl CbrSource {
+    /// The paper's workload: 512-byte packets at 20 packets/s.
+    pub fn paper_default(group: GroupId, start: SimTime, stop: SimTime) -> Self {
+        CbrSource {
+            group,
+            bytes: 512,
+            interval: SimDuration::from_millis(50),
+            start,
+            stop,
+        }
+    }
+}
+
+/// A time-bounded group membership: the node is a receiver of `group` from
+/// `join` (inclusive) until `leave` (exclusive). Models application churn —
+/// users tuning in and out of a webcast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MembershipWindow {
+    /// The group joined.
+    pub group: GroupId,
+    /// Join instant.
+    pub join: SimTime,
+    /// Leave instant.
+    pub leave: SimTime,
+}
+
+/// The role of one node in a run: which groups it belongs to and which it
+/// sources traffic for.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeRole {
+    /// Groups this node is a receiving member of for the whole run.
+    pub member_of: Vec<GroupId>,
+    /// Traffic this node originates.
+    pub sources: Vec<CbrSource>,
+    /// Time-bounded memberships (in addition to `member_of`).
+    pub windows: Vec<MembershipWindow>,
+}
+
+impl NodeRole {
+    /// A node that only forwards.
+    pub fn forwarder() -> Self {
+        NodeRole::default()
+    }
+
+    /// Whether this node is a receiving member of `group` at `now`.
+    pub fn is_member(&self, group: GroupId, now: SimTime) -> bool {
+        self.member_of.contains(&group)
+            || self
+                .windows
+                .iter()
+                .any(|w| w.group == group && w.join <= now && now < w.leave)
+    }
+
+    /// A member of `group` only during `[join, leave)`.
+    pub fn member_during(group: GroupId, join: SimTime, leave: SimTime) -> Self {
+        NodeRole {
+            windows: vec![MembershipWindow { group, join, leave }],
+            ..NodeRole::default()
+        }
+    }
+
+    /// A receiving member of `group`.
+    pub fn member(group: GroupId) -> Self {
+        NodeRole {
+            member_of: vec![group],
+            ..NodeRole::default()
+        }
+    }
+
+    /// A source for `group` with the paper's CBR workload.
+    pub fn source(group: GroupId, start: SimTime, stop: SimTime) -> Self {
+        NodeRole {
+            sources: vec![CbrSource::paper_default(group, start, stop)],
+            ..NodeRole::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Variant::Original.label(), "ODMRP");
+        assert_eq!(Variant::Metric(MetricKind::Spp).label(), "ODMRP_SPP");
+        assert_eq!(Variant::Metric(MetricKind::Pp).to_string(), "ODMRP_PP");
+    }
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let c = OdmrpConfig::default();
+        assert_eq!(c.delta, SimDuration::from_millis(30));
+        assert_eq!(c.alpha, SimDuration::from_millis(20));
+        assert!(c.alpha < c.delta, "paper requires alpha < delta");
+    }
+
+    #[test]
+    fn paper_cbr_is_20pps_512b() {
+        let s = CbrSource::paper_default(GroupId(0), SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(s.bytes, 512);
+        assert_eq!(s.interval, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn role_helpers() {
+        let m = NodeRole::member(GroupId(2));
+        assert_eq!(m.member_of, vec![GroupId(2)]);
+        assert!(m.sources.is_empty());
+        assert_eq!(NodeRole::forwarder(), NodeRole::default());
+    }
+
+    #[test]
+    fn membership_windows() {
+        let g = GroupId(1);
+        let r = NodeRole::member_during(g, SimTime::from_secs(10), SimTime::from_secs(20));
+        assert!(!r.is_member(g, SimTime::from_secs(9)));
+        assert!(r.is_member(g, SimTime::from_secs(10)));
+        assert!(r.is_member(g, SimTime::from_secs(19)));
+        assert!(!r.is_member(g, SimTime::from_secs(20)));
+        assert!(!r.is_member(GroupId(2), SimTime::from_secs(15)));
+        // Permanent membership is unaffected by windows.
+        let p = NodeRole::member(g);
+        assert!(p.is_member(g, SimTime::from_secs(999_999)));
+    }
+}

@@ -1,0 +1,518 @@
+//! The ODMRP node: one [`Protocol`] instance per simulated router.
+//!
+//! Implements original ODMRP (first-query route selection) and the
+//! metric-enhanced protocol of §3.1: cost-accumulating `JOIN QUERY` floods,
+//! bounded duplicate forwarding (α window + improvement rule), δ-delayed
+//! best-query `JOIN REPLY` at members, forwarding-group maintenance with
+//! soft-state timeouts, and flooding of data over the forwarding group.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use mcast_metrics::{AnyMetric, Metric, NeighborTable, PathCost, Prober};
+use mesh_sim::ids::{GroupId, NodeId, TimerId, TxHandle};
+use mesh_sim::protocol::{Protocol, RxMeta, TxOutcome};
+use mesh_sim::time::{SimDuration, SimTime};
+use mesh_sim::world::Ctx;
+
+use crate::config::{NodeRole, OdmrpConfig};
+use crate::messages::{class, DataPacket, JoinQuery, JoinReply, JoinTableEntry, OdmrpMsg};
+use crate::stats::{Delivered, NodeStats};
+
+/// Bound on the network-layer duplicate cache (per node).
+const DATA_CACHE_CAP: usize = 50_000;
+
+#[derive(Debug)]
+enum TimerPayload {
+    /// Send the next probe round.
+    Probe,
+    /// Emit the next CBR packet of `role.sources[i]`.
+    Cbr(usize),
+    /// Flood the next `JOIN QUERY` for `role.sources[i]`.
+    Refresh(usize),
+    /// δ expired: answer the best query of `(source, seq)`.
+    Delta(NodeId, u32),
+    /// Jittered (re)broadcast of the query for `(source, seq)`.
+    ForwardQuery(NodeId, u32),
+}
+
+/// Per-`(source, seq)` query round state (the message cache of §3.1).
+#[derive(Debug)]
+struct QueryState {
+    group: GroupId,
+    /// Best accumulated cost seen so far.
+    best_cost: PathCost,
+    /// Upstream neighbor of the best query.
+    upstream: NodeId,
+    /// Hop count of the best query (after our hop).
+    hop_count: u8,
+    /// Forwarding of improving duplicates allowed until here.
+    alpha_deadline: SimTime,
+    /// Cost at our last rebroadcast, if we rebroadcast already.
+    best_forwarded: Option<PathCost>,
+    /// A `ForwardQuery` timer is outstanding.
+    forward_pending: bool,
+}
+
+/// An ODMRP protocol instance.
+///
+/// Construct with [`OdmrpNode::new`], hand a `Vec` of them to
+/// [`mesh_sim::simulator::Simulator`], and read [`OdmrpNode::stats`] after
+/// the run. See the `experiments` crate for turnkey scenario runners.
+#[derive(Debug)]
+pub struct OdmrpNode {
+    cfg: OdmrpConfig,
+    role: NodeRole,
+    metric: Option<AnyMetric>,
+    prober: Option<Prober>,
+    table: NeighborTable,
+    me: NodeId,
+
+    timers: HashMap<u64, TimerPayload>,
+    timer_token: u64,
+
+    query_state: HashMap<(NodeId, u32), QueryState>,
+    /// Groups this node currently forwards for, with expiry.
+    fg: HashMap<GroupId, SimTime>,
+    /// (source, seq) reply rounds already forwarded upstream.
+    forwarded_reply: HashSet<(NodeId, u32)>,
+    /// (source, seq) delta timers already scheduled.
+    delta_scheduled: HashSet<(NodeId, u32)>,
+
+    data_seen: HashSet<(NodeId, u32)>,
+    data_seen_order: VecDeque<(NodeId, u32)>,
+    data_seq: u32,
+    refresh_seq: u32,
+
+    stats: NodeStats,
+}
+
+impl OdmrpNode {
+    /// Create a node with the given configuration and role.
+    pub fn new(cfg: OdmrpConfig, role: NodeRole) -> Self {
+        let metric = cfg
+            .variant
+            .metric_kind()
+            .map(|k| k.build_with_rate(cfg.probe_rate));
+        let prober = metric
+            .as_ref()
+            .map(|m| Prober::new(m.probe_plan()))
+            .filter(|p| !matches!(p.plan(), mcast_metrics::ProbePlan::None));
+        let table = NeighborTable::new(cfg.estimator.clone());
+        OdmrpNode {
+            cfg,
+            role,
+            metric,
+            prober,
+            table,
+            me: NodeId::new(0),
+            timers: HashMap::new(),
+            timer_token: 0,
+            query_state: HashMap::new(),
+            fg: HashMap::new(),
+            forwarded_reply: HashSet::new(),
+            delta_scheduled: HashSet::new(),
+            data_seen: HashSet::new(),
+            data_seen_order: VecDeque::new(),
+            data_seq: 0,
+            refresh_seq: 0,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// The statistics collected so far.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// The node's role (members/sources).
+    pub fn role(&self) -> &NodeRole {
+        &self.role
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &OdmrpConfig {
+        &self.cfg
+    }
+
+    /// The link-quality table (empty for the original variant).
+    pub fn neighbor_table(&self) -> &NeighborTable {
+        &self.table
+    }
+
+    /// Whether this node is currently a forwarding-group member of `group`.
+    pub fn is_forwarding(&self, group: GroupId, now: SimTime) -> bool {
+        self.fg.get(&group).map_or(false, |&t| t > now)
+    }
+
+    /// Groups this node has *ever* forwarded for (soft state ignored).
+    pub fn forwarding_groups(&self) -> Vec<GroupId> {
+        let mut v: Vec<GroupId> = self.fg.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    // ------------------------------------------------------------------
+
+    fn arm(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>, delay: SimDuration, payload: TimerPayload) {
+        self.timer_token += 1;
+        let token = self.timer_token;
+        self.timers.insert(token, payload);
+        ctx.set_timer(delay, token);
+    }
+
+    fn jitter(&self, ctx: &mut Ctx<'_, OdmrpMsg>) -> SimDuration {
+        let max = self.cfg.control_jitter.as_nanos();
+        SimDuration::from_nanos((ctx.rng().uniform() * max as f64) as u64)
+    }
+
+    fn send_probe_round(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>) {
+        let Some(prober) = self.prober.as_mut() else {
+            return;
+        };
+        // Reverse reports are only consumed by the bidirectional-ETX
+        // ablation; skip the bytes otherwise.
+        let reverse = if matches!(
+            self.metric.as_ref().map(|m| m.kind()),
+            Some(mcast_metrics::MetricKind::UnicastEtx)
+        ) {
+            self.table.reverse_report(ctx.now())
+        } else {
+            Vec::new()
+        };
+        for (msg, bytes) in prober.next_round(reverse) {
+            if ctx
+                .send_broadcast(OdmrpMsg::Probe(msg), bytes, class::PROBE)
+                .is_ok()
+            {
+                self.stats.probes_sent += 1;
+            }
+        }
+        if let Some(interval) = self.prober.as_ref().and_then(|p| p.plan().interval()) {
+            // ±10 % desynchronization so probes of different nodes do not
+            // phase-lock.
+            let f = 0.9 + 0.2 * ctx.rng().uniform();
+            self.arm(ctx, interval.mul_f64(f), TimerPayload::Probe);
+        }
+    }
+
+    fn send_cbr(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>, idx: usize) {
+        let spec = self.role.sources[idx];
+        if ctx.now() >= spec.stop {
+            return;
+        }
+        self.data_seq += 1;
+        let pkt = DataPacket {
+            group: spec.group,
+            source: self.me,
+            seq: self.data_seq,
+            sent_at: ctx.now(),
+            bytes: spec.bytes,
+        };
+        // Count as sent whether or not the MAC queue had room: the
+        // application offered it (drop-tail loss is part of the protocol's
+        // performance).
+        *self.stats.sent.entry(spec.group).or_insert(0) += 1;
+        let _ = ctx.send_broadcast(OdmrpMsg::Data(pkt), spec.bytes, class::DATA);
+        self.arm(ctx, spec.interval, TimerPayload::Cbr(idx));
+    }
+
+    fn send_refresh(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>, idx: usize) {
+        let spec = self.role.sources[idx];
+        if ctx.now() >= spec.stop {
+            return;
+        }
+        self.refresh_seq += 1;
+        let identity = self
+            .metric
+            .as_ref()
+            .map_or(0.0, |m| m.identity().value());
+        let q = JoinQuery {
+            group: spec.group,
+            source: self.me,
+            seq: self.refresh_seq,
+            prev_hop: self.me,
+            hop_count: 0,
+            cost: identity,
+        };
+        if ctx
+            .send_broadcast(OdmrpMsg::JoinQuery(q), JoinQuery::BYTES, class::CONTROL)
+            .is_ok()
+        {
+            self.stats.queries_sent += 1;
+        }
+        self.arm(ctx, self.cfg.refresh_interval, TimerPayload::Refresh(idx));
+    }
+
+    fn handle_query(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>, from: NodeId, q: &JoinQuery) {
+        if q.source == self.me || q.hop_count >= self.cfg.max_hops {
+            return;
+        }
+        let now = ctx.now();
+        let key = (q.source, q.seq);
+        let is_member = self.role.is_member(q.group, now);
+
+        match self.metric.clone() {
+            None => {
+                // Original ODMRP: first copy only, reply immediately.
+                if self.query_state.contains_key(&key) {
+                    return;
+                }
+                self.query_state.insert(
+                    key,
+                    QueryState {
+                        group: q.group,
+                        best_cost: PathCost::new(q.hop_count as f64 + 1.0),
+                        upstream: from,
+                        hop_count: q.hop_count + 1,
+                        alpha_deadline: now,
+                        best_forwarded: None,
+                        forward_pending: true,
+                    },
+                );
+                let j = self.jitter(ctx);
+                self.arm(ctx, j, TimerPayload::ForwardQuery(q.source, q.seq));
+                if is_member && self.delta_scheduled.insert(key) {
+                    let j = self.jitter(ctx);
+                    self.arm(ctx, j, TimerPayload::Delta(q.source, q.seq));
+                }
+            }
+            Some(metric) => {
+                let link = self.table.link_cost(&metric, from, now);
+                let new_cost = metric.accumulate(PathCost::new(q.cost), link);
+                match self.query_state.get_mut(&key) {
+                    None => {
+                        self.query_state.insert(
+                            key,
+                            QueryState {
+                                group: q.group,
+                                best_cost: new_cost,
+                                upstream: from,
+                                hop_count: q.hop_count + 1,
+                                alpha_deadline: now + self.cfg.alpha,
+                                best_forwarded: None,
+                                forward_pending: true,
+                            },
+                        );
+                        let j = self.jitter(ctx);
+                        self.arm(ctx, j, TimerPayload::ForwardQuery(q.source, q.seq));
+                        if is_member && self.delta_scheduled.insert(key) {
+                            self.arm(
+                                ctx,
+                                self.cfg.delta,
+                                TimerPayload::Delta(q.source, q.seq),
+                            );
+                        }
+                    }
+                    Some(st) => {
+                        if metric.better(new_cost, st.best_cost) {
+                            st.best_cost = new_cost;
+                            st.upstream = from;
+                            st.hop_count = q.hop_count + 1;
+                            // Forward the improvement if the α window is
+                            // still open and no forward is already pending.
+                            let improves_forwarded = st
+                                .best_forwarded
+                                .map_or(true, |f| metric.better(new_cost, f));
+                            if now <= st.alpha_deadline
+                                && improves_forwarded
+                                && !st.forward_pending
+                            {
+                                st.forward_pending = true;
+                                let j = self.jitter(ctx);
+                                self.arm(
+                                    ctx,
+                                    j,
+                                    TimerPayload::ForwardQuery(q.source, q.seq),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn forward_query(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>, source: NodeId, seq: u32) {
+        let Some(st) = self.query_state.get_mut(&(source, seq)) else {
+            return;
+        };
+        st.forward_pending = false;
+        if st.hop_count >= self.cfg.max_hops {
+            return;
+        }
+        if let (Some(metric), Some(fwd)) = (self.metric.as_ref(), st.best_forwarded) {
+            if !metric.better(st.best_cost, fwd) {
+                return; // nothing new to say
+            }
+        } else if self.metric.is_none() && st.best_forwarded.is_some() {
+            return; // original ODMRP forwards once
+        }
+        st.best_forwarded = Some(st.best_cost);
+        let q = JoinQuery {
+            group: st.group,
+            source,
+            seq,
+            prev_hop: self.me,
+            hop_count: st.hop_count,
+            cost: st.best_cost.value(),
+        };
+        if ctx
+            .send_broadcast(OdmrpMsg::JoinQuery(q), JoinQuery::BYTES, class::CONTROL)
+            .is_ok()
+        {
+            self.stats.queries_forwarded += 1;
+        }
+    }
+
+    fn send_reply(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>, source: NodeId, seq: u32) {
+        let Some(st) = self.query_state.get(&(source, seq)) else {
+            return;
+        };
+        let reply = JoinReply {
+            group: st.group,
+            sender: self.me,
+            entries: vec![JoinTableEntry {
+                source,
+                seq,
+                next_hop: st.upstream,
+            }],
+        };
+        let bytes = reply.bytes();
+        let upstream = st.upstream;
+        if ctx
+            .send_broadcast(OdmrpMsg::JoinReply(reply), bytes, class::CONTROL)
+            .is_ok()
+        {
+            self.stats.replies_sent += 1;
+            *self
+                .stats
+                .tree_edges
+                .entry((upstream, self.me))
+                .or_insert(0) += 1;
+        }
+    }
+
+    fn handle_reply(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>, r: &JoinReply) {
+        let now = ctx.now();
+        for e in &r.entries {
+            if e.next_hop != self.me {
+                continue;
+            }
+            // We were selected: join the forwarding group for this group.
+            let expiry = now + self.cfg.fg_timeout;
+            let slot = self.fg.entry(r.group).or_insert(expiry);
+            *slot = (*slot).max(expiry);
+            self.stats.fg_refreshes += 1;
+
+            if e.source != self.me && self.forwarded_reply.insert((e.source, e.seq)) {
+                self.send_reply(ctx, e.source, e.seq);
+            }
+        }
+    }
+
+    fn handle_data(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>, from: NodeId, d: &DataPacket) {
+        if d.source == self.me {
+            return;
+        }
+        let key = (d.source, d.seq);
+        if self.data_seen.contains(&key) {
+            self.stats.duplicate_data += 1;
+            return;
+        }
+        self.data_seen.insert(key);
+        self.data_seen_order.push_back(key);
+        if self.data_seen_order.len() > DATA_CACHE_CAP {
+            if let Some(old) = self.data_seen_order.pop_front() {
+                self.data_seen.remove(&old);
+            }
+        }
+        *self.stats.data_edges.entry((from, self.me)).or_insert(0) += 1;
+
+        let now = ctx.now();
+        if self.role.is_member(d.group, now) {
+            let rec = self
+                .stats
+                .delivered
+                .entry((d.group, d.source))
+                .or_insert_with(Delivered::default);
+            rec.count += 1;
+            rec.delay_sum_s += now.saturating_since(d.sent_at).as_secs_f64();
+        }
+        if self.is_forwarding(d.group, now) {
+            if ctx
+                .send_broadcast(OdmrpMsg::Data(d.clone()), d.bytes, class::DATA)
+                .is_ok()
+            {
+                self.stats.data_forwards += 1;
+            }
+        }
+    }
+}
+
+impl crate::stats::MulticastApp for OdmrpNode {
+    fn node_stats(&self) -> &NodeStats {
+        &self.stats
+    }
+    fn variant(&self) -> crate::Variant {
+        self.cfg.variant
+    }
+}
+
+impl Protocol for OdmrpNode {
+    type Msg = OdmrpMsg;
+
+    fn start(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>) {
+        self.me = ctx.node();
+        if let Some(interval) = self.prober.as_ref().and_then(|p| p.plan().interval()) {
+            // First probe at a random phase within one interval.
+            let phase = interval.mul_f64(ctx.rng().uniform());
+            self.arm(ctx, phase, TimerPayload::Probe);
+        }
+        for i in 0..self.role.sources.len() {
+            let spec = self.role.sources[i];
+            let start = spec.start.saturating_since(SimTime::ZERO);
+            self.arm(ctx, start, TimerPayload::Refresh(i));
+            self.arm(ctx, start, TimerPayload::Cbr(i));
+        }
+    }
+
+    fn handle_message(
+        &mut self,
+        ctx: &mut Ctx<'_, OdmrpMsg>,
+        src: NodeId,
+        msg: &OdmrpMsg,
+        _meta: RxMeta,
+    ) {
+        match msg {
+            OdmrpMsg::Probe(p) => {
+                let now = ctx.now();
+                self.table.handle_probe(src, p, self.me, now);
+            }
+            OdmrpMsg::JoinQuery(q) => self.handle_query(ctx, src, q),
+            OdmrpMsg::JoinReply(r) => self.handle_reply(ctx, r),
+            OdmrpMsg::Data(d) => self.handle_data(ctx, src, d),
+        }
+    }
+
+    fn handle_timer(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>, _timer: TimerId, kind: u64) {
+        let Some(payload) = self.timers.remove(&kind) else {
+            return;
+        };
+        match payload {
+            TimerPayload::Probe => self.send_probe_round(ctx),
+            TimerPayload::Cbr(i) => self.send_cbr(ctx, i),
+            TimerPayload::Refresh(i) => self.send_refresh(ctx, i),
+            TimerPayload::Delta(source, seq) => self.send_reply(ctx, source, seq),
+            TimerPayload::ForwardQuery(source, seq) => self.forward_query(ctx, source, seq),
+        }
+    }
+
+    fn handle_tx_complete(
+        &mut self,
+        _ctx: &mut Ctx<'_, OdmrpMsg>,
+        _handle: TxHandle,
+        _outcome: TxOutcome,
+    ) {
+        // Everything ODMRP sends is broadcast; no per-frame follow-up needed.
+    }
+}

@@ -1,0 +1,42 @@
+//! # testbed — the paper's 8-node office-floor mesh, as a simulation model
+//!
+//! §5 of the paper validates its simulation findings on a physical testbed:
+//! eight Linux mesh routers with 802.11b radios spread over one floor of an
+//! office building (Figure 4), where walls — not distance — determine link
+//! quality. Lacking the building, we model the testbed's *relevant
+//! properties*:
+//!
+//! * the **link set and classes** from Figure 4 and the §5.3 prose
+//!   ([`floorplan`]): solid links are low-loss, dashed links lose 40–60 % of
+//!   frames, unconnected pairs cannot communicate;
+//! * **temporal variation** — loss rates "change fairly quickly", modeled as
+//!   a bounded random walk per directed link ([`TestbedMedium`]);
+//! * the two multicast groups of the experiment
+//!   ([`floorplan::paper_groups`]): node 2 → {3, 5} and node 4 → {1, 7}.
+//!
+//! The medium plugs into `mesh-sim` like any other
+//! [`Medium`](mesh_sim::medium::Medium), so the exact same ODMRP code runs
+//! "on the testbed" and in the 50-node simulations.
+//!
+//! ## Example
+//!
+//! ```
+//! use mesh_sim::rng::SimRng;
+//! use testbed::{floorplan, LinkClass, TestbedMedium};
+//!
+//! let mut rng = SimRng::seed_from(7);
+//! let medium = TestbedMedium::new(&mut rng);
+//! // The lossy 2→5 link starts somewhere inside its class band.
+//! let (lo, hi) = LinkClass::Lossy.loss_range();
+//! let loss = medium.loss(floorplan::id_of(2), floorplan::id_of(5)).unwrap();
+//! assert!((lo..=hi).contains(&loss));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod floorplan;
+mod link_model;
+
+pub use floorplan::{id_of, label_of, paper_groups, LinkClass, LABELS};
+pub use link_model::TestbedMedium;

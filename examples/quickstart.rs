@@ -1,0 +1,39 @@
+//! Quickstart: build a small wireless mesh, run original ODMRP and
+//! ODMRP_SPP on the *same* topology, and compare delivery.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use wmm::experiments::scenario::MeshScenario;
+use wmm::experiments::{run_mesh_once, RunMeasurement};
+use wmm::mcast_metrics::MetricKind;
+use wmm::odmrp::Variant;
+
+fn main() {
+    // A 30-node mesh in an 800m square, one multicast group of 10 members,
+    // one CBR source (512-byte packets, 20/s), Rayleigh fading — a scaled
+    // down version of the paper's simulation setup.
+    let mut scenario = MeshScenario::quick();
+    scenario.groups = 1;
+    scenario.members_per_group = 10;
+
+    println!("nodes: {}, area: {}m^2, group members: 10, CBR 20 pkt/s x 512B\n",
+             scenario.nodes, scenario.area_side);
+
+    let seed = 7;
+    let original: RunMeasurement = run_mesh_once(&scenario, Variant::Original, seed);
+    let spp = run_mesh_once(&scenario, Variant::Metric(MetricKind::Spp), seed);
+
+    println!("{:<12} {:>8} {:>12} {:>12}", "variant", "PDR", "delay (ms)", "overhead %");
+    for m in [&original, &spp] {
+        println!(
+            "{:<12} {:>8.3} {:>12.1} {:>12.2}",
+            m.variant.label(),
+            m.pdr(),
+            m.mean_delay_s * 1e3,
+            m.probe_overhead_pct
+        );
+    }
+    let gain = 100.0 * (spp.pdr() / original.pdr() - 1.0);
+    println!("\nSPP routing delivers {gain:+.1}% more packets than original ODMRP");
+    println!("(the paper's Figure 2 reports ~+18% at full scale, averaged over 10 topologies)");
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerates every table/figure at paper scale; writes one file per experiment.
+set -x
+cd "$(dirname "$0")/.."
+B=./target/release
+$B/fig1_metx_vs_spp                 > results/fig1.txt 2>&1
+$B/fig3_etx_vs_spp                  > results/fig3.txt 2>&1
+$B/fig2_throughput_sim              > results/fig2_throughput_sim.txt 2>results/fig2_throughput_sim.err
+$B/fig2_high_overhead               > results/fig2_high_overhead.txt 2>results/fig2_high_overhead.err
+$B/probe_rate_sweep                 > results/probe_rate_sweep.txt 2>results/probe_rate_sweep.err
+$B/table1_overhead                  > results/table1.txt 2>results/table1.err
+$B/multi_source                     > results/multi_source.txt 2>results/multi_source.err
+$B/fig2_testbed                     > results/fig2_testbed.txt 2>results/fig2_testbed.err
+$B/fig5_trees --runs 3              > results/fig5_trees.txt 2>results/fig5_trees.err
+echo ALL_DONE
+# extensions (also see run_extra.sh, kept separate for reruns)

@@ -1,0 +1,12 @@
+#!/bin/sh
+set -x
+cd "$(dirname "$0")/.."
+B=./target/release
+$B/fig2_testbed                     > results/fig2_testbed.txt 2>results/fig2_testbed.err
+$B/fig5_trees --runs 3              > results/fig5_trees.txt 2>results/fig5_trees.err
+$B/tree_multicast                   > results/tree_multicast.txt 2>results/tree_multicast.err
+$B/ablation_bidir_etx               > results/ablation_bidir_etx.txt 2>results/ablation_bidir_etx.err
+$B/ablation_delta_alpha             > results/ablation_delta_alpha.txt 2>results/ablation_delta_alpha.err
+$B/optimal_probe_rate               > results/optimal_probe_rate.txt 2>results/optimal_probe_rate.err
+$B/receiver_fairness                > results/receiver_fairness.txt 2>results/receiver_fairness.err
+echo EXTRA_DONE

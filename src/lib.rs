@@ -1,0 +1,22 @@
+//! # wmm — umbrella crate for the ICDCS 2006 multicast-metrics reproduction
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency:
+//!
+//! * [`mesh_sim`] — the wireless mesh network simulator substrate;
+//! * [`mcast_metrics`] — the paper's contribution: link-quality routing
+//!   metrics adapted for link-layer-broadcast multicast (ETX, ETT, PP, METX,
+//!   SPP);
+//! * [`odmrp`] — the On-Demand Multicast Routing Protocol, plain and
+//!   metric-enhanced;
+//! * [`testbed`] — the 8-node office-floor testbed model;
+//! * [`experiments`] — scenarios, runners, and statistics that regenerate
+//!   every table and figure of the paper.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+
+pub use experiments;
+pub use mcast_metrics;
+pub use mesh_sim;
+pub use odmrp;
+pub use testbed;

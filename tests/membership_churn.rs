@@ -1,0 +1,75 @@
+//! Dynamic group membership: receivers joining and leaving mid-run, the
+//! churn ODMRP's on-demand forwarding group was designed to absorb.
+
+use wmm::mcast_metrics::MetricKind;
+use wmm::mesh_sim::prelude::*;
+use wmm::odmrp::{NodeRole, OdmrpConfig, OdmrpNode, Variant};
+
+const GROUP: GroupId = GroupId(0);
+
+fn run(window: Option<(u64, u64)>) -> Vec<OdmrpNode> {
+    let mut medium = LinkTableMedium::new();
+    for i in 0..3u32 {
+        medium.add_link(NodeId::new(i), NodeId::new(i + 1), 0.0);
+    }
+    let cfg = OdmrpConfig {
+        variant: Variant::Metric(MetricKind::Etx),
+        ..OdmrpConfig::default()
+    };
+    let mut roles = vec![NodeRole::forwarder(); 4];
+    roles[0] = NodeRole::source(GROUP, SimTime::from_secs(10), SimTime::from_secs(130));
+    roles[3] = match window {
+        Some((j, l)) => {
+            NodeRole::member_during(GROUP, SimTime::from_secs(j), SimTime::from_secs(l))
+        }
+        None => NodeRole::member(GROUP),
+    };
+    let nodes: Vec<OdmrpNode> = roles
+        .into_iter()
+        .map(|r| OdmrpNode::new(cfg.clone(), r))
+        .collect();
+    let mut sim = Simulator::new(
+        mesh_sim::topology::chain(4, 50.0),
+        Box::new(medium),
+        WorldConfig {
+            seed: 17,
+            ..WorldConfig::default()
+        },
+        nodes,
+    );
+    sim.run_until(SimTime::from_secs(132));
+    let (nodes, _) = sim.into_parts();
+    nodes
+}
+
+#[test]
+fn windowed_member_receives_roughly_its_window() {
+    // Member is subscribed for 60 s of the 120 s transmission.
+    let nodes = run(Some((40, 100)));
+    let got = nodes[3].stats().total_delivered();
+    let sent = nodes[0].stats().total_sent();
+    // 60/120 of the stream, minus the join latency of roughly one refresh
+    // round; forwarding-group soft state may deliver a little past the
+    // leave instant, but never the whole stream.
+    let share = got as f64 / sent as f64;
+    assert!(
+        (0.40..=0.55).contains(&share),
+        "windowed member got {share:.3} of the stream ({got}/{sent})"
+    );
+}
+
+#[test]
+fn permanent_member_beats_windowed_member() {
+    let windowed = run(Some((40, 100)))[3].stats().total_delivered();
+    let permanent = run(None)[3].stats().total_delivered();
+    assert!(permanent > windowed + 500);
+}
+
+#[test]
+fn never_joined_receives_nothing() {
+    // A window entirely outside the transmission delivers nothing.
+    let nodes = run(Some((500, 600)));
+    assert_eq!(nodes[3].stats().total_delivered(), 0);
+    // And the forwarding group was never established through node 2.
+    assert_eq!(nodes[2].stats().data_forwards, 0);
+}
