@@ -3,8 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcast_metrics::{
-    choose_path, CandidatePath, EstimatorConfig, LinkEstimate, LinkObservation, Metric,
-    MetricKind, NeighborTable, ProbeMsg,
+    choose_path, CandidatePath, EstimatorConfig, LinkEstimate, LinkObservation, Metric, MetricKind,
+    NeighborTable, ProbeMsg,
 };
 use mesh_sim::ids::NodeId;
 use mesh_sim::time::{SimDuration, SimTime};

@@ -92,9 +92,7 @@ fn bench_table1(c: &mut Criterion) {
     g.bench_function("ETT_overhead_measurement", |b| {
         let s = tiny_mesh();
         b.iter(|| {
-            black_box(
-                run_mesh_once(&s, Variant::Metric(MetricKind::Ett), 1).probe_overhead_pct,
-            )
+            black_box(run_mesh_once(&s, Variant::Metric(MetricKind::Ett), 1).probe_overhead_pct)
         })
     });
     g.finish();

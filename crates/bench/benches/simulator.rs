@@ -103,16 +103,19 @@ fn bench_propagation(c: &mut Criterion) {
 fn bench_fan_out(c: &mut Criterion) {
     let mut medium = PhysicalMedium::default();
     let mut rng = SimRng::seed_from(2);
-    let positions = mesh_sim::topology::random_placement(
-        50,
-        Area::square(1000.0),
-        &mut SimRng::seed_from(3),
-    );
+    let positions =
+        mesh_sim::topology::random_placement(50, Area::square(1000.0), &mut SimRng::seed_from(3));
     let mut out = Vec::new();
     c.bench_function("fan_out_50_nodes", |b| {
         b.iter(|| {
             out.clear();
-            medium.fan_out(NodeId::new(0), &positions, SimTime::ZERO, &mut rng, &mut out);
+            medium.fan_out(
+                NodeId::new(0),
+                &positions,
+                SimTime::ZERO,
+                &mut rng,
+                &mut out,
+            );
             black_box(out.len())
         })
     });

@@ -146,9 +146,7 @@ impl LinkEstimate {
                     let bw = bytes as f64 * 8.0 / delay;
                     self.ewma_bandwidth_bps = Some(match self.ewma_bandwidth_bps {
                         None => bw,
-                        Some(old) => {
-                            cfg.ewma_old_weight * old + (1.0 - cfg.ewma_old_weight) * bw
-                        }
+                        Some(old) => cfg.ewma_old_weight * old + (1.0 - cfg.ewma_old_weight) * bw,
                     });
                 }
             }
@@ -178,7 +176,9 @@ impl LinkEstimate {
     }
 
     fn apply_penalty(&mut self, n: u32, cfg: &EstimatorConfig) {
-        let factor = cfg.pp_penalty.powi(n.min(cfg.max_open_gap_penalties) as i32);
+        let factor = cfg
+            .pp_penalty
+            .powi(n.min(cfg.max_open_gap_penalties) as i32);
         let base = self.ewma_delay_s.unwrap_or(cfg.pp_default_delay_s);
         self.ewma_delay_s = Some((base * factor).min(1e12));
     }
@@ -195,7 +195,9 @@ impl LinkEstimate {
         match (last, interval) {
             (Some(t), Some(iv)) if iv > SimDuration::ZERO => {
                 let elapsed = now.saturating_since(t).as_nanos();
-                (elapsed / iv.as_nanos().max(1)).saturating_sub(1).min(u64::from(u32::MAX)) as u32
+                (elapsed / iv.as_nanos().max(1))
+                    .saturating_sub(1)
+                    .min(u64::from(u32::MAX)) as u32
             }
             _ => 0,
         }
@@ -204,12 +206,16 @@ impl LinkEstimate {
     /// Forward delivery ratio at `now`, floored at a small positive value so
     /// cost formulas never divide by zero.
     pub fn forward_ratio(&self, now: SimTime, cfg: &EstimatorConfig) -> f64 {
-        let single = self
-            .single
-            .ratio_with_missed(Self::open_gap(self.last_single, self.single_interval, now));
-        let pair = self
-            .pair
-            .ratio_with_missed(Self::open_gap(self.last_pair_event, self.pair_interval, now));
+        let single = self.single.ratio_with_missed(Self::open_gap(
+            self.last_single,
+            self.single_interval,
+            now,
+        ));
+        let pair = self.pair.ratio_with_missed(Self::open_gap(
+            self.last_pair_event,
+            self.pair_interval,
+            now,
+        ));
         let df = match (single, pair) {
             (Some(s), _) => s,
             (None, Some(p)) => p,

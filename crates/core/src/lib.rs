@@ -64,7 +64,9 @@ pub mod window;
 
 pub use cost::{LinkCost, PathCost};
 pub use estimator::{EstimatorConfig, LinkEstimate, LinkObservation};
-pub use metrics::{AnyMetric, ChannelHop, Ett, Etx, HopCount, Metric, MetricKind, Metx, Pp, Spp, UnicastEtx, Wcett};
+pub use metrics::{
+    AnyMetric, ChannelHop, Ett, Etx, HopCount, Metric, MetricKind, Metx, Pp, Spp, UnicastEtx, Wcett,
+};
 pub use neighbor_table::NeighborTable;
 pub use path::{choose_path, figure1_candidates, figure3_candidates, CandidatePath, PathChoice};
 pub use probe::{ProbeMsg, ProbePlan, Prober};

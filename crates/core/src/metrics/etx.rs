@@ -95,10 +95,7 @@ mod tests {
     fn reverse_direction_is_ignored() {
         // The core multicast adaptation: dr must not distort the value.
         let m = Etx::default();
-        assert_eq!(
-            m.link_cost(&obs(0.5, 1.0)),
-            m.link_cost(&obs(0.5, 0.01))
-        );
+        assert_eq!(m.link_cost(&obs(0.5, 1.0)), m.link_cost(&obs(0.5, 0.01)));
     }
 
     #[test]

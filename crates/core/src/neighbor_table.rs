@@ -83,7 +83,12 @@ impl NeighborTable {
     }
 
     /// Cost of the link from `from` under `metric` at `now`.
-    pub fn link_cost<M: Metric + ?Sized>(&self, metric: &M, from: NodeId, now: SimTime) -> LinkCost {
+    pub fn link_cost<M: Metric + ?Sized>(
+        &self,
+        metric: &M,
+        from: NodeId,
+        now: SimTime,
+    ) -> LinkCost {
         metric.link_cost(&self.observe(from, now))
     }
 
@@ -100,13 +105,17 @@ impl NeighborTable {
     }
 
     /// Neighbors heard from within `horizon` before `now`.
-    pub fn active_neighbors(&self, now: SimTime, horizon: mesh_sim::time::SimDuration) -> Vec<NodeId> {
+    pub fn active_neighbors(
+        &self,
+        now: SimTime,
+        horizon: mesh_sim::time::SimDuration,
+    ) -> Vec<NodeId> {
         let mut v: Vec<NodeId> = self
             .links
             .iter()
             .filter(|(_, est)| {
                 est.last_heard()
-                    .map_or(false, |t| now.saturating_since(t) <= horizon)
+                    .is_some_and(|t| now.saturating_since(t) <= horizon)
             })
             .map(|(&n, _)| n)
             .collect();

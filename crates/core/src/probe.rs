@@ -65,9 +65,7 @@ impl ProbePlan {
     pub fn interval(&self) -> Option<SimDuration> {
         match *self {
             ProbePlan::None => None,
-            ProbePlan::Single { interval, .. } | ProbePlan::Pair { interval, .. } => {
-                Some(interval)
-            }
+            ProbePlan::Single { interval, .. } | ProbePlan::Pair { interval, .. } => Some(interval),
         }
     }
 

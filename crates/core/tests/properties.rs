@@ -3,8 +3,8 @@
 use mcast_metrics::metrics::metx_closed_form;
 use mcast_metrics::window::SeqWindow;
 use mcast_metrics::{
-    choose_path, CandidatePath, EstimatorConfig, LinkEstimate, LinkObservation, Metric,
-    MetricKind, Metx, Spp,
+    choose_path, CandidatePath, EstimatorConfig, LinkEstimate, LinkObservation, Metric, MetricKind,
+    Metx, Spp,
 };
 use mesh_sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;

@@ -137,7 +137,11 @@ mod tests {
 
     #[test]
     fn projection_stays_in_bounds() {
-        let ps = vec![Pos::new(-5.0, 3.0), Pos::new(100.0, 80.0), Pos::new(40.0, 40.0)];
+        let ps = vec![
+            Pos::new(-5.0, 3.0),
+            Pos::new(100.0, 80.0),
+            Pos::new(40.0, 40.0),
+        ];
         let mut map = AsciiMap::new(&ps, 20, 10);
         for &p in &ps {
             map.label(p, "x");

@@ -90,9 +90,7 @@ fn main() {
     let diff_pct = 100.0 * (fwd / bidir - 1.0);
     println!("forward-only ETX vs bidirectional: {diff_pct:+.1}% PDR");
     if diff_pct > 3.0 {
-        println!(
-            "reproduced §2.1's argument: the reverse term distorts broadcast routing"
-        );
+        println!("reproduced §2.1's argument: the reverse term distorts broadcast routing");
     } else if diff_pct > -3.0 {
         println!(
             "observation: statistical tie. Two effects cancel: the reverse term \

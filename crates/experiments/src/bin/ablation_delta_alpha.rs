@@ -56,7 +56,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["δ/α (ms)", "norm. throughput", "norm. delay", "control frames"],
+            &[
+                "δ/α (ms)",
+                "norm. throughput",
+                "norm. delay",
+                "control frames"
+            ],
             &rows
         )
     );

@@ -1,0 +1,255 @@
+//! Scalability benchmark for `PhysicalMedium::fan_out`: the naive full scan
+//! vs the spatially-indexed per-link cache, across network sizes and
+//! densities, plus a mobility configuration that invalidates the cache
+//! periodically. Verifies the two paths produce bit-identical `RxPlan`
+//! sequences before timing them, and writes `results/BENCH_fanout.json`.
+//!
+//! Density matters: at the paper's density (50 nodes / 1000 m square) the
+//! interference floor covers a large fraction of the area, so the index can
+//! only prune so much. The "metro" configurations keep the same node count
+//! over a proportionally larger area (constant nodes-per-kilometre corridor
+//! spacing), where pruning dominates and the speedup grows with N.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use experiments::cli::CliArgs;
+use mesh_sim::geometry::Area;
+use mesh_sim::ids::NodeId;
+use mesh_sim::medium::{Medium, PhysicalMedium, RxPlan};
+use mesh_sim::propagation::PhyParams;
+use mesh_sim::rng::SimRng;
+use mesh_sim::time::SimTime;
+use mesh_sim::topology;
+
+struct Config {
+    name: String,
+    nodes: usize,
+    side: f64,
+    /// Perturb every position and invalidate the cache every `1/rate` frames
+    /// (0.0 = static).
+    move_every: usize,
+}
+
+struct Measurement {
+    config: Config,
+    frames: usize,
+    ns_naive: f64,
+    ns_indexed: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.ns_naive / self.ns_indexed
+    }
+}
+
+fn configs(quick: bool) -> Vec<Config> {
+    let sizes: &[usize] = if quick {
+        &[50, 200]
+    } else {
+        &[50, 200, 500, 1000]
+    };
+    let mut out = Vec::new();
+    for &n in sizes {
+        // Paper density: area grows with sqrt(N), every node keeps ~10
+        // in-range neighbors and a large in-floor candidate set.
+        out.push(Config {
+            name: format!("paper-n{n}"),
+            nodes: n,
+            side: 1000.0 * (n as f64 / 50.0).sqrt(),
+            move_every: 0,
+        });
+        // Metro density: area side grows linearly with N, so the candidate
+        // set stays roughly constant while the full scan grows with N.
+        if n > 50 {
+            out.push(Config {
+                name: format!("metro-n{n}"),
+                nodes: n,
+                side: 1000.0 * (n as f64 / 50.0),
+                move_every: 0,
+            });
+        }
+    }
+    // Mobility: metro density with a position perturbation (and cache
+    // invalidation) every 64 frames — the worst realistic case for the
+    // cache, which must be rebuilt after every move.
+    let n = if quick { 200 } else { 500 };
+    out.push(Config {
+        name: format!("mobile-metro-n{n}"),
+        nodes: n,
+        side: 1000.0 * (n as f64 / 50.0),
+        move_every: 64,
+    });
+    out
+}
+
+fn medium(indexed: bool) -> PhysicalMedium {
+    PhysicalMedium::new(PhyParams::default()).with_indexing(indexed)
+}
+
+/// Drive `frames` fan-out calls (round-robin transmitter) against `m`,
+/// optionally perturbing positions. Returns elapsed nanoseconds, and the
+/// concatenated plans when `record` is set (for the equivalence check).
+fn drive(
+    m: &mut PhysicalMedium,
+    positions: &mut [mesh_sim::geometry::Pos],
+    frames: usize,
+    move_every: usize,
+    record: bool,
+) -> (f64, Vec<RxPlan>) {
+    // Fixed seeds so the naive and indexed passes consume identical fading
+    // and perturbation streams — required for the equivalence check and for
+    // fair timing.
+    let mut rng = SimRng::seed_from(0xFA0);
+    let mut move_rng = SimRng::seed_from(0x30B11E);
+    let mut out = Vec::new();
+    let mut all = Vec::new();
+    let t0 = Instant::now();
+    for f in 0..frames {
+        if move_every != 0 && f % move_every == 0 && f != 0 {
+            for p in positions.iter_mut() {
+                p.x += move_rng.uniform_range(-5.0, 5.0);
+                p.y += move_rng.uniform_range(-5.0, 5.0);
+            }
+            m.invalidate_positions();
+        }
+        let tx = NodeId::new((f % positions.len()) as u32);
+        out.clear();
+        m.fan_out(tx, positions, SimTime::ZERO, &mut rng, &mut out);
+        if record {
+            all.extend_from_slice(&out);
+        }
+    }
+    (t0.elapsed().as_nanos() as f64, all)
+}
+
+fn measure(config: Config, quick: bool) -> Measurement {
+    let mut layout_rng = SimRng::seed_from(0x5EED ^ config.nodes as u64);
+    let positions =
+        topology::random_placement(config.nodes, Area::square(config.side), &mut layout_rng);
+    // Round-robin over transmitters, with enough frames that each node
+    // transmits ~40+ times — a real run sends thousands of frames per node,
+    // so the per-transmitter cache fill must be amortized, not dominant.
+    let frames = (config.nodes * 40).max(20_000) / if quick { 10 } else { 1 };
+
+    // Equivalence first: both paths must emit bit-identical RxPlan streams.
+    let (_, plans_naive) = drive(
+        &mut medium(false),
+        &mut positions.clone(),
+        frames.min(2000),
+        config.move_every,
+        true,
+    );
+    let (_, plans_indexed) = drive(
+        &mut medium(true),
+        &mut positions.clone(),
+        frames.min(2000),
+        config.move_every,
+        true,
+    );
+    assert_eq!(
+        plans_naive, plans_indexed,
+        "{}: indexed fan-out diverged from the naive scan",
+        config.name
+    );
+
+    // Timing: best of three samples per mode, interleaved.
+    let mut ns_naive = f64::INFINITY;
+    let mut ns_indexed = f64::INFINITY;
+    for _ in 0..3 {
+        let (t, _) = drive(
+            &mut medium(false),
+            &mut positions.clone(),
+            frames,
+            config.move_every,
+            false,
+        );
+        ns_naive = ns_naive.min(t / frames as f64);
+        let (t, _) = drive(
+            &mut medium(true),
+            &mut positions.clone(),
+            frames,
+            config.move_every,
+            false,
+        );
+        ns_indexed = ns_indexed.min(t / frames as f64);
+    }
+    Measurement {
+        config,
+        frames,
+        ns_naive,
+        ns_indexed,
+    }
+}
+
+fn json(measurements: &[Measurement]) -> String {
+    let mut s = String::from(
+        "{\n  \"bench\": \"fanout\",\n  \"unit\": \"ns_per_frame\",\n  \"configs\": [\n",
+    );
+    for (i, m) in measurements.iter().enumerate() {
+        let sep = if i + 1 == measurements.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"area_side_m\": {:.1}, \
+             \"mobile\": {}, \"frames\": {}, \"ns_per_frame_naive\": {:.1}, \
+             \"ns_per_frame_indexed\": {:.1}, \"speedup\": {:.2}}}{}",
+            m.config.name,
+            m.config.nodes,
+            m.config.side,
+            m.config.move_every != 0,
+            m.frames,
+            m.ns_naive,
+            m.ns_indexed,
+            m.speedup(),
+            sep
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    let mut measurements = Vec::new();
+    for config in configs(args.quick) {
+        eprintln!("measuring {} ...", config.name);
+        let m = measure(config, args.quick);
+        eprintln!(
+            "  {}: naive {:.0} ns/frame, indexed {:.0} ns/frame, speedup {:.2}x",
+            m.config.name,
+            m.ns_naive,
+            m.ns_indexed,
+            m.speedup()
+        );
+        measurements.push(m);
+    }
+
+    let out = json(&measurements);
+    let path = std::path::Path::new("results/BENCH_fanout.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(path, &out).expect("write BENCH_fanout.json");
+    println!("{out}");
+    println!("wrote {}", path.display());
+
+    // Acceptance checks (skipped under --quick, which drops N=500).
+    let mut failed = false;
+    if let Some(m) = measurements.iter().find(|m| m.config.name == "metro-n500") {
+        if m.speedup() < 5.0 {
+            eprintln!("FAIL: metro-n500 speedup {:.2}x < 5x", m.speedup());
+            failed = true;
+        }
+    }
+    if let Some(m) = measurements.iter().find(|m| m.config.name == "paper-n50") {
+        // Small-N regression guard, with slack for timer noise.
+        if m.speedup() < 0.8 {
+            eprintln!("FAIL: paper-n50 regressed: {:.2}x", m.speedup());
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -7,9 +7,9 @@
 //! higher delay than the paper's bars.
 
 use experiments::cli::CliArgs;
+use experiments::report;
 use experiments::runner::{paper_variants, run_matrix, run_mesh_once, summarize};
 use experiments::scenario::MeshScenario;
-use experiments::report;
 use odmrp::Variant;
 
 fn main() {

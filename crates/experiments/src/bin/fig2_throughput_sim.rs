@@ -47,7 +47,10 @@ fn main() {
         "{}",
         report::throughput_table(&summaries, &paper::FIG2_THROUGHPUT_SIM)
     );
-    println!("{}", report::throughput_bars(&summaries, &paper::FIG2_THROUGHPUT_SIM));
+    println!(
+        "{}",
+        report::throughput_bars(&summaries, &paper::FIG2_THROUGHPUT_SIM)
+    );
     println!("== Figure 2, column \"Delay\" ==");
     println!("{}", report::delay_table(&summaries));
 

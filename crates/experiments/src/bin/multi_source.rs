@@ -73,7 +73,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["metric", "1 source/group", "2 sources/group", "gain reduction"],
+            &[
+                "metric",
+                "1 source/group",
+                "2 sources/group",
+                "gain reduction"
+            ],
             &rows
         )
     );

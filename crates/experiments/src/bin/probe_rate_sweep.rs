@@ -51,7 +51,5 @@ fn main() {
         "{}",
         render_table(&["metric", "x0.1 (low)", "x1 (paper)", "x5 (high)"], &rows)
     );
-    println!(
-        "paper: low rate ≈ +3% over default; high rate ≈ -2%; PP/ETT most sensitive."
-    );
+    println!("paper: low rate ≈ +3% over default; high rate ≈ -2%; PP/ETT most sensitive.");
 }

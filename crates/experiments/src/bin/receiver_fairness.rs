@@ -63,7 +63,10 @@ fn main() {
         MeshScenario::paper_default()
     };
     let seeds = args.seeds(5);
-    println!("== extension: per-receiver fairness ({} topologies) ==\n", seeds.len());
+    println!(
+        "== extension: per-receiver fairness ({} topologies) ==\n",
+        seeds.len()
+    );
 
     let mut rows = Vec::new();
     for v in paper_variants() {

@@ -2,9 +2,9 @@
 //! bytes received, on the paper's 50-node simulation setup.
 
 use experiments::cli::CliArgs;
+use experiments::report;
 use experiments::runner::{paper_variants, run_matrix, run_mesh_once, summarize};
 use experiments::scenario::MeshScenario;
-use experiments::report;
 use odmrp::Variant;
 
 fn main() {

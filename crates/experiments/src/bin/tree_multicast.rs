@@ -44,7 +44,10 @@ fn main() {
     multi.sources_per_group = 2;
 
     println!("== §4.3: metric gains on mesh-based (ODMRP) vs tree-based (MAODV-style) ==");
-    println!("(SPP vs first-arrival baseline, {} topologies)\n", seeds.len());
+    println!(
+        "(SPP vs first-arrival baseline, {} topologies)\n",
+        seeds.len()
+    );
 
     let mut rows = Vec::new();
     eprintln!("  ODMRP single-source...");
@@ -83,9 +86,7 @@ fn main() {
 
     let odmrp_retained = retained(odmrp_1, odmrp_2);
     let tree_retained = retained(tree_1, tree_2);
-    println!(
-        "paper: mesh redundancy shrinks ODMRP's gains; tree-based protocols keep them."
-    );
+    println!("paper: mesh redundancy shrinks ODMRP's gains; tree-based protocols keep them.");
     if tree_retained > odmrp_retained {
         println!(
             "observation: tree retains {tree_retained:.0}% of its gain vs ODMRP's {odmrp_retained:.0}% — \

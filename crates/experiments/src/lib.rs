@@ -40,6 +40,7 @@ pub mod stats;
 pub mod trees;
 
 pub use measure::RunMeasurement;
-pub use runner::{paper_variants, run_matrix, run_mesh_once, run_testbed_once, summarize,
-                 VariantSummary};
+pub use runner::{
+    paper_variants, run_matrix, run_mesh_once, run_testbed_once, summarize, VariantSummary,
+};
 pub use scenario::{GroupSpec, MeshScenario, ScenarioLayout, TestbedScenario};

@@ -81,7 +81,10 @@ mod tests {
     #[test]
     fn headline_numbers_match_text() {
         assert_eq!(lookup(&FIG2_THROUGHPUT_SIM, MetricKind::Spp), Some(1.18));
-        assert_eq!(lookup(&FIG2_THROUGHPUT_TESTBED, MetricKind::Pp), Some(1.175));
+        assert_eq!(
+            lookup(&FIG2_THROUGHPUT_TESTBED, MetricKind::Pp),
+            Some(1.175)
+        );
         assert_eq!(lookup(&TABLE1_OVERHEAD_PCT, MetricKind::Ett), Some(3.03));
     }
 }

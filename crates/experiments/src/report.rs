@@ -8,7 +8,7 @@ use crate::paper;
 use crate::runner::VariantSummary;
 use crate::stats::render_table;
 
-fn find<'a>(summaries: &'a [VariantSummary], v: Variant) -> Option<&'a VariantSummary> {
+fn find(summaries: &[VariantSummary], v: Variant) -> Option<&VariantSummary> {
     summaries.iter().find(|s| s.variant == v)
 }
 
@@ -53,7 +53,11 @@ pub fn throughput_table(summaries: &[VariantSummary], paper_col: &[(MetricKind, 
 pub fn delay_table(summaries: &[VariantSummary]) -> String {
     let mut rows = Vec::new();
     if find(summaries, Variant::Original).is_some() {
-        rows.push(vec!["ODMRP".to_string(), "1.000".to_string(), "1.000".to_string()]);
+        rows.push(vec![
+            "ODMRP".to_string(),
+            "1.000".to_string(),
+            "1.000".to_string(),
+        ]);
     }
     for kind in MetricKind::PAPER_SET {
         if let Some(s) = metric_row(summaries, kind) {
@@ -87,7 +91,10 @@ pub fn overhead_table(summaries: &[VariantSummary]) -> String {
             ]);
         }
     }
-    render_table(&["metric", "% overhead (ours)", "% overhead (paper)"], &rows)
+    render_table(
+        &["metric", "% overhead (ours)", "% overhead (paper)"],
+        &rows,
+    )
 }
 
 /// The qualitative claims a faithful reproduction must satisfy for the

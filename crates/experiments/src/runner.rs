@@ -1,7 +1,5 @@
 //! Running variant × topology matrices, in parallel across topologies.
 
-use std::sync::Mutex;
-
 use odmrp::Variant;
 
 use crate::measure::RunMeasurement;
@@ -47,40 +45,59 @@ pub fn run_testbed_once(scenario: &TestbedScenario, variant: Variant, seed: u64)
 ///
 /// `run` must be pure: results are collected and re-ordered by input index,
 /// so the output order matches the input order deterministically.
+///
+/// # Panics
+///
+/// Panics if any job fails to produce exactly one result (a worker thread
+/// panicking propagates out of the internal scope first).
 pub fn run_matrix<F>(variants: &[Variant], seeds: &[u64], run: F) -> Vec<RunMeasurement>
 where
     F: Fn(Variant, u64) -> RunMeasurement + Sync,
 {
-    let jobs: Vec<(usize, Variant, u64)> = variants
+    let jobs: Vec<(Variant, u64)> = variants
         .iter()
         .flat_map(|&v| seeds.iter().map(move |&s| (v, s)))
-        .enumerate()
-        .map(|(i, (v, s))| (i, v, s))
         .collect();
-    let results: Mutex<Vec<Option<RunMeasurement>>> = Mutex::new(vec![None; jobs.len()]);
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(jobs.len().max(1));
+    // Workers send `(index, measurement)` over a channel; the single
+    // collector writes each slot exactly once — no shared mutable vector,
+    // no lock on the hot path, and a missing or duplicated slot is a bug
+    // we catch loudly instead of a silently-discarded `Option`.
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, RunMeasurement)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            let tx = tx.clone();
+            let jobs = &jobs;
+            let next = &next;
+            let run = &run;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
-                let (idx, v, s) = jobs[i];
+                let (v, s) = jobs[i];
                 let m = run(v, s);
-                results.lock().expect("runner mutex").get_mut(idx).map(|slot| *slot = Some(m));
+                tx.send((i, m)).expect("collector outlives workers");
             });
         }
     });
+    drop(tx);
+    let mut results: Vec<Option<RunMeasurement>> = jobs.iter().map(|_| None).collect();
+    for (i, m) in rx {
+        let slot = results.get_mut(i).unwrap_or_else(|| {
+            panic!("worker produced out-of-range job index {i}");
+        });
+        assert!(slot.is_none(), "job {i} produced two results");
+        *slot = Some(m);
+    }
     results
-        .into_inner()
-        .expect("runner mutex")
         .into_iter()
-        .map(|m| m.expect("every job ran"))
+        .enumerate()
+        .map(|(i, m)| m.unwrap_or_else(|| panic!("job {i} produced no result")))
         .collect()
 }
 
@@ -187,7 +204,10 @@ mod tests {
         // 600/500 = 1.2 and 480/400 = 1.2.
         assert!((spp_sum.normalized_throughput.mean - 1.2).abs() < 1e-9);
         assert!((spp_sum.normalized_delay.mean - 0.5).abs() < 1e-9);
-        let base_sum = sums.iter().find(|s| s.variant == Variant::Original).unwrap();
+        let base_sum = sums
+            .iter()
+            .find(|s| s.variant == Variant::Original)
+            .unwrap();
         assert!((base_sum.normalized_throughput.mean - 1.0).abs() < 1e-9);
     }
 
@@ -201,7 +221,10 @@ mod tests {
 
     #[test]
     fn run_matrix_preserves_order_and_runs_all() {
-        let variants = [Variant::Original, Variant::Metric(mcast_metrics::MetricKind::Etx)];
+        let variants = [
+            Variant::Original,
+            Variant::Metric(mcast_metrics::MetricKind::Etx),
+        ];
         let seeds = [10u64, 20, 30];
         let out = run_matrix(&variants, &seeds, |v, s| meas(v, s, s, 0.01));
         assert_eq!(out.len(), 6);

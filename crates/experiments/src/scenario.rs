@@ -41,6 +41,10 @@ pub struct MeshScenario {
     pub alpha: SimDuration,
     /// Rayleigh fading on/off (paper: on).
     pub fading: bool,
+    /// Use the spatially-indexed fan-out in [`PhysicalMedium`] (default: on).
+    /// Results are bit-identical either way; this knob exists for equivalence
+    /// tests and for benchmarking the index against the naive full scan.
+    pub indexed_medium: bool,
 }
 
 impl MeshScenario {
@@ -60,6 +64,7 @@ impl MeshScenario {
             delta: SimDuration::from_millis(30),
             alpha: SimDuration::from_millis(20),
             fading: true,
+            indexed_medium: true,
         }
     }
 
@@ -69,6 +74,20 @@ impl MeshScenario {
             nodes: 30,
             area_side: 800.0,
             data_stop: SimTime::from_secs(150),
+            ..MeshScenario::paper_default()
+        }
+    }
+
+    /// A large-N scalability configuration: `nodes` nodes at the paper's
+    /// node density (the area grows with `sqrt(nodes / 50)` so each node
+    /// keeps the same expected neighborhood), with a shortened 60 s data
+    /// window so runs at N=1000 stay tractable.
+    pub fn scale(nodes: usize) -> Self {
+        MeshScenario {
+            nodes,
+            area_side: 1000.0 * (nodes as f64 / 50.0).sqrt(),
+            data_start: SimTime::from_secs(30),
+            data_stop: SimTime::from_secs(90),
             ..MeshScenario::paper_default()
         }
     }
@@ -155,7 +174,7 @@ impl MeshScenario {
             path_loss: PathLossModel::TwoRayGround,
             ..PhyParams::default()
         };
-        let medium = Box::new(PhysicalMedium::new(phy));
+        let medium = Box::new(PhysicalMedium::new(phy).with_indexing(self.indexed_medium));
         build_simulator(layout, medium, self.odmrp_config(variant), seed)
     }
 
@@ -172,7 +191,7 @@ impl MeshScenario {
             path_loss: PathLossModel::TwoRayGround,
             ..PhyParams::default()
         };
-        let medium = Box::new(PhysicalMedium::new(phy));
+        let medium = Box::new(PhysicalMedium::new(phy).with_indexing(self.indexed_medium));
         let cfg = maodv::MaodvConfig {
             variant,
             probe_rate: self.probe_rate,

@@ -59,7 +59,13 @@ impl Summary {
 
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.3} ± {:.3} (n={})", self.mean, self.ci95_half_width(), self.n)
+        write!(
+            f,
+            "{:.3} ± {:.3} (n={})",
+            self.mean,
+            self.ci95_half_width(),
+            self.n
+        )
     }
 }
 

@@ -52,7 +52,12 @@ fn collect(
         .into_iter()
         .map(|((from, to), packets)| EdgeUse { from, to, packets })
         .collect();
-    v.sort_by(|a, b| b.packets.cmp(&a.packets).then(a.from.cmp(&b.from)).then(a.to.cmp(&b.to)));
+    v.sort_by(|a, b| {
+        b.packets
+            .cmp(&a.packets)
+            .then(a.from.cmp(&b.from))
+            .then(a.to.cmp(&b.to))
+    });
     v
 }
 

@@ -1,0 +1,56 @@
+//! Regression tests for the simulator's determinism contract: a fixed
+//! `(configuration, seed)` produces bit-identical results run-to-run, and
+//! the spatially-indexed medium changes nothing at all.
+
+use experiments::runner::run_mesh_once;
+use experiments::scenario::MeshScenario;
+use mesh_sim::time::SimTime;
+use odmrp::Variant;
+
+/// A small fig2-style configuration that still exercises probing, join
+/// floods and CBR data, but finishes in well under a second.
+fn tiny() -> MeshScenario {
+    MeshScenario {
+        // Two groups of 10 members + 1 source each need 22 distinct roles.
+        nodes: 25,
+        area_side: 700.0,
+        data_start: SimTime::from_secs(5),
+        data_stop: SimTime::from_secs(10),
+        ..MeshScenario::paper_default()
+    }
+}
+
+#[test]
+fn same_config_and_seed_is_bit_identical() {
+    let scenario = tiny();
+    for variant in [
+        Variant::Original,
+        Variant::Metric(mcast_metrics::MetricKind::Etx),
+    ] {
+        let a = run_mesh_once(&scenario, variant, 7);
+        let b = run_mesh_once(&scenario, variant, 7);
+        assert_eq!(a.sent, b.sent);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.mean_delay_s.to_bits(), b.mean_delay_s.to_bits());
+        assert_eq!(a.counters, b.counters, "counters diverged across reruns");
+    }
+}
+
+#[test]
+fn indexed_medium_is_bit_identical_to_naive() {
+    let mut scenario = tiny();
+    for seed in [1u64, 2, 3] {
+        scenario.indexed_medium = true;
+        let indexed = run_mesh_once(&scenario, Variant::Original, seed);
+        scenario.indexed_medium = false;
+        let naive = run_mesh_once(&scenario, Variant::Original, seed);
+        assert!(indexed.sent > 0, "no data sent — vacuous comparison");
+        assert_eq!(indexed.sent, naive.sent);
+        assert_eq!(indexed.delivered, naive.delivered);
+        assert_eq!(indexed.mean_delay_s.to_bits(), naive.mean_delay_s.to_bits());
+        assert_eq!(
+            indexed.counters, naive.counters,
+            "seed {seed}: spatial index changed simulation results"
+        );
+    }
+}

@@ -71,6 +71,9 @@ mod tests {
     #[test]
     fn with_metric_sets_variant() {
         let c = MaodvConfig::with_metric(mcast_metrics::MetricKind::Spp);
-        assert_eq!(c.variant.metric_kind(), Some(mcast_metrics::MetricKind::Spp));
+        assert_eq!(
+            c.variant.metric_kind(),
+            Some(mcast_metrics::MetricKind::Spp)
+        );
     }
 }

@@ -66,8 +66,8 @@ mod tests {
 
     #[test]
     fn sizes_positive() {
-        assert!(RouteRequest::BYTES > 0);
-        assert!(Graft::BYTES > 0);
+        const { assert!(RouteRequest::BYTES > 0) };
+        const { assert!(Graft::BYTES > 0) };
     }
 
     #[test]

@@ -14,7 +14,7 @@ use mesh_sim::protocol::{Protocol, RxMeta, TxOutcome};
 use mesh_sim::time::{SimDuration, SimTime};
 use mesh_sim::world::Ctx;
 use odmrp::messages::{class, DataPacket};
-use odmrp::{Delivered, MulticastApp, NodeRole, NodeStats, Variant};
+use odmrp::{MulticastApp, NodeRole, NodeStats, Variant};
 
 use crate::config::MaodvConfig;
 use crate::messages::{Graft, MaodvMsg, RouteRequest};
@@ -131,7 +131,7 @@ impl MaodvNode {
     pub fn is_tree_forwarder(&self, group: GroupId, source: NodeId, now: SimTime) -> bool {
         self.trees
             .get(&(group, source))
-            .map_or(false, |t| t.live_children(now) > 0)
+            .is_some_and(|t| t.live_children(now) > 0)
     }
 
     /// Number of distinct `(group, source)` trees this node has children in.
@@ -240,7 +240,7 @@ impl MaodvNode {
                 let better = self
                     .requests
                     .get(&key)
-                    .map_or(false, |st| metric.better(cost, st.best_cost));
+                    .is_some_and(|st| metric.better(cost, st.best_cost));
                 (cost, better)
             }
         };
@@ -276,7 +276,7 @@ impl MaodvNode {
                 st.hop_count = rq.hop_count + 1;
                 let improves = st
                     .best_forwarded
-                    .map_or(true, |f| match self.metric.as_ref() {
+                    .is_none_or(|f| match self.metric.as_ref() {
                         Some(m) => m.better(new_cost, f),
                         None => false,
                     });
@@ -332,7 +332,12 @@ impl MaodvNode {
             return;
         };
         let upstream = st.upstream;
-        match ctx.send_unicast(upstream, MaodvMsg::Graft(graft), Graft::BYTES, class::CONTROL) {
+        match ctx.send_unicast(
+            upstream,
+            MaodvMsg::Graft(graft),
+            Graft::BYTES,
+            class::CONTROL,
+        ) {
             Ok(handle) => {
                 self.pending_grafts.insert(handle, (graft, attempt));
                 self.stats.replies_sent += 1;
@@ -414,21 +419,16 @@ impl MaodvNode {
 
         let now = ctx.now();
         if self.role.is_member(d.group, now) {
-            let rec = self
-                .stats
-                .delivered
-                .entry((d.group, d.source))
-                .or_insert_with(Delivered::default);
+            let rec = self.stats.delivered.entry((d.group, d.source)).or_default();
             rec.count += 1;
             rec.delay_sum_s += now.saturating_since(d.sent_at).as_secs_f64();
         }
-        if self.is_tree_forwarder(d.group, d.source, now) {
-            if ctx
+        if self.is_tree_forwarder(d.group, d.source, now)
+            && ctx
                 .send_broadcast(MaodvMsg::Data(d.clone()), d.bytes, class::DATA)
                 .is_ok()
-            {
-                self.stats.data_forwards += 1;
-            }
+        {
+            self.stats.data_forwards += 1;
         }
     }
 }

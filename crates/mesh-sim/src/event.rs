@@ -91,7 +91,7 @@ impl EventQueue {
 
     /// Pop the earliest event if it occurs at or before `limit`.
     pub fn pop_if_at_or_before(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
-        if self.heap.peek().map_or(false, |e| e.time <= limit) {
+        if self.heap.peek().is_some_and(|e| e.time <= limit) {
             self.heap.pop()
         } else {
             None

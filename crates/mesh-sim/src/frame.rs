@@ -6,6 +6,7 @@
 
 use crate::ids::{FrameId, NodeId, TxHandle};
 use crate::time::SimDuration;
+use std::sync::Arc;
 
 /// What a frame is, at the MAC level.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,7 +21,9 @@ pub(crate) enum FrameBody<M> {
     Data {
         /// `None` means link-layer broadcast.
         dst: Option<NodeId>,
-        msg: M,
+        /// Shared payload: cloning a frame body (one clone per receiver on
+        /// broadcast fan-out) bumps a refcount instead of copying `M`.
+        msg: Arc<M>,
         /// Protocol-defined traffic class for byte accounting.
         class: u8,
         handle: TxHandle,
@@ -157,7 +160,7 @@ mod tests {
             src: NodeId::new(0),
             body: FrameBody::Data {
                 dst: None,
-                msg: 7,
+                msg: Arc::new(7),
                 class: 0,
                 handle: TxHandle(1),
                 mac_seq: 0,

@@ -65,6 +65,7 @@ pub mod ids;
 pub mod mac;
 pub mod medium;
 pub mod mobility;
+pub mod neighbor_index;
 pub mod propagation;
 pub mod protocol;
 mod radio;
@@ -82,6 +83,7 @@ pub mod prelude {
     pub use crate::ids::{GroupId, NodeId, TimerId, TxHandle};
     pub use crate::mac::MacParams;
     pub use crate::medium::{LinkTableMedium, Medium, PhysicalMedium, RxPlan};
+    pub use crate::neighbor_index::NeighborIndex;
     pub use crate::propagation::{FadingModel, PathLossModel, PhyParams};
     pub use crate::protocol::{Protocol, RxMeta, TxOutcome};
     pub use crate::rng::SimRng;

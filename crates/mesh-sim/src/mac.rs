@@ -113,10 +113,7 @@ impl MacParams {
 
     /// NAV carried in a CTS: covers DATA + ACK.
     pub fn cts_nav(&self, payload_bytes: u32) -> SimDuration {
-        self.sifs
-            + self.data_airtime(payload_bytes)
-            + self.sifs
-            + self.ctrl_airtime(self.ack_bytes)
+        self.sifs + self.data_airtime(payload_bytes) + self.sifs + self.ctrl_airtime(self.ack_bytes)
     }
 
     /// The next contention window after a failed attempt.
@@ -149,7 +146,8 @@ impl MacParams {
 pub(crate) struct OutFrame<M> {
     /// `None` = link-layer broadcast.
     pub dst: Option<NodeId>,
-    pub msg: M,
+    /// Shared with every in-flight copy of this frame (retries included).
+    pub msg: std::sync::Arc<M>,
     /// Payload size in bytes.
     pub bytes: u32,
     /// Protocol-defined traffic class for accounting.
@@ -292,10 +290,7 @@ mod tests {
         let rts_nav = p.rts_nav(512);
         let cts_nav = p.cts_nav(512);
         assert!(rts_nav > cts_nav);
-        assert_eq!(
-            rts_nav,
-            p.sifs + p.ctrl_airtime(p.cts_bytes) + cts_nav
-        );
+        assert_eq!(rts_nav, p.sifs + p.ctrl_airtime(p.cts_bytes) + cts_nav);
     }
 
     #[test]
@@ -343,10 +338,12 @@ mod tests {
 
     #[test]
     fn reset_contention_clears_retries() {
-        let mut m: Mac<u8> = Mac::default();
-        m.cw = 255;
-        m.short_retries = 3;
-        m.long_retries = 2;
+        let mut m: Mac<u8> = Mac {
+            cw: 255,
+            short_retries: 3,
+            long_retries: 2,
+            ..Mac::default()
+        };
         m.reset_contention(31);
         assert_eq!((m.cw, m.short_retries, m.long_retries), (31, 0, 0));
     }

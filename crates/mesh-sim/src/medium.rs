@@ -11,6 +11,7 @@
 
 use crate::geometry::Pos;
 use crate::ids::NodeId;
+use crate::neighbor_index::NeighborIndex;
 use crate::propagation::PhyParams;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -48,40 +49,135 @@ pub trait Medium {
     /// The PHY parameters (thresholds, capture ratio) the world should use to
     /// interpret the powers this medium emits.
     fn phy(&self) -> &PhyParams;
+
+    /// Notification that node positions have (or may have) changed since the
+    /// last `fan_out`. Media that cache anything derived from geometry must
+    /// drop those caches here. The world calls this on every mobility step;
+    /// the default is a no-op for media that don't look at positions.
+    fn invalidate_positions(&mut self) {}
+}
+
+/// A potential receiver of one transmitter, with its geometry-derived
+/// quantities precomputed. Membership is exactly the old full-scan predicate
+/// `mean_rx_power_w(d) >= floor_w / 100`, and lists are NodeId-ascending, so
+/// replaying a cached list draws the same RNG sequence as the full scan.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    node: NodeId,
+    mean_w: f64,
+    delay: SimDuration,
+}
+
+/// Geometry caches for [`PhysicalMedium`], valid for one positions snapshot.
+#[derive(Debug, Clone)]
+struct FanOutCache {
+    /// The snapshot the cache was built against; checked (debug builds) to
+    /// catch positions changing without `invalidate_positions`.
+    positions: Vec<Pos>,
+    /// Search radius covering every node that can pass the floor predicate.
+    candidate_range_m: f64,
+    grid: NeighborIndex,
+    /// Lazily-built candidate list per transmitter.
+    per_tx: Vec<Option<Box<[Candidate]>>>,
+    /// Scratch buffer for grid queries.
+    scratch: Vec<u32>,
+}
+
+impl FanOutCache {
+    fn new(positions: &[Pos], phy: &PhyParams, floor_w: f64) -> Self {
+        // Smallest distance already below the floor predicate, padded so
+        // bisection slop can't exclude a passing node; the exact per-node
+        // predicate decides membership either way.
+        let candidate_range_m = phy.range_for_mean_power(floor_w / 100.0) * 1.001 + 1.0;
+        FanOutCache {
+            positions: positions.to_vec(),
+            candidate_range_m,
+            grid: NeighborIndex::build(positions, candidate_range_m),
+            per_tx: vec![None; positions.len()],
+            scratch: Vec::new(),
+        }
+    }
+
+    fn candidates_for(&mut self, tx: NodeId, phy: &PhyParams, floor_w: f64) -> &[Candidate] {
+        let slot = &mut self.per_tx[tx.index()];
+        if slot.is_none() {
+            let src = self.positions[tx.index()];
+            self.scratch.clear();
+            self.grid
+                .candidates_within(src, self.candidate_range_m, &mut self.scratch);
+            // NodeId-ascending so the RNG draw order matches the full scan.
+            self.scratch.sort_unstable();
+            let mut list = Vec::with_capacity(self.scratch.len());
+            for &i in &self.scratch {
+                if i as usize == tx.index() {
+                    continue;
+                }
+                let d = src.distance_to(self.positions[i as usize]);
+                if phy.mean_rx_power_w(d) < floor_w / 100.0 {
+                    continue;
+                }
+                list.push(Candidate {
+                    node: NodeId::new(i),
+                    mean_w: phy.mean_rx_power_w(d),
+                    delay: phy.propagation_delay(d),
+                });
+            }
+            *slot = Some(list.into_boxed_slice());
+        }
+        slot.as_deref().unwrap()
+    }
 }
 
 /// Physics-based medium: path loss + fading from node positions.
+///
+/// By default the medium runs **indexed**: per-transmitter candidate lists
+/// (who can possibly hear me, at what mean power and delay) are computed once
+/// per positions snapshot via a [`NeighborIndex`] grid and replayed per
+/// frame, so static topologies pay the O(N) geometry math once instead of
+/// per transmission. Mobility invalidates the caches through
+/// [`Medium::invalidate_positions`].
+///
+/// Determinism is preserved exactly: candidate membership is the same
+/// predicate the full scan applies, lists are NodeId-ascending, and fading is
+/// sampled from the cached mean with the same RNG draws — a fixed
+/// `(config, seed)` produces bit-identical results with indexing on or off.
 #[derive(Debug, Clone)]
 pub struct PhysicalMedium {
     phy: PhyParams,
     /// Powers below `cs_threshold * floor_factor` are dropped outright; they
     /// cannot affect carrier sense or capture in the reception model.
     floor_w: f64,
+    indexed: bool,
+    cache: Option<FanOutCache>,
 }
 
 impl PhysicalMedium {
     /// Create a physical medium with the given PHY parameters.
     pub fn new(phy: PhyParams) -> Self {
         let floor_w = phy.cs_threshold_w;
-        PhysicalMedium { phy, floor_w }
+        PhysicalMedium {
+            phy,
+            floor_w,
+            indexed: true,
+            cache: None,
+        }
     }
-}
 
-impl Default for PhysicalMedium {
-    fn default() -> Self {
-        PhysicalMedium::new(PhyParams::default())
+    /// Enable or disable the spatial index / candidate caches (on by
+    /// default). Disabled, every fan-out is a full O(N) scan — useful as the
+    /// reference implementation in equivalence tests and benchmarks.
+    pub fn with_indexing(mut self, indexed: bool) -> Self {
+        self.indexed = indexed;
+        self.cache = None;
+        self
     }
-}
 
-impl Medium for PhysicalMedium {
-    fn fan_out(
-        &mut self,
-        tx: NodeId,
-        positions: &[Pos],
-        _now: SimTime,
-        rng: &mut SimRng,
-        out: &mut Vec<RxPlan>,
-    ) {
+    /// Whether the spatial index is enabled.
+    pub fn indexing(&self) -> bool {
+        self.indexed
+    }
+
+    fn fan_out_scan(&self, tx: NodeId, positions: &[Pos], rng: &mut SimRng, out: &mut Vec<RxPlan>) {
         let src = positions[tx.index()];
         for (i, &pos) in positions.iter().enumerate() {
             if i == tx.index() {
@@ -105,9 +201,58 @@ impl Medium for PhysicalMedium {
             });
         }
     }
+}
+
+impl Default for PhysicalMedium {
+    fn default() -> Self {
+        PhysicalMedium::new(PhyParams::default())
+    }
+}
+
+impl Medium for PhysicalMedium {
+    fn fan_out(
+        &mut self,
+        tx: NodeId,
+        positions: &[Pos],
+        _now: SimTime,
+        rng: &mut SimRng,
+        out: &mut Vec<RxPlan>,
+    ) {
+        if !self.indexed {
+            self.fan_out_scan(tx, positions, rng, out);
+            return;
+        }
+        if self
+            .cache
+            .as_ref()
+            .is_none_or(|c| c.positions.len() != positions.len())
+        {
+            self.cache = Some(FanOutCache::new(positions, &self.phy, self.floor_w));
+        }
+        let cache = self.cache.as_mut().unwrap();
+        debug_assert_eq!(
+            cache.positions, positions,
+            "positions changed without Medium::invalidate_positions()"
+        );
+        for c in cache.candidates_for(tx, &self.phy, self.floor_w) {
+            let power = self.phy.sample_from_mean_w(c.mean_w, rng);
+            if power < self.floor_w {
+                continue;
+            }
+            out.push(RxPlan {
+                node: c.node,
+                power_w: power,
+                delay: c.delay,
+            });
+        }
+    }
 
     fn phy(&self) -> &PhyParams {
         &self.phy
+    }
+
+    fn invalidate_positions(&mut self) {
+        self.cache = None;
     }
 }
 
@@ -128,6 +273,11 @@ pub struct LinkTableMedium {
     phy: PhyParams,
     /// Directed link -> loss probability in `[0, 1]`.
     links: std::collections::HashMap<(NodeId, NodeId), f64>,
+    /// Per-transmitter outgoing links `(receiver, loss)` sorted by receiver,
+    /// so `fan_out` iterates actual links instead of probing the map per
+    /// node. Rebuilt lazily after any mutation.
+    adjacency: Vec<Vec<(NodeId, f64)>>,
+    adjacency_stale: bool,
     /// Fixed propagation delay applied to every link.
     delay: SimDuration,
 }
@@ -140,6 +290,8 @@ impl LinkTableMedium {
             // chosen relative to them.
             phy: PhyParams::default(),
             links: std::collections::HashMap::new(),
+            adjacency: Vec::new(),
+            adjacency_stale: false,
             delay: SimDuration::from_nanos(200),
         }
     }
@@ -154,6 +306,7 @@ impl LinkTableMedium {
         assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
         self.links.insert((a, b), loss);
         self.links.insert((b, a), loss);
+        self.adjacency_stale = true;
         self
     }
 
@@ -169,6 +322,16 @@ impl LinkTableMedium {
             .get_mut(&(from, to))
             .expect("link must be added before set_loss");
         *slot = loss;
+        // Membership and order are unchanged; patch the adjacency in place
+        // (media like the testbed walk losses every few sim-seconds, and a
+        // full rebuild per walk step would defeat the point of the lists).
+        if !self.adjacency_stale {
+            if let Some(list) = self.adjacency.get_mut(from.index()) {
+                if let Ok(i) = list.binary_search_by_key(&to, |&(n, _)| n) {
+                    list[i].1 = loss;
+                }
+            }
+        }
     }
 
     /// Current loss probability of a directed link, if present.
@@ -179,6 +342,26 @@ impl LinkTableMedium {
     /// Directed links in the table.
     pub fn num_links(&self) -> usize {
         self.links.len()
+    }
+
+    fn rebuild_adjacency(&mut self) {
+        let n = self
+            .links
+            .keys()
+            .map(|&(from, _)| from.index() + 1)
+            .max()
+            .unwrap_or(0);
+        self.adjacency.clear();
+        self.adjacency.resize(n, Vec::new());
+        for (&(from, to), &loss) in &self.links {
+            self.adjacency[from.index()].push((to, loss));
+        }
+        for list in &mut self.adjacency {
+            // NodeId-ascending: the RNG draw order must match the old
+            // 0..N map-probe loop.
+            list.sort_unstable_by_key(|&(node, _)| node);
+        }
+        self.adjacency_stale = false;
     }
 }
 
@@ -197,14 +380,19 @@ impl Medium for LinkTableMedium {
         rng: &mut SimRng,
         out: &mut Vec<RxPlan>,
     ) {
-        for i in 0..positions.len() {
-            let node = NodeId::new(i as u32);
-            if node == tx {
+        if self.adjacency_stale {
+            self.rebuild_adjacency();
+        }
+        let Some(list) = self.adjacency.get(tx.index()) else {
+            return;
+        };
+        for &(node, loss) in list {
+            // The old full scan only considered ids below the positions
+            // length and never the transmitter; keep both for identical
+            // RNG draw order.
+            if node == tx || node.index() >= positions.len() {
                 continue;
             }
-            let Some(&loss) = self.links.get(&(tx, node)) else {
-                continue;
-            };
             let decodable = !rng.chance(loss);
             let power = if decodable {
                 self.phy.rx_threshold_w * 10.0
@@ -243,7 +431,13 @@ mod tests {
         let mut m = PhysicalMedium::default();
         let mut rng = SimRng::seed_from(1);
         let mut out = Vec::new();
-        m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut out);
+        m.fan_out(
+            NodeId::new(0),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
         assert!(out.iter().all(|p| p.node != NodeId::new(0)));
     }
 
@@ -253,7 +447,13 @@ mod tests {
         let mut rng = SimRng::seed_from(2);
         for _ in 0..200 {
             let mut out = Vec::new();
-            m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut out);
+            m.fan_out(
+                NodeId::new(0),
+                &positions(),
+                SimTime::ZERO,
+                &mut rng,
+                &mut out,
+            );
             assert!(out.iter().all(|p| p.node != NodeId::new(3)));
         }
     }
@@ -266,7 +466,13 @@ mod tests {
         let trials = 500;
         for _ in 0..trials {
             let mut out = Vec::new();
-            m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut out);
+            m.fan_out(
+                NodeId::new(0),
+                &positions(),
+                SimTime::ZERO,
+                &mut rng,
+                &mut out,
+            );
             if out
                 .iter()
                 .any(|p| p.node == NodeId::new(1) && p.power_w >= m.phy().rx_threshold_w)
@@ -285,7 +491,13 @@ mod tests {
         });
         let mut rng = SimRng::seed_from(4);
         let mut out = Vec::new();
-        m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut out);
+        m.fan_out(
+            NodeId::new(0),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
         let d1 = out.iter().find(|p| p.node == NodeId::new(1)).unwrap().delay;
         let d2 = out.iter().find(|p| p.node == NodeId::new(2)).unwrap().delay;
         assert!(d2 > d1);
@@ -300,8 +512,20 @@ mod tests {
         let mut rng = SimRng::seed_from(5);
         let mut a = Vec::new();
         let mut b = Vec::new();
-        m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut a);
-        m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut b);
+        m.fan_out(
+            NodeId::new(0),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut a,
+        );
+        m.fan_out(
+            NodeId::new(0),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut b,
+        );
         assert_eq!(a, b);
     }
 
@@ -312,13 +536,25 @@ mod tests {
         assert_eq!(m.num_links(), 2);
         let mut rng = SimRng::seed_from(6);
         let mut out = Vec::new();
-        m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut out);
+        m.fan_out(
+            NodeId::new(0),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].node, NodeId::new(1));
         assert!(out[0].power_w >= m.phy().rx_threshold_w);
         // Node 2 has no link from 0: never appears.
         out.clear();
-        m.fan_out(NodeId::new(2), &positions(), SimTime::ZERO, &mut rng, &mut out);
+        m.fan_out(
+            NodeId::new(2),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 
@@ -332,7 +568,13 @@ mod tests {
         let mut out = Vec::new();
         for _ in 0..trials {
             out.clear();
-            m.fan_out(NodeId::new(0), &positions(), SimTime::ZERO, &mut rng, &mut out);
+            m.fan_out(
+                NodeId::new(0),
+                &positions(),
+                SimTime::ZERO,
+                &mut rng,
+                &mut out,
+            );
             // A lost frame is still sensed, just not decodable.
             assert_eq!(out.len(), 1);
             if out[0].power_w >= m.phy().rx_threshold_w {

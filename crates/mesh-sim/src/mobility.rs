@@ -18,8 +18,7 @@ pub trait Mobility: std::fmt::Debug {
     ///
     /// Returns when the model wants to be stepped next, or `None` if the
     /// positions will never change again.
-    fn step(&mut self, now: SimTime, positions: &mut [Pos], rng: &mut SimRng)
-        -> Option<SimTime>;
+    fn step(&mut self, now: SimTime, positions: &mut [Pos], rng: &mut SimRng) -> Option<SimTime>;
 }
 
 /// No movement (the mesh-network assumption).
@@ -108,15 +107,12 @@ impl RandomWaypoint {
 }
 
 impl Mobility for RandomWaypoint {
-    fn step(
-        &mut self,
-        now: SimTime,
-        positions: &mut [Pos],
-        rng: &mut SimRng,
-    ) -> Option<SimTime> {
+    fn step(&mut self, now: SimTime, positions: &mut [Pos], rng: &mut SimRng) -> Option<SimTime> {
         if !self.started {
             self.started = true;
-            self.states = (0..positions.len()).map(|_| self.new_leg(now, rng)).collect();
+            self.states = (0..positions.len())
+                .map(|_| self.new_leg(now, rng))
+                .collect();
             self.last_update = now;
             return Some(now + self.tick);
         }
@@ -156,10 +152,8 @@ impl Mobility for RandomWaypoint {
                         };
                     } else if dist > 0.0 {
                         let f = step / dist;
-                        positions[i] = Pos::new(
-                            p.x + (target.x - p.x) * f,
-                            p.y + (target.y - p.y) * f,
-                        );
+                        positions[i] =
+                            Pos::new(p.x + (target.x - p.x) * f, p.y + (target.y - p.y) * f);
                     }
                 }
             }
@@ -234,11 +228,7 @@ mod tests {
         for _ in 0..10 {
             t = m.step(t, &mut ps, &mut rng).unwrap();
         }
-        let still = ps
-            .iter()
-            .zip(&snapshot)
-            .filter(|(a, b)| a == b)
-            .count();
+        let still = ps.iter().zip(&snapshot).filter(|(a, b)| a == b).count();
         assert!(still > 0, "with an hour-long pause someone must be paused");
     }
 

@@ -1,0 +1,256 @@
+//! Uniform-grid spatial index over node positions.
+//!
+//! [`NeighborIndex`] buckets nodes into square cells so that range queries
+//! ("every node within `r` meters of here") touch only the cells overlapping
+//! the query square instead of scanning all N nodes. The medium uses it to
+//! rebuild its per-transmitter candidate caches in O(K) per transmitter
+//! (K = nodes in range) rather than O(N).
+//!
+//! The index is a snapshot: it does not observe position changes. Rebuild it
+//! (or the caches derived from it) whenever positions move — the simulator
+//! signals this via [`crate::medium::Medium::invalidate_positions`].
+
+use crate::geometry::Pos;
+
+/// Upper bound on grid cells per axis; keeps degenerate configurations
+/// (tiny radio range in a huge area) from allocating unbounded cell arrays.
+/// Cells just get coarser — queries stay correct, only less selective.
+const MAX_CELLS_PER_AXIS: usize = 256;
+
+/// A uniform grid over a set of node positions supporting conservative
+/// range queries.
+///
+/// Queries return a **superset** of the nodes within the radius (everything
+/// in the cells overlapping the query square); callers apply their exact
+/// predicate per node.
+#[derive(Debug, Clone)]
+pub struct NeighborIndex {
+    origin: Pos,
+    /// Cell side length in meters.
+    cell_m: f64,
+    cols: usize,
+    rows: usize,
+    /// CSR layout: `starts[c]..starts[c + 1]` indexes `nodes` for cell `c`.
+    starts: Vec<u32>,
+    /// Node indices grouped by cell, ascending within each cell.
+    nodes: Vec<u32>,
+}
+
+impl NeighborIndex {
+    /// Build an index with cells of (at least) `cell_m` meters per side.
+    ///
+    /// `cell_m` is normally the query radius the caller intends to use, so a
+    /// query touches at most 3×3 = 9 cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_m` is not positive and finite, or any position is
+    /// non-finite.
+    pub fn build(positions: &[Pos], cell_m: f64) -> Self {
+        assert!(
+            cell_m > 0.0 && cell_m.is_finite(),
+            "cell size must be positive and finite"
+        );
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in positions {
+            assert!(p.x.is_finite() && p.y.is_finite(), "non-finite position");
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if positions.is_empty() {
+            (min_x, min_y, max_x, max_y) = (0.0, 0.0, 0.0, 0.0);
+        }
+        let span_x = (max_x - min_x).max(0.0);
+        let span_y = (max_y - min_y).max(0.0);
+        let cols = grid_extent(span_x, cell_m);
+        let rows = grid_extent(span_y, cell_m);
+        // Widen cells if the axis cap kicked in, so coverage stays complete.
+        let cell_m = cell_m.max(span_x / cols as f64).max(span_y / rows as f64);
+
+        let origin = Pos::new(min_x, min_y);
+        let mut index = NeighborIndex {
+            origin,
+            cell_m,
+            cols,
+            rows,
+            starts: vec![0; cols * rows + 1],
+            nodes: vec![0; positions.len()],
+        };
+        // Counting sort into CSR: count per cell, prefix-sum, then fill.
+        // Filling in ascending node order keeps each cell's list ascending.
+        for &p in positions {
+            let c = index.cell_of(p);
+            index.starts[c + 1] += 1;
+        }
+        for c in 0..cols * rows {
+            index.starts[c + 1] += index.starts[c];
+        }
+        let mut cursor: Vec<u32> = index.starts[..cols * rows].to_vec();
+        for (i, &p) in positions.iter().enumerate() {
+            let c = index.cell_of(p);
+            index.nodes[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        index
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the index holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Grid dimensions `(cols, rows)`; exposed for diagnostics.
+    pub fn grid_dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    fn cell_coords(&self, p: Pos) -> (usize, usize) {
+        let cx = ((p.x - self.origin.x) / self.cell_m) as usize;
+        let cy = ((p.y - self.origin.y) / self.cell_m) as usize;
+        (cx.min(self.cols - 1), cy.min(self.rows - 1))
+    }
+
+    fn cell_of(&self, p: Pos) -> usize {
+        let (cx, cy) = self.cell_coords(p);
+        cy * self.cols + cx
+    }
+
+    /// Append to `out` every node in a cell overlapping the square of
+    /// half-side `radius_m` around `center` — a superset of the nodes within
+    /// `radius_m` meters. Within a cell nodes come out ascending, but cells
+    /// are visited row-major, so the overall order is not sorted.
+    pub fn candidates_within(&self, center: Pos, radius_m: f64, out: &mut Vec<u32>) {
+        let lo = Pos::new(center.x - radius_m, center.y - radius_m);
+        let hi = Pos::new(center.x + radius_m, center.y + radius_m);
+        let (cx0, cy0) = self.cell_coords(clamp_to(lo, self.origin));
+        let (cx1, cy1) = self.cell_coords(hi);
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                let c = cy * self.cols + cx;
+                let (s, e) = (self.starts[c] as usize, self.starts[c + 1] as usize);
+                out.extend_from_slice(&self.nodes[s..e]);
+            }
+        }
+    }
+}
+
+/// Cells needed to cover `span` meters with `cell`-sized cells, capped.
+fn grid_extent(span: f64, cell: f64) -> usize {
+    ((span / cell).floor() as usize + 1).min(MAX_CELLS_PER_AXIS)
+}
+
+/// Clamp a query corner to the grid origin so the `f64 as usize` cast in
+/// `cell_coords` (which saturates negatives to 0 only for the final min)
+/// never sees a coordinate below the origin.
+fn clamp_to(p: Pos, origin: Pos) -> Pos {
+    Pos::new(p.x.max(origin.x), p.y.max(origin.y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    fn brute_force(positions: &[Pos], center: Pos, r: f64) -> Vec<u32> {
+        let mut v: Vec<u32> = positions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| center.distance_to(**p) <= r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn query_is_superset_of_brute_force() {
+        let mut rng = SimRng::seed_from(42);
+        for trial in 0..50 {
+            let n = 1 + (trial % 40);
+            let positions: Vec<Pos> = (0..n)
+                .map(|_| {
+                    Pos::new(
+                        rng.uniform_range(-500.0, 1500.0),
+                        rng.uniform_range(0.0, 900.0),
+                    )
+                })
+                .collect();
+            let idx = NeighborIndex::build(&positions, 200.0);
+            for _ in 0..10 {
+                let center = positions[rng.uniform_u32(n as u32) as usize];
+                let r = rng.uniform_range(1.0, 400.0);
+                let mut got = Vec::new();
+                idx.candidates_within(center, r, &mut got);
+                got.sort_unstable();
+                let expect = brute_force(&positions, center, r);
+                for e in expect {
+                    assert!(got.contains(&e), "node {e} missing at r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_prunes_far_nodes() {
+        // A long line of nodes: a small-radius query near one end must not
+        // return the whole line.
+        let positions: Vec<Pos> = (0..1000).map(|i| Pos::new(i as f64 * 10.0, 0.0)).collect();
+        let idx = NeighborIndex::build(&positions, 100.0);
+        let mut got = Vec::new();
+        idx.candidates_within(positions[0], 100.0, &mut got);
+        assert!(got.len() < 100, "pruning failed: {} candidates", got.len());
+        got.sort_unstable();
+        for e in brute_force(&positions, positions[0], 100.0) {
+            assert!(got.contains(&e));
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        // Empty.
+        let idx = NeighborIndex::build(&[], 10.0);
+        assert!(idx.is_empty());
+        let mut out = Vec::new();
+        idx.candidates_within(Pos::new(0.0, 0.0), 50.0, &mut out);
+        assert!(out.is_empty());
+        // All co-located.
+        let positions = vec![Pos::new(5.0, 5.0); 7];
+        let idx = NeighborIndex::build(&positions, 1.0);
+        out.clear();
+        idx.candidates_within(Pos::new(5.0, 5.0), 0.5, &mut out);
+        assert_eq!(out, (0..7).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn tiny_cell_size_is_capped_not_exploding() {
+        let positions = vec![Pos::new(0.0, 0.0), Pos::new(1.0e6, 1.0e6)];
+        let idx = NeighborIndex::build(&positions, 0.001);
+        let (cols, rows) = idx.grid_dims();
+        assert!(cols <= MAX_CELLS_PER_AXIS && rows <= MAX_CELLS_PER_AXIS);
+        let mut out = Vec::new();
+        idx.candidates_within(Pos::new(0.0, 0.0), 10.0, &mut out);
+        assert!(out.contains(&0));
+    }
+
+    #[test]
+    fn cells_preserve_ascending_order_within_cell() {
+        let positions = vec![
+            Pos::new(1.0, 1.0),
+            Pos::new(2.0, 2.0),
+            Pos::new(3.0, 1.5),
+            Pos::new(1.5, 2.5),
+        ];
+        let idx = NeighborIndex::build(&positions, 100.0);
+        let mut out = Vec::new();
+        idx.candidates_within(Pos::new(2.0, 2.0), 50.0, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+}

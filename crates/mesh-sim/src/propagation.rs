@@ -161,7 +161,16 @@ impl PhyParams {
     /// Sample the actual received power in watts for one frame at distance
     /// `d`, applying shadowing and fading.
     pub fn sample_rx_power_w(&self, d: f64, rng: &mut SimRng) -> f64 {
-        let mut p = self.mean_rx_power_w(d);
+        self.sample_from_mean_w(self.mean_rx_power_w(d), rng)
+    }
+
+    /// Sample one frame's received power from a precomputed mean power
+    /// (as returned by [`PhyParams::mean_rx_power_w`]), applying shadowing
+    /// and fading. Draws the exact same RNG sequence as
+    /// [`PhyParams::sample_rx_power_w`], so media may cache mean powers per
+    /// link without perturbing determinism.
+    pub fn sample_from_mean_w(&self, mean_w: f64, rng: &mut SimRng) -> f64 {
+        let mut p = mean_w;
         if self.shadowing_sigma_db > 0.0 {
             let db = rng.normal_db(self.shadowing_sigma_db);
             p *= 10f64.powf(db / 10.0);
@@ -191,6 +200,15 @@ impl PhyParams {
     /// The deterministic carrier-sense range implied by the CS threshold.
     pub fn carrier_sense_range_m(&self) -> f64 {
         self.range_for_threshold(self.cs_threshold_w)
+    }
+
+    /// The largest distance at which the *mean* received power still reaches
+    /// `thresh` watts, found by bisection (mean power is monotone
+    /// non-increasing in distance for every supported path-loss model).
+    /// Capped at 100 km. Spatial indexes use this to bound their search
+    /// radius for a given power floor.
+    pub fn range_for_mean_power(&self, thresh: f64) -> f64 {
+        self.range_for_threshold(thresh)
     }
 
     fn range_for_threshold(&self, thresh: f64) -> f64 {
@@ -314,8 +332,10 @@ mod tests {
         let d = 150.0;
         let mean_model = p.mean_rx_power_w(d);
         let n = 40_000;
-        let mean_sampled: f64 =
-            (0..n).map(|_| p.sample_rx_power_w(d, &mut rng)).sum::<f64>() / n as f64;
+        let mean_sampled: f64 = (0..n)
+            .map(|_| p.sample_rx_power_w(d, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!(
             (mean_sampled / mean_model - 1.0).abs() < 0.05,
             "ratio={}",
@@ -345,8 +365,10 @@ mod tests {
 
     #[test]
     fn ricean_large_k_approaches_no_fading() {
-        let mut p = PhyParams::default();
-        p.fading = FadingModel::Ricean { k: 1e6 };
+        let p = PhyParams {
+            fading: FadingModel::Ricean { k: 1e6 },
+            ..PhyParams::default()
+        };
         let mut rng = SimRng::seed_from(17);
         let d = 100.0;
         let mean = p.mean_rx_power_w(d);
@@ -358,9 +380,11 @@ mod tests {
 
     #[test]
     fn shadowing_varies_power() {
-        let mut p = PhyParams::default();
-        p.fading = FadingModel::None;
-        p.shadowing_sigma_db = 6.0;
+        let p = PhyParams {
+            fading: FadingModel::None,
+            shadowing_sigma_db: 6.0,
+            ..PhyParams::default()
+        };
         let mut rng = SimRng::seed_from(19);
         let d = 100.0;
         let a = p.sample_rx_power_w(d, &mut rng);

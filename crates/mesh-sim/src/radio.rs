@@ -147,7 +147,7 @@ impl Radio {
     /// Process the end of an arrival. Returns the completed reception if this
     /// frame was the one being decoded (caller checks `corrupted`).
     pub fn arrival_end(&mut self, frame: FrameId) -> Option<OngoingRx> {
-        if self.rx.map_or(false, |rx| rx.frame == frame) {
+        if self.rx.is_some_and(|rx| rx.frame == frame) {
             self.rx.take()
         } else {
             None
@@ -261,8 +261,10 @@ mod tests {
 
     #[test]
     fn nav_affects_only_virtual_sense() {
-        let mut r = Radio::default();
-        r.nav_until = t(100);
+        let r = Radio {
+            nav_until: t(100),
+            ..Radio::default()
+        };
         assert!(!r.physically_busy(t(10)));
         assert!(r.busy_with_nav(t(10)));
         assert!(!r.busy_with_nav(t(100)));

@@ -4,14 +4,15 @@
 //! All stochastic decisions — placement, fading, backoff, jitter — draw from a
 //! single [`SimRng`] in event order, so two runs with the same seed produce
 //! identical traces.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (seeded via SplitMix64), so
+//! the simulator has no external RNG dependency and its streams are stable
+//! across toolchains and crate upgrades.
 
 /// The simulator's random number generator.
 ///
-/// A thin wrapper over a seeded [`SmallRng`] with helpers for the
-/// distributions the simulator needs.
+/// A small, fast xoshiro256++ generator with helpers for the distributions
+/// the simulator needs.
 ///
 /// ```
 /// use mesh_sim::rng::SimRng;
@@ -21,15 +22,29 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
     }
 
     /// Derive an independent child generator; used to give sub-systems
@@ -41,9 +56,31 @@ impl SimRng {
         SimRng::seed_from(seed)
     }
 
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output (upper half of [`Self::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
     /// Uniform `f64` in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform `f64` in `[lo, hi)`.
@@ -56,18 +93,33 @@ impl SimRng {
         if lo == hi {
             lo
         } else {
-            self.inner.gen_range(lo..hi)
+            // Rounding can push `lo + u*(hi-lo)` onto `hi`; keep it exclusive.
+            let x = lo + self.uniform() * (hi - lo);
+            if x < hi {
+                x
+            } else {
+                hi - (hi - lo) * f64::EPSILON
+            }
         }
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (Lemire's unbiased method).
     ///
     /// # Panics
     ///
     /// Panics if `n` is zero.
     pub fn uniform_u32(&mut self, n: u32) -> u32 {
         assert!(n > 0, "empty range");
-        self.inner.gen_range(0..n)
+        let mut m = u64::from(self.next_u32()) * u64::from(n);
+        let mut low = m as u32;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                m = u64::from(self.next_u32()) * u64::from(n);
+                low = m as u32;
+            }
+        }
+        (m >> 32) as u32
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
@@ -83,8 +135,8 @@ impl SimRng {
 
     /// Unit-mean exponential sample, the power gain of a Rayleigh-faded link.
     pub fn rayleigh_power_gain(&mut self) -> f64 {
-        let d: f64 = rand_distr::Exp1.sample_from(&mut self.inner);
-        d
+        // Inverse CDF; `1 - uniform()` is in (0, 1], so the log is finite.
+        -(1.0 - self.uniform()).ln()
     }
 
     /// Zero-mean normal sample with standard deviation `sigma_db` (used for
@@ -93,35 +145,10 @@ impl SimRng {
         if sigma_db <= 0.0 {
             return 0.0;
         }
-        let n: f64 = rand_distr::StandardNormal.sample_from(&mut self.inner);
-        n * sigma_db
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
-/// Extension to sample a `rand_distr` distribution from any RNG without the
-/// caller importing the `Distribution` trait.
-trait SampleFrom<T> {
-    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
-}
-
-impl<T, D: rand_distr::Distribution<T>> SampleFrom<T> for D {
-    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
-        self.sample(rng)
+        // Box-Muller; `1 - uniform()` keeps the log argument in (0, 1].
+        let r = (-2.0 * (1.0 - self.uniform()).ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * self.uniform();
+        r * theta.cos() * sigma_db
     }
 }
 
@@ -170,6 +197,18 @@ mod tests {
     }
 
     #[test]
+    fn uniform_u32_covers_and_bounds() {
+        let mut rng = SimRng::seed_from(10);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let x = rng.uniform_u32(7);
+            assert!(x < 7);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
     fn chance_edges() {
         let mut rng = SimRng::seed_from(4);
         assert!(!rng.chance(0.0));
@@ -198,5 +237,16 @@ mod tests {
     fn normal_db_zero_sigma_is_zero() {
         let mut rng = SimRng::seed_from(8);
         assert_eq!(rng.normal_db(0.0), 0.0);
+    }
+
+    #[test]
+    fn normal_db_moments() {
+        let mut rng = SimRng::seed_from(12);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal_db(6.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1, "mean={mean}");
+        assert!((var.sqrt() - 6.0).abs() < 0.1, "sd={}", var.sqrt());
     }
 }

@@ -14,11 +14,11 @@ use crate::geometry::Pos;
 use crate::ids::{FrameId, NodeId, TimerId, TxHandle};
 use crate::mac::{CtrlResponse, Mac, MacParams, MacState, OutFrame};
 use crate::medium::{Medium, RxPlan};
+use crate::mobility::Mobility;
 use crate::protocol::{RxMeta, TxOutcome};
 use crate::radio::{ArrivalOutcome, Radio};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::mobility::Mobility;
 use crate::trace::{FrameKind as TraceFrameKind, LossReason, TraceRecord, TraceSink};
 
 /// Error returned when a transmit queue is full.
@@ -59,7 +59,8 @@ pub(crate) enum Upcall<M> {
     Deliver {
         node: NodeId,
         src: NodeId,
-        msg: M,
+        /// Shared with the frame (and all other receivers of it).
+        msg: std::sync::Arc<M>,
         meta: RxMeta,
     },
     TxDone {
@@ -127,9 +128,10 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         let n = positions.len();
         let mut macs: Vec<Mac<M>> = Vec::with_capacity(n);
         for _ in 0..n {
-            let mut m = Mac::default();
-            m.cw = config.mac.cw_min;
-            macs.push(m);
+            macs.push(Mac {
+                cw: config.mac.cw_min,
+                ..Mac::default()
+            });
         }
         World {
             now: SimTime::ZERO,
@@ -158,6 +160,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         if let Some(next) = model.step(self.now, &mut self.positions, &mut self.rng) {
             self.queue.push(next, EventKind::MobilityTick);
         }
+        self.medium.invalidate_positions();
         self.mobility = Some(model);
     }
 
@@ -256,11 +259,12 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             }
             EventKind::MobilityTick => {
                 if let Some(model) = self.mobility.as_mut() {
-                    if let Some(next) =
-                        model.step(self.now, &mut self.positions, &mut self.rng)
-                    {
+                    if let Some(next) = model.step(self.now, &mut self.positions, &mut self.rng) {
                         self.queue.push(next, EventKind::MobilityTick);
                     }
+                    // Geometry caches in the medium are now stale either way:
+                    // the model may have moved nodes even on its final tick.
+                    self.medium.invalidate_positions();
                 }
             }
         }
@@ -321,7 +325,9 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         let mac_seq = self.mac_seq;
         self.macs[node.index()].queue.push_back(OutFrame {
             dst,
-            msg,
+            // The payload is boxed once here; every transmission, retry and
+            // delivery after this point shares it by refcount.
+            msg: std::sync::Arc::new(msg),
             bytes,
             class,
             handle,
@@ -361,8 +367,10 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         } else {
             self.macs[i].state = MacState::Difs;
             let gen = self.macs[i].bump_timer();
-            self.queue
-                .push(self.now + self.params.difs, EventKind::MacTimer { node, gen });
+            self.queue.push(
+                self.now + self.params.difs,
+                EventKind::MacTimer { node, gen },
+            );
         }
     }
 
@@ -393,8 +401,10 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             if !self.radios[i].busy_with_nav(self.now) {
                 self.macs[i].state = MacState::Difs;
                 let gen = self.macs[i].bump_timer();
-                self.queue
-                    .push(self.now + self.params.difs, EventKind::MacTimer { node, gen });
+                self.queue.push(
+                    self.now + self.params.difs,
+                    EventKind::MacTimer { node, gen },
+                );
             } else if let Some(h) = self.radios[i].busy_horizon(self.now) {
                 let gen = self.macs[i].bump_timer();
                 self.queue.push(h, EventKind::MacTimer { node, gen });
@@ -483,7 +493,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             (
                 FrameBody::Data {
                     dst: f.dst,
-                    msg: f.msg.clone(),
+                    msg: std::sync::Arc::clone(&f.msg),
                     class: f.class,
                     handle: f.handle,
                     mac_seq: f.mac_seq,
@@ -518,8 +528,13 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         self.channel_became_busy(node);
 
         self.fan_buf.clear();
-        self.medium
-            .fan_out(node, &self.positions, self.now, &mut self.rng, &mut self.fan_buf);
+        self.medium.fan_out(
+            node,
+            &self.positions,
+            self.now,
+            &mut self.rng,
+            &mut self.fan_buf,
+        );
         let refs = self.fan_buf.len() as u32 + 1;
         let id = self.frames.insert(Frame {
             src: node,
@@ -561,7 +576,9 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         }
         let after = match self.frames.get(frame).map(|f| &f.body) {
             Some(FrameBody::Rts { .. }) => After::RtsSent,
-            Some(FrameBody::Data { dst: None, handle, .. }) => After::BroadcastDone(*handle),
+            Some(FrameBody::Data {
+                dst: None, handle, ..
+            }) => After::BroadcastDone(*handle),
             Some(FrameBody::Data { dst: Some(_), .. }) => After::UnicastSent,
             Some(FrameBody::Cts { .. }) | Some(FrameBody::Ack { .. }) => After::Nothing,
             None => After::Nothing,
@@ -657,13 +674,8 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         };
         let end = self.now + f.duration;
         let phy = self.medium.phy();
-        let outcome = self.radios[i].arrival(
-            frame,
-            power_w,
-            end,
-            phy.rx_threshold_w,
-            phy.capture_ratio,
-        );
+        let outcome =
+            self.radios[i].arrival(frame, power_w, end, phy.rx_threshold_w, phy.capture_ratio);
         let loss = match outcome {
             ArrivalOutcome::StartedRx => None,
             ArrivalOutcome::CapturedOver => {
@@ -751,8 +763,10 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                             nav: cts_nav,
                         });
                         let gen = self.macs[i].bump_ctrl();
-                        self.queue
-                            .push(self.now + self.params.sifs, EventKind::CtrlTimer { node, gen });
+                        self.queue.push(
+                            self.now + self.params.sifs,
+                            EventKind::CtrlTimer { node, gen },
+                        );
                     }
                 } else {
                     self.radios[i].nav_until = self.radios[i].nav_until.max(self.now + nav);
@@ -763,8 +777,10 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                     if self.macs[i].state == MacState::WaitCts {
                         self.macs[i].state = MacState::SifsBeforeData;
                         let gen = self.macs[i].bump_timer();
-                        self.queue
-                            .push(self.now + self.params.sifs, EventKind::MacTimer { node, gen });
+                        self.queue.push(
+                            self.now + self.params.sifs,
+                            EventKind::MacTimer { node, gen },
+                        );
                     }
                 } else {
                     self.radios[i].nav_until = self.radios[i].nav_until.max(self.now + nav);
@@ -812,8 +828,10 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                         // ACK even duplicates (the sender missed our ACK).
                         self.macs[i].pending_ctrl = Some(CtrlResponse::Ack { dst: src });
                         let gen = self.macs[i].bump_ctrl();
-                        self.queue
-                            .push(self.now + self.params.sifs, EventKind::CtrlTimer { node, gen });
+                        self.queue.push(
+                            self.now + self.params.sifs,
+                            EventKind::CtrlTimer { node, gen },
+                        );
                         let dup = self.macs[i].rx_dedup.get(&src) == Some(&mac_seq);
                         if dup {
                             self.counters.duplicate_rx_suppressed += 1;
@@ -957,7 +975,8 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
         bytes: u32,
         class: u8,
     ) -> Result<TxHandle, SendError> {
-        self.world.send_data(self.node, Some(dst), msg, bytes, class)
+        self.world
+            .send_data(self.node, Some(dst), msg, bytes, class)
     }
 
     /// Arm a one-shot timer `delay` from now; `kind` is echoed back.

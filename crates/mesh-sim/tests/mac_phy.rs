@@ -31,7 +31,12 @@ impl Protocol for Probe {
 
     fn handle_timer(&mut self, _ctx: &mut Ctx<'_, u64>, _timer: TimerId, _kind: u64) {}
 
-    fn handle_tx_complete(&mut self, _ctx: &mut Ctx<'_, u64>, _handle: TxHandle, outcome: TxOutcome) {
+    fn handle_tx_complete(
+        &mut self,
+        _ctx: &mut Ctx<'_, u64>,
+        _handle: TxHandle,
+        outcome: TxOutcome,
+    ) {
         self.outcomes.push(outcome);
     }
 }
@@ -43,11 +48,7 @@ fn no_fading() -> Box<PhysicalMedium> {
     }))
 }
 
-fn sim_with(
-    positions: Vec<Pos>,
-    protos: Vec<Probe>,
-    seed: u64,
-) -> Simulator<Probe> {
+fn sim_with(positions: Vec<Pos>, protos: Vec<Probe>, seed: u64) -> Simulator<Probe> {
     Simulator::new(
         positions,
         no_fading(),
@@ -63,8 +64,8 @@ fn sim_with(
 fn broadcast_reaches_neighbors_in_range_only() {
     let positions = vec![
         Pos::new(0.0, 0.0),
-        Pos::new(200.0, 0.0),  // in range (250m nominal)
-        Pos::new(400.0, 0.0),  // out of range
+        Pos::new(200.0, 0.0), // in range (250m nominal)
+        Pos::new(400.0, 0.0), // out of range
     ];
     let mut protos = vec![Probe::default(); 3];
     protos[0].sends.push((None, 42, 512));
@@ -283,8 +284,8 @@ fn identical_seeds_identical_runs() {
             Pos::new(120.0, 190.0),
         ];
         let mut protos = vec![Probe::default(); 3];
-        for n in 0..3 {
-            protos[n].sends.push((None, n as u64, 512));
+        for (n, p) in protos.iter_mut().enumerate() {
+            p.sends.push((None, n as u64, 512));
         }
         // Fading on: exercise the stochastic path.
         let medium = Box::new(PhysicalMedium::default());
@@ -381,9 +382,15 @@ fn per_node_counters_sum_to_globals() {
     let tx_bytes: u64 = per_node.iter().map(|n| n.tx_data_bytes).sum();
     let rx_frames: u64 = per_node.iter().map(|n| n.rx_data_frames).sum();
     let ctrl: u64 = per_node.iter().map(|n| n.tx_ctrl_frames).sum();
-    assert_eq!(tx_frames, global.tx_data.iter().map(|c| c.frames).sum::<u64>());
+    assert_eq!(
+        tx_frames,
+        global.tx_data.iter().map(|c| c.frames).sum::<u64>()
+    );
     assert_eq!(tx_bytes, global.tx_data_bytes_total());
-    assert_eq!(rx_frames, global.rx_data.iter().map(|c| c.frames).sum::<u64>());
+    assert_eq!(
+        rx_frames,
+        global.rx_data.iter().map(|c| c.frames).sum::<u64>()
+    );
     assert_eq!(ctrl, global.tx_ctrl_frames);
     // Airtime was attributed to the transmitters.
     assert!(per_node[0].airtime_ns > 0);

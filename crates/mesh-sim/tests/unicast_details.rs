@@ -54,7 +54,10 @@ fn lost_acks_cause_retries_and_final_failure() {
 
     // Application got the payload exactly once despite the retransmissions.
     assert_eq!(sim.protocols()[1].received, vec![42]);
-    assert!(sim.counters().duplicate_rx_suppressed > 0, "no dedup happened");
+    assert!(
+        sim.counters().duplicate_rx_suppressed > 0,
+        "no dedup happened"
+    );
     // Sender saw retries and an eventual failure.
     assert_eq!(sim.protocols()[0].outcomes.len(), 1);
     assert!(matches!(
@@ -81,8 +84,15 @@ fn rts_with_dead_reverse_fails_without_data_ever_sent() {
     );
     sim.run_until(SimTime::from_secs(5));
 
-    assert!(sim.protocols()[1].received.is_empty(), "data leaked past failed RTS");
-    assert_eq!(sim.counters().tx_data[0].frames, 0, "data frame transmitted without CTS");
+    assert!(
+        sim.protocols()[1].received.is_empty(),
+        "data leaked past failed RTS"
+    );
+    assert_eq!(
+        sim.counters().tx_data[0].frames,
+        0,
+        "data frame transmitted without CTS"
+    );
     assert_eq!(sim.counters().unicast_failures, 1);
 }
 

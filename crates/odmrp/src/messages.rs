@@ -127,6 +127,6 @@ mod tests {
 
     #[test]
     fn query_has_fixed_size() {
-        assert!(JoinQuery::BYTES > 0);
+        const { assert!(JoinQuery::BYTES > 0) };
     }
 }

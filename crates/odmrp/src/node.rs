@@ -16,7 +16,7 @@ use mesh_sim::world::Ctx;
 
 use crate::config::{NodeRole, OdmrpConfig};
 use crate::messages::{class, DataPacket, JoinQuery, JoinReply, JoinTableEntry, OdmrpMsg};
-use crate::stats::{Delivered, NodeStats};
+use crate::stats::NodeStats;
 
 /// Bound on the network-layer duplicate cache (per node).
 const DATA_CACHE_CAP: usize = 50_000;
@@ -141,7 +141,7 @@ impl OdmrpNode {
 
     /// Whether this node is currently a forwarding-group member of `group`.
     pub fn is_forwarding(&self, group: GroupId, now: SimTime) -> bool {
-        self.fg.get(&group).map_or(false, |&t| t > now)
+        self.fg.get(&group).is_some_and(|&t| t > now)
     }
 
     /// Groups this node has *ever* forwarded for (soft state ignored).
@@ -222,10 +222,7 @@ impl OdmrpNode {
             return;
         }
         self.refresh_seq += 1;
-        let identity = self
-            .metric
-            .as_ref()
-            .map_or(0.0, |m| m.identity().value());
+        let identity = self.metric.as_ref().map_or(0.0, |m| m.identity().value());
         let q = JoinQuery {
             group: spec.group,
             source: self.me,
@@ -296,11 +293,7 @@ impl OdmrpNode {
                         let j = self.jitter(ctx);
                         self.arm(ctx, j, TimerPayload::ForwardQuery(q.source, q.seq));
                         if is_member && self.delta_scheduled.insert(key) {
-                            self.arm(
-                                ctx,
-                                self.cfg.delta,
-                                TimerPayload::Delta(q.source, q.seq),
-                            );
+                            self.arm(ctx, self.cfg.delta, TimerPayload::Delta(q.source, q.seq));
                         }
                     }
                     Some(st) => {
@@ -310,20 +303,13 @@ impl OdmrpNode {
                             st.hop_count = q.hop_count + 1;
                             // Forward the improvement if the α window is
                             // still open and no forward is already pending.
-                            let improves_forwarded = st
-                                .best_forwarded
-                                .map_or(true, |f| metric.better(new_cost, f));
-                            if now <= st.alpha_deadline
-                                && improves_forwarded
-                                && !st.forward_pending
+                            let improves_forwarded =
+                                st.best_forwarded.is_none_or(|f| metric.better(new_cost, f));
+                            if now <= st.alpha_deadline && improves_forwarded && !st.forward_pending
                             {
                                 st.forward_pending = true;
                                 let j = self.jitter(ctx);
-                                self.arm(
-                                    ctx,
-                                    j,
-                                    TimerPayload::ForwardQuery(q.source, q.seq),
-                                );
+                                self.arm(ctx, j, TimerPayload::ForwardQuery(q.source, q.seq));
                             }
                         }
                     }
@@ -430,21 +416,16 @@ impl OdmrpNode {
 
         let now = ctx.now();
         if self.role.is_member(d.group, now) {
-            let rec = self
-                .stats
-                .delivered
-                .entry((d.group, d.source))
-                .or_insert_with(Delivered::default);
+            let rec = self.stats.delivered.entry((d.group, d.source)).or_default();
             rec.count += 1;
             rec.delay_sum_s += now.saturating_since(d.sent_at).as_secs_f64();
         }
-        if self.is_forwarding(d.group, now) {
-            if ctx
+        if self.is_forwarding(d.group, now)
+            && ctx
                 .send_broadcast(OdmrpMsg::Data(d.clone()), d.bytes, class::DATA)
                 .is_ok()
-            {
-                self.stats.data_forwards += 1;
-            }
+        {
+            self.stats.data_forwards += 1;
         }
     }
 }

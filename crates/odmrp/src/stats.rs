@@ -92,8 +92,13 @@ mod tests {
         let mut s = NodeStats::default();
         s.sent.insert(GroupId(0), 10);
         s.sent.insert(GroupId(1), 5);
-        s.delivered
-            .insert((GroupId(0), NodeId::new(1)), Delivered { count: 7, delay_sum_s: 1.0 });
+        s.delivered.insert(
+            (GroupId(0), NodeId::new(1)),
+            Delivered {
+                count: 7,
+                delay_sum_s: 1.0,
+            },
+        );
         assert_eq!(s.total_sent(), 15);
         assert_eq!(s.total_delivered(), 7);
     }

@@ -102,7 +102,7 @@ proptest! {
         sim.run_until(SimTime::from_secs(40));
 
         let sent = sim.protocols()[setup.source].stats().total_sent();
-        prop_assert!(sent >= 590 && sent <= 610, "CBR produced {sent} packets");
+        prop_assert!((590..=610).contains(&sent), "CBR produced {sent} packets");
         for (i, node) in sim.protocols().iter().enumerate() {
             let delivered = node.stats().total_delivered();
             if member_set.contains(&i) {

@@ -170,7 +170,10 @@ fn metrics_route_around_lossy_links() {
         // PP needs several penalty rounds before the lossy link's EWMA
         // exceeds the two-hop delay sum, so its early refresh rounds still
         // pick the direct path; 0.8 accommodates that convergence.
-        assert!(metric > 0.8, "{kind}: detour should dominate, got {metric:.3}");
+        assert!(
+            metric > 0.8,
+            "{kind}: detour should dominate, got {metric:.3}"
+        );
     }
 }
 

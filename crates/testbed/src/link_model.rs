@@ -107,7 +107,7 @@ impl Medium for TestbedMedium {
     ) {
         while now >= self.next_update {
             self.step_walk(rng);
-            self.next_update = self.next_update + self.update_interval;
+            self.next_update += self.update_interval;
         }
         self.table.fan_out(tx, positions, now, rng, out)
     }
@@ -172,7 +172,13 @@ mod tests {
         let mut m = TestbedMedium::new(&mut rng);
         let mut out = Vec::new();
         for s in 1..50u64 {
-            m.fan_out(id_of(2), &positions(), SimTime::from_secs(s * 5), &mut rng, &mut out);
+            m.fan_out(
+                id_of(2),
+                &positions(),
+                SimTime::from_secs(s * 5),
+                &mut rng,
+                &mut out,
+            );
             out.clear();
         }
         let ab = m.loss(id_of(2), id_of(5)).unwrap();
@@ -187,7 +193,13 @@ mod tests {
         let mut m = TestbedMedium::new(&mut rng);
         let mut out = Vec::new();
         for _ in 0..100 {
-            m.fan_out(id_of(5), &positions(), SimTime::from_secs(1), &mut rng, &mut out);
+            m.fan_out(
+                id_of(5),
+                &positions(),
+                SimTime::from_secs(1),
+                &mut rng,
+                &mut out,
+            );
             assert!(out.iter().all(|p| p.node != id_of(3)));
             out.clear();
         }
@@ -200,10 +212,7 @@ mod tests {
         let a = TestbedMedium::new(&mut r1);
         let b = TestbedMedium::new(&mut r2);
         for (la, lb, _) in floorplan::links() {
-            assert_eq!(
-                a.loss(id_of(la), id_of(lb)),
-                b.loss(id_of(la), id_of(lb))
-            );
+            assert_eq!(a.loss(id_of(la), id_of(lb)), b.loss(id_of(la), id_of(lb)));
         }
     }
 }

@@ -8,12 +8,12 @@
 //!
 //! Run with: `cargo run --release --example mobile_manet`
 
-use wmm::mesh_sim::geometry::Area;
-use wmm::mesh_sim::mobility::RandomWaypoint;
-use wmm::mesh_sim::time::{SimDuration, SimTime};
 use wmm::experiments::scenario::MeshScenario;
 use wmm::experiments::RunMeasurement;
 use wmm::mcast_metrics::MetricKind;
+use wmm::mesh_sim::geometry::Area;
+use wmm::mesh_sim::mobility::RandomWaypoint;
+use wmm::mesh_sim::time::{SimDuration, SimTime};
 use wmm::odmrp::Variant;
 
 fn run(scenario: &MeshScenario, variant: Variant, seed: u64, mobile: bool) -> RunMeasurement {

@@ -32,7 +32,10 @@ fn main() {
         &Wcett::default(),
         "channel diversity at equal ETT",
         &[
-            ("ch1 -> ch1 (self-interfering)", vec![hop(3.0, 1), hop(3.0, 1)]),
+            (
+                "ch1 -> ch1 (self-interfering)",
+                vec![hop(3.0, 1), hop(3.0, 1)],
+            ),
             ("ch1 -> ch2 (diverse)", vec![hop(3.0, 1), hop(3.0, 2)]),
         ],
     );
@@ -61,7 +64,11 @@ fn main() {
             "  beta {beta:.2}: monochrome {:.2} ms, diverse {:.2} ms{}",
             mono * 1e3,
             diverse * 1e3,
-            if diverse < mono { "  (diversity wins)" } else { "  (tie)" }
+            if diverse < mono {
+                "  (diversity wins)"
+            } else {
+                "  (tie)"
+            }
         );
     }
     println!(

@@ -16,14 +16,19 @@ fn main() {
     scenario.groups = 1;
     scenario.members_per_group = 10;
 
-    println!("nodes: {}, area: {}m^2, group members: 10, CBR 20 pkt/s x 512B\n",
-             scenario.nodes, scenario.area_side);
+    println!(
+        "nodes: {}, area: {}m^2, group members: 10, CBR 20 pkt/s x 512B\n",
+        scenario.nodes, scenario.area_side
+    );
 
     let seed = 7;
     let original: RunMeasurement = run_mesh_once(&scenario, Variant::Original, seed);
     let spp = run_mesh_once(&scenario, Variant::Metric(MetricKind::Spp), seed);
 
-    println!("{:<12} {:>8} {:>12} {:>12}", "variant", "PDR", "delay (ms)", "overhead %");
+    println!(
+        "{:<12} {:>8} {:>12} {:>12}",
+        "variant", "PDR", "delay (ms)", "overhead %"
+    );
     for m in [&original, &spp] {
         println!(
             "{:<12} {:>8.3} {:>12.1} {:>12.2}",

@@ -43,8 +43,11 @@ fn main() {
     for (i, node) in sim.protocols().iter().enumerate() {
         let groups = node.forwarding_groups();
         if !groups.is_empty() {
-            println!("  node {}: {:?}", label_of(wmm::mesh_sim::ids::NodeId::new(i as u32)),
-                     groups.iter().map(|g| g.0).collect::<Vec<_>>());
+            println!(
+                "  node {}: {:?}",
+                label_of(wmm::mesh_sim::ids::NodeId::new(i as u32)),
+                groups.iter().map(|g| g.0).collect::<Vec<_>>()
+            );
         }
     }
 
@@ -56,7 +59,11 @@ fn main() {
     println!("\nselected tree edges (by refresh rounds):");
     for e in heavy_edges(&tree_usage(&sim), 0.1) {
         let (a, b) = (label_of(e.from), label_of(e.to));
-        let tag = if lossy.contains(&(a, b)) { "  <-- LOSSY" } else { "" };
+        let tag = if lossy.contains(&(a, b)) {
+            "  <-- LOSSY"
+        } else {
+            ""
+        };
         println!("  {:>2} -> {:<2} {:>5} rounds{}", a, b, e.packets, tag);
     }
     println!(

@@ -48,7 +48,10 @@ fn every_variant_delivers_something() {
             m.pdr()
         );
         assert!(m.pdr() <= 1.0, "{v}: PDR above 1 — duplicate leak");
-        assert!(m.mean_delay_s > 0.0 && m.mean_delay_s < 1.0, "{v}: delay out of range");
+        assert!(
+            m.mean_delay_s > 0.0 && m.mean_delay_s < 1.0,
+            "{v}: delay out of range"
+        );
     }
 }
 
@@ -92,7 +95,10 @@ fn summaries_normalize_against_baseline() {
         |v, seed| run_mesh_once(&s, v, seed),
     );
     let summ = summarize(&results, Variant::Original);
-    let base = summ.iter().find(|x| x.variant == Variant::Original).unwrap();
+    let base = summ
+        .iter()
+        .find(|x| x.variant == Variant::Original)
+        .unwrap();
     assert!((base.normalized_throughput.mean - 1.0).abs() < 1e-9);
     assert!((base.normalized_delay.mean - 1.0).abs() < 1e-9);
 }

@@ -72,10 +72,7 @@ fn run_blackout(variant: Variant) -> (u64, u64, u64) {
     let blackout = SimTime::from_secs(150);
     let medium = ScriptedMedium::new(
         table,
-        vec![
-            (blackout, n(0), n(1), 1.0),
-            (blackout, n(1), n(3), 1.0),
-        ],
+        vec![(blackout, n(0), n(1), 1.0), (blackout, n(1), n(3), 1.0)],
     );
     let cfg = OdmrpConfig {
         variant,
@@ -122,7 +119,10 @@ fn run_blackout(variant: Variant) -> (u64, u64, u64) {
 fn metric_odmrp_recovers_from_link_blackout() {
     let (before, _grace, after) = run_blackout(Variant::Metric(MetricKind::Spp));
     // 120s of data before the blackout, 120s after the grace window.
-    assert!(before as f64 > 0.9 * 2400.0, "pre-blackout delivery broken: {before}");
+    assert!(
+        before as f64 > 0.9 * 2400.0,
+        "pre-blackout delivery broken: {before}"
+    );
     assert!(
         after as f64 > 0.6 * 2400.0,
         "no recovery after blackout: {after} of ~2400"
