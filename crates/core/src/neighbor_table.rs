@@ -123,6 +123,16 @@ impl NeighborTable {
         v
     }
 
+    /// Every neighbor this table has an estimate for, sorted by id.
+    ///
+    /// Used by the invariant oracles: an entry may exist only for a node
+    /// that actually transmitted probes.
+    pub fn known_neighbors(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.links.keys().copied().collect();
+        v.sort();
+        v
+    }
+
     /// Number of neighbors ever heard.
     pub fn len(&self) -> usize {
         self.links.len()

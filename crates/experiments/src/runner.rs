@@ -1,5 +1,7 @@
 //! Running variant × topology matrices, in parallel across topologies.
 
+use mesh_sim::fault::FaultPlan;
+use mesh_sim::time::SimDuration;
 use odmrp::Variant;
 
 use crate::measure::RunMeasurement;
@@ -21,6 +23,27 @@ pub fn paper_variants() -> Vec<Variant> {
 pub fn run_mesh_once(scenario: &MeshScenario, variant: Variant, seed: u64) -> RunMeasurement {
     let groups = scenario.layout(seed).groups;
     let mut sim = scenario.build(variant, seed);
+    sim.run_until(scenario.run_until());
+    RunMeasurement::from_sim(&sim, &groups, seed)
+}
+
+/// Run one mesh-scenario simulation with `plan` injected and — when
+/// `check_every` is set — the full invariant-oracle suite (world oracles
+/// plus the ODMRP protocol oracles) run at that checkpoint interval.
+/// Panics on any invariant violation.
+pub fn run_mesh_with_faults(
+    scenario: &MeshScenario,
+    variant: Variant,
+    seed: u64,
+    plan: &FaultPlan,
+    check_every: Option<SimDuration>,
+) -> RunMeasurement {
+    let groups = scenario.layout(seed).groups;
+    let mut sim = scenario.build_with_faults(variant, seed, plan);
+    if let Some(every) = check_every {
+        sim.set_invariant_interval(every);
+        sim.add_oracle(odmrp::invariants::oracle());
+    }
     sim.run_until(scenario.run_until());
     RunMeasurement::from_sim(&sim, &groups, seed)
 }

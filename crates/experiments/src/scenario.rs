@@ -1,6 +1,7 @@
 //! Scenario construction: the paper's simulation and testbed setups.
 
 use mcast_metrics::EstimatorConfig;
+use mesh_sim::fault::{FaultPlan, RandomFaultConfig};
 use mesh_sim::geometry::Area;
 use mesh_sim::ids::{GroupId, NodeId};
 use mesh_sim::mac::MacParams;
@@ -160,6 +161,42 @@ impl MeshScenario {
             roles,
             groups,
         }
+    }
+
+    /// Draw a random but fully deterministic fault plan for topology `seed`:
+    /// crashes, link faults and possibly a partition inside the data window,
+    /// scaled by `intensity` in `[0, 1]`. Sources are protected — crashing
+    /// the only traffic generator makes every delivery measurement vacuous —
+    /// and faults clear before the run ends so recovery is observable.
+    pub fn random_fault_plan(&self, seed: u64, intensity: f64) -> FaultPlan {
+        let layout = self.layout(seed);
+        let protected: Vec<NodeId> = layout
+            .groups
+            .iter()
+            .flat_map(|g| g.sources.iter().copied())
+            .collect();
+        let margin = SimDuration::from_secs(5);
+        let mut cfg =
+            RandomFaultConfig::new(self.nodes, (self.data_start + margin, self.data_stop));
+        cfg.protected = protected;
+        cfg.intensity = intensity;
+        cfg.area_width_m = Some(self.area_side);
+        // Decorrelate the plan from the topology and MAC streams.
+        let mut rng = SimRng::seed_from(seed ^ 0xFA17_0000);
+        FaultPlan::random(&cfg, &mut rng)
+    }
+
+    /// Build a ready-to-run simulator for `variant` on topology `seed` with
+    /// `plan` attached.
+    pub fn build_with_faults(
+        &self,
+        variant: Variant,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> Simulator<OdmrpNode> {
+        let mut sim = self.build(variant, seed);
+        sim.set_fault_plan(plan.clone());
+        sim
     }
 
     /// Build a ready-to-run simulator for `variant` on topology `seed`.

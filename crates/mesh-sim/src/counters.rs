@@ -46,6 +46,28 @@ pub struct Counters {
     pub duplicate_rx_suppressed: u64,
     /// Events processed (a progress/size measure).
     pub events: u64,
+    /// Data-frame arrivals planned by the medium (one per `RxStart` of a
+    /// data frame). The conservation oracle balances this against every
+    /// per-arrival outcome below plus deliveries and in-flight receptions.
+    pub planned_rx_data: u64,
+    /// Data-frame arrivals lost at `RxStart` (capture, collision, below
+    /// threshold, or arriving while the receiver transmitted).
+    pub rx_lost_data: u64,
+    /// Data-frame receptions that completed corrupted (collision or strong
+    /// interference detected mid-reception).
+    pub rx_corrupted_data: u64,
+    /// Data-frame receptions aborted mid-air: the receiver started its own
+    /// transmission (half-duplex) or crashed.
+    pub rx_aborted_data: u64,
+    /// Unicast data frames decoded by a node that was not the destination.
+    pub unicast_overheard: u64,
+    /// Data-frame arrivals suppressed by fault injection (crashed receiver
+    /// or an active class-loss burst).
+    pub fault_rx_dropped: u64,
+    /// Queued frames purged from MAC queues by node-crash faults.
+    pub fault_tx_purged: u64,
+    /// Fault-plan events applied.
+    pub fault_events: u64,
 }
 
 impl Counters {
@@ -78,6 +100,14 @@ impl Counters {
         self.retries += other.retries;
         self.duplicate_rx_suppressed += other.duplicate_rx_suppressed;
         self.events += other.events;
+        self.planned_rx_data += other.planned_rx_data;
+        self.rx_lost_data += other.rx_lost_data;
+        self.rx_corrupted_data += other.rx_corrupted_data;
+        self.rx_aborted_data += other.rx_aborted_data;
+        self.unicast_overheard += other.unicast_overheard;
+        self.fault_rx_dropped += other.fault_rx_dropped;
+        self.fault_tx_purged += other.fault_tx_purged;
+        self.fault_events += other.fault_events;
     }
 
     pub(crate) fn record_tx_data(&mut self, class: u8, bytes: u64) {

@@ -38,6 +38,8 @@ pub(crate) enum EventKind {
     },
     /// The mobility model is due for a position update.
     MobilityTick,
+    /// Entry `idx` of the attached fault plan fires.
+    Fault { idx: usize },
 }
 
 #[derive(Debug, Clone)]

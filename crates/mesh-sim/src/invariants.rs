@@ -1,0 +1,150 @@
+//! Runtime invariant oracles over the simulator state.
+//!
+//! [`check_world`] inspects a [`World`] *between* events and reports every
+//! violated invariant. The checks are cheap enough to run at periodic
+//! checkpoints during long simulations (see
+//! [`crate::simulator::Simulator::set_invariant_interval`]), and they are the
+//! safety net the fault-injection tests lean on: any bookkeeping broken by a
+//! crash, blackout or partition shows up here rather than as a silently
+//! skewed measurement.
+//!
+//! The oracles:
+//!
+//! * **event-time monotonicity** — the event queue never handed out an event
+//!   timestamped before the current clock;
+//! * **MAC state legality** — per node: `Idle` exactly when the transmit
+//!   queue is empty, transmitting states require an active radio TX, the
+//!   contention window stays within `[cw_min, cw_max]`, crashed nodes are
+//!   fully quiesced;
+//! * **counter conservation** — every planned data-frame arrival resolves to
+//!   exactly one of: delivered, duplicate-suppressed, overheard unicast,
+//!   lost at arrival, corrupted, aborted, fault-dropped, or still in flight.
+
+use crate::mac::MacState;
+use crate::world::World;
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Short stable identifier of the broken rule.
+    pub rule: &'static str,
+    /// Human-readable specifics (node, counts, states).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+/// Run every world-level oracle; empty result means all invariants hold.
+pub fn check_world<M: Clone + std::fmt::Debug>(world: &World<M>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_monotonicity(world, &mut out);
+    check_mac_legality(world, &mut out);
+    check_conservation(world, &mut out);
+    out
+}
+
+fn check_monotonicity<M: Clone + std::fmt::Debug>(world: &World<M>, out: &mut Vec<Violation>) {
+    if world.time_regressions != 0 {
+        out.push(Violation {
+            rule: "event-time-monotonicity",
+            detail: format!(
+                "{} event(s) observed with a timestamp before the clock",
+                world.time_regressions
+            ),
+        });
+    }
+}
+
+fn check_mac_legality<M: Clone + std::fmt::Debug>(world: &World<M>, out: &mut Vec<Violation>) {
+    let params = &world.params;
+    for i in 0..world.macs.len() {
+        let mac = &world.macs[i];
+        let radio = &world.radios[i];
+        if world.down[i] {
+            if mac.state != MacState::Idle || !mac.queue.is_empty() || mac.pending_ctrl.is_some() {
+                out.push(Violation {
+                    rule: "mac-crashed-quiesced",
+                    detail: format!(
+                        "down node {i} is not quiesced: state {:?}, queue {}, pending ctrl {:?}",
+                        mac.state,
+                        mac.queue.len(),
+                        mac.pending_ctrl
+                    ),
+                });
+            }
+            continue;
+        }
+        let idle = mac.state == MacState::Idle;
+        if idle != mac.queue.is_empty() {
+            out.push(Violation {
+                rule: "mac-idle-iff-queue-empty",
+                detail: format!(
+                    "node {i}: state {:?} with {} queued frame(s)",
+                    mac.state,
+                    mac.queue.len()
+                ),
+            });
+        }
+        if matches!(mac.state, MacState::TxData | MacState::TxRts) && radio.tx_until.is_none() {
+            out.push(Violation {
+                rule: "mac-tx-implies-radio-tx",
+                detail: format!(
+                    "node {i} in {:?} but its radio is not transmitting",
+                    mac.state
+                ),
+            });
+        }
+        if mac.cw < params.cw_min || mac.cw > params.cw_max {
+            out.push(Violation {
+                rule: "mac-cw-in-range",
+                detail: format!(
+                    "node {i}: cw {} outside [{}, {}]",
+                    mac.cw, params.cw_min, params.cw_max
+                ),
+            });
+        }
+        if mac.backoff_slots > mac.cw {
+            out.push(Violation {
+                rule: "mac-backoff-within-cw",
+                detail: format!("node {i}: backoff {} > cw {}", mac.backoff_slots, mac.cw),
+            });
+        }
+    }
+}
+
+fn check_conservation<M: Clone + std::fmt::Debug>(world: &World<M>, out: &mut Vec<Violation>) {
+    let c = world.counters();
+    let delivered: u64 = c.rx_data.iter().map(|cc| cc.frames).sum();
+    let in_flight = world.data_rx_in_progress();
+    let resolved = delivered
+        + c.duplicate_rx_suppressed
+        + c.unicast_overheard
+        + c.rx_lost_data
+        + c.rx_corrupted_data
+        + c.rx_aborted_data
+        + c.fault_rx_dropped
+        + in_flight;
+    if c.planned_rx_data != resolved {
+        out.push(Violation {
+            rule: "counter-conservation",
+            detail: format!(
+                "planned data arrivals {} != resolved {} (delivered {} + dup {} + overheard {} \
+                 + lost {} + corrupted {} + aborted {} + fault-dropped {} + in-flight {})",
+                c.planned_rx_data,
+                resolved,
+                delivered,
+                c.duplicate_rx_suppressed,
+                c.unicast_overheard,
+                c.rx_lost_data,
+                c.rx_corrupted_data,
+                c.rx_aborted_data,
+                c.fault_rx_dropped,
+                in_flight
+            ),
+        });
+    }
+}

@@ -59,9 +59,11 @@
 
 pub mod counters;
 mod event;
+pub mod fault;
 mod frame;
 pub mod geometry;
 pub mod ids;
+pub mod invariants;
 pub mod mac;
 pub mod medium;
 pub mod mobility;
@@ -79,10 +81,12 @@ pub mod world;
 /// Convenient re-exports of the items most users need.
 pub mod prelude {
     pub use crate::counters::Counters;
+    pub use crate::fault::{FaultKind, FaultPlan, RandomFaultConfig};
     pub use crate::geometry::{Area, Pos};
     pub use crate::ids::{GroupId, NodeId, TimerId, TxHandle};
+    pub use crate::invariants::Violation;
     pub use crate::mac::MacParams;
-    pub use crate::medium::{LinkTableMedium, Medium, PhysicalMedium, RxPlan};
+    pub use crate::medium::{LinkEffect, LinkTableMedium, Medium, PhysicalMedium, RxPlan};
     pub use crate::neighbor_index::NeighborIndex;
     pub use crate::propagation::{FadingModel, PathLossModel, PhyParams};
     pub use crate::protocol::{Protocol, RxMeta, TxOutcome};

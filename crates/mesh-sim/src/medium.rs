@@ -16,6 +16,23 @@ use crate::propagation::PhyParams;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
+/// A fault-injected override applied to one directed link (see
+/// [`crate::fault`]). Effects replace each other: setting a second effect on
+/// the same link overwrites the first, and clearing removes any effect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkEffect {
+    /// Additional Bernoulli loss composed with the link's base loss process:
+    /// a frame that would have been received is independently dropped with
+    /// this probability.
+    ExtraLoss(f64),
+    /// Multiply the received power by this factor (`< 1.0` attenuates). On a
+    /// [`PhysicalMedium`] this models an obstruction; on threshold-based
+    /// media a factor below the decode margin silences the link.
+    Attenuate(f64),
+    /// The link carries nothing at all (not even channel-busying energy).
+    Blackout,
+}
+
 /// One receiver's view of a transmitted frame, as decided by the medium.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RxPlan {
@@ -55,6 +72,19 @@ pub trait Medium {
     /// drop those caches here. The world calls this on every mobility step;
     /// the default is a no-op for media that don't look at positions.
     fn invalidate_positions(&mut self) {}
+
+    /// Apply a fault-injected [`LinkEffect`] to the directed link
+    /// `from -> to`, replacing any previous effect on it. Media that do not
+    /// model per-link faults may ignore this (the default).
+    fn set_link_fault(&mut self, from: NodeId, to: NodeId, effect: LinkEffect) {
+        let _ = (from, to, effect);
+    }
+
+    /// Remove any fault-injected effect from the directed link `from -> to`
+    /// (no-op if none is set).
+    fn clear_link_fault(&mut self, from: NodeId, to: NodeId) {
+        let _ = (from, to);
+    }
 }
 
 /// A potential receiver of one transmitter, with its geometry-derived
@@ -149,6 +179,10 @@ pub struct PhysicalMedium {
     floor_w: f64,
     indexed: bool,
     cache: Option<FanOutCache>,
+    /// Fault-injected per-link overrides; empty in fault-free runs, and the
+    /// fan-out fast-paths on that so clean runs draw the exact same RNG
+    /// stream they did before fault injection existed.
+    faults: std::collections::HashMap<(NodeId, NodeId), LinkEffect>,
 }
 
 impl PhysicalMedium {
@@ -160,6 +194,30 @@ impl PhysicalMedium {
             floor_w,
             indexed: true,
             cache: None,
+            faults: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Resolve a fault override into a possibly-adjusted power; `None` means
+    /// the receiver hears nothing from this frame.
+    fn apply_fault(
+        faults: &std::collections::HashMap<(NodeId, NodeId), LinkEffect>,
+        tx: NodeId,
+        rx: NodeId,
+        power: f64,
+        rng: &mut SimRng,
+    ) -> Option<f64> {
+        match faults.get(&(tx, rx)) {
+            None => Some(power),
+            Some(LinkEffect::Blackout) => None,
+            Some(LinkEffect::Attenuate(k)) => Some(power * k),
+            Some(LinkEffect::ExtraLoss(p)) => {
+                if rng.chance(*p) {
+                    None
+                } else {
+                    Some(power)
+                }
+            }
         }
     }
 
@@ -190,7 +248,13 @@ impl PhysicalMedium {
             if self.phy.mean_rx_power_w(d) < self.floor_w / 100.0 {
                 continue;
             }
-            let power = self.phy.sample_rx_power_w(d, rng);
+            let mut power = self.phy.sample_rx_power_w(d, rng);
+            if !self.faults.is_empty() {
+                match Self::apply_fault(&self.faults, tx, NodeId::new(i as u32), power, rng) {
+                    Some(p) => power = p,
+                    None => continue,
+                }
+            }
             if power < self.floor_w {
                 continue;
             }
@@ -235,7 +299,13 @@ impl Medium for PhysicalMedium {
             "positions changed without Medium::invalidate_positions()"
         );
         for c in cache.candidates_for(tx, &self.phy, self.floor_w) {
-            let power = self.phy.sample_from_mean_w(c.mean_w, rng);
+            let mut power = self.phy.sample_from_mean_w(c.mean_w, rng);
+            if !self.faults.is_empty() {
+                match Self::apply_fault(&self.faults, tx, c.node, power, rng) {
+                    Some(p) => power = p,
+                    None => continue,
+                }
+            }
             if power < self.floor_w {
                 continue;
             }
@@ -253,6 +323,14 @@ impl Medium for PhysicalMedium {
 
     fn invalidate_positions(&mut self) {
         self.cache = None;
+    }
+
+    fn set_link_fault(&mut self, from: NodeId, to: NodeId, effect: LinkEffect) {
+        self.faults.insert((from, to), effect);
+    }
+
+    fn clear_link_fault(&mut self, from: NodeId, to: NodeId) {
+        self.faults.remove(&(from, to));
     }
 }
 
@@ -280,6 +358,10 @@ pub struct LinkTableMedium {
     adjacency_stale: bool,
     /// Fixed propagation delay applied to every link.
     delay: SimDuration,
+    /// Fault-injected per-link overrides. These compose with (rather than
+    /// replace) the base loss process set via [`LinkTableMedium::set_loss`]:
+    /// an `ExtraLoss(p)` makes the effective loss `1 - (1-base)(1-p)`.
+    faults: std::collections::HashMap<(NodeId, NodeId), LinkEffect>,
 }
 
 impl LinkTableMedium {
@@ -293,6 +375,7 @@ impl LinkTableMedium {
             adjacency: Vec::new(),
             adjacency_stale: false,
             delay: SimDuration::from_nanos(200),
+            faults: std::collections::HashMap::new(),
         }
     }
 
@@ -393,13 +476,31 @@ impl Medium for LinkTableMedium {
             if node == tx || node.index() >= positions.len() {
                 continue;
             }
-            let decodable = !rng.chance(loss);
-            let power = if decodable {
+            // Fault overrides fold into the link's loss process so each link
+            // still costs exactly one RNG draw; fault-free runs take the
+            // empty-map fast path and draw the identical stream.
+            let fault = if self.faults.is_empty() {
+                None
+            } else {
+                self.faults.get(&(tx, node))
+            };
+            if matches!(fault, Some(LinkEffect::Blackout)) {
+                continue;
+            }
+            let eff_loss = match fault {
+                Some(LinkEffect::ExtraLoss(p)) => 1.0 - (1.0 - loss) * (1.0 - p),
+                _ => loss,
+            };
+            let decodable = !rng.chance(eff_loss);
+            let mut power = if decodable {
                 self.phy.rx_threshold_w * 10.0
             } else {
                 // Below decode, above carrier sense: busies the channel.
                 self.phy.cs_threshold_w * 2.0
             };
+            if let Some(LinkEffect::Attenuate(k)) = fault {
+                power *= k;
+            }
             out.push(RxPlan {
                 node,
                 power_w: power,
@@ -410,6 +511,14 @@ impl Medium for LinkTableMedium {
 
     fn phy(&self) -> &PhyParams {
         &self.phy
+    }
+
+    fn set_link_fault(&mut self, from: NodeId, to: NodeId, effect: LinkEffect) {
+        self.faults.insert((from, to), effect);
+    }
+
+    fn clear_link_fault(&mut self, from: NodeId, to: NodeId) {
+        self.faults.remove(&(from, to));
     }
 }
 
@@ -598,5 +707,148 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn link_table_rejects_bad_loss() {
         LinkTableMedium::new().add_link(NodeId::new(0), NodeId::new(1), 1.5);
+    }
+
+    #[test]
+    fn link_table_blackout_silences_one_direction() {
+        let mut m = LinkTableMedium::new();
+        m.add_link(NodeId::new(0), NodeId::new(1), 0.0);
+        m.set_link_fault(NodeId::new(0), NodeId::new(1), LinkEffect::Blackout);
+        let mut rng = SimRng::seed_from(8);
+        let mut out = Vec::new();
+        m.fan_out(
+            NodeId::new(0),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
+        assert!(out.is_empty(), "blacked-out link emitted {out:?}");
+        // Reverse direction unaffected.
+        m.fan_out(
+            NodeId::new(1),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        // Clearing restores the link.
+        m.clear_link_fault(NodeId::new(0), NodeId::new(1));
+        out.clear();
+        m.fan_out(
+            NodeId::new(0),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn link_table_extra_loss_composes_with_base() {
+        let mut m = LinkTableMedium::new();
+        m.add_link(NodeId::new(0), NodeId::new(1), 0.2);
+        m.set_link_fault(NodeId::new(0), NodeId::new(1), LinkEffect::ExtraLoss(0.5));
+        let mut rng = SimRng::seed_from(9);
+        let trials = 20_000;
+        let mut decoded = 0;
+        let mut out = Vec::new();
+        for _ in 0..trials {
+            out.clear();
+            m.fan_out(
+                NodeId::new(0),
+                &positions(),
+                SimTime::ZERO,
+                &mut rng,
+                &mut out,
+            );
+            if out[0].power_w >= m.phy().rx_threshold_w {
+                decoded += 1;
+            }
+        }
+        // Effective delivery = (1-0.2)*(1-0.5) = 0.4.
+        let rate = decoded as f64 / trials as f64;
+        assert!((rate - 0.4).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn link_table_attenuation_kills_decode_but_keeps_energy() {
+        let mut m = LinkTableMedium::new();
+        m.add_link(NodeId::new(0), NodeId::new(1), 0.0);
+        m.set_link_fault(NodeId::new(0), NodeId::new(1), LinkEffect::Attenuate(0.01));
+        let mut rng = SimRng::seed_from(10);
+        let mut out = Vec::new();
+        m.fan_out(
+            NodeId::new(0),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].power_w < m.phy().rx_threshold_w);
+    }
+
+    #[test]
+    fn physical_blackout_and_attenuation() {
+        let phy = PhyParams {
+            fading: crate::propagation::FadingModel::None,
+            ..PhyParams::default()
+        };
+        let mut m = PhysicalMedium::new(phy);
+        let mut rng = SimRng::seed_from(11);
+        let mut out = Vec::new();
+        m.fan_out(
+            NodeId::new(0),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
+        let clean_power = out
+            .iter()
+            .find(|p| p.node == NodeId::new(1))
+            .expect("node 1 in range")
+            .power_w;
+
+        m.set_link_fault(NodeId::new(0), NodeId::new(1), LinkEffect::Blackout);
+        out.clear();
+        m.fan_out(
+            NodeId::new(0),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
+        assert!(out.iter().all(|p| p.node != NodeId::new(1)));
+
+        m.set_link_fault(NodeId::new(0), NodeId::new(1), LinkEffect::Attenuate(0.5));
+        out.clear();
+        m.fan_out(
+            NodeId::new(0),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
+        let attenuated = out
+            .iter()
+            .find(|p| p.node == NodeId::new(1))
+            .expect("attenuated but audible")
+            .power_w;
+        assert!((attenuated - clean_power * 0.5).abs() < clean_power * 1e-9);
+
+        m.clear_link_fault(NodeId::new(0), NodeId::new(1));
+        out.clear();
+        m.fan_out(
+            NodeId::new(0),
+            &positions(),
+            SimTime::ZERO,
+            &mut rng,
+            &mut out,
+        );
+        assert!(out.iter().any(|p| p.node == NodeId::new(1)));
     }
 }

@@ -90,4 +90,16 @@ pub trait Protocol: Sized {
     ) {
         let _ = (ctx, handle, outcome);
     }
+
+    /// The node rebooted after a fault-injected crash (see [`crate::fault`]).
+    ///
+    /// While the node was down its MAC queue was purged, timers were
+    /// swallowed (not deferred), and nothing was received. Implementations
+    /// should discard volatile protocol state and re-arm their periodic
+    /// timers here, as in [`Protocol::start`]. The default does nothing,
+    /// which leaves the node silent after recovery — fine for protocols that
+    /// are never run under fault injection.
+    fn handle_restart(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
 }

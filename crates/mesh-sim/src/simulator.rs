@@ -2,11 +2,16 @@
 //! routes upcalls between them.
 
 use crate::counters::Counters;
+use crate::fault::FaultPlan;
 use crate::geometry::Pos;
 use crate::medium::Medium;
 use crate::protocol::Protocol;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::world::{Ctx, Upcall, World, WorldConfig};
+
+/// A protocol-level invariant oracle: inspects the world and the protocol
+/// instances at a checkpoint and returns a message per violation.
+pub type Oracle<P> = Box<dyn FnMut(&World<<P as Protocol>::Msg>, &[P]) -> Vec<String> + Send>;
 
 /// A complete simulation: world + one protocol instance per node.
 ///
@@ -35,6 +40,10 @@ pub struct Simulator<P: Protocol> {
     protocols: Vec<P>,
     started: bool,
     upcall_buf: Vec<Upcall<P::Msg>>,
+    /// How often the invariant oracles run; `None` disables checkpoints.
+    check_interval: Option<SimDuration>,
+    next_check: Option<SimTime>,
+    oracles: Vec<Oracle<P>>,
 }
 
 impl<P: Protocol> std::fmt::Debug for Simulator<P> {
@@ -69,7 +78,60 @@ impl<P: Protocol> Simulator<P> {
             protocols,
             started: false,
             upcall_buf: Vec::new(),
+            check_interval: None,
+            next_check: None,
+            oracles: Vec::new(),
         }
+    }
+
+    /// Attach a deterministic fault plan (see [`crate::fault`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan is already attached or a fault is scheduled in the
+    /// past.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.world.set_fault_plan(plan);
+    }
+
+    /// Run the invariant oracles every `every` of simulated time (plus once
+    /// at the end of each `run_until`). A violation panics with the full
+    /// list of broken invariants.
+    pub fn set_invariant_interval(&mut self, every: SimDuration) {
+        assert!(every.as_nanos() > 0, "checkpoint interval must be positive");
+        self.check_interval = Some(every);
+        self.next_check = None;
+    }
+
+    /// Register an additional protocol-level oracle run at each checkpoint
+    /// alongside the built-in world oracles.
+    pub fn add_oracle(&mut self, oracle: Oracle<P>) {
+        self.oracles.push(oracle);
+    }
+
+    /// Run the world oracles plus registered protocol oracles once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn check_invariants(&mut self) {
+        let mut msgs: Vec<String> = self
+            .world
+            .check_invariants()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        let world = &self.world;
+        let protocols = &self.protocols;
+        for oracle in &mut self.oracles {
+            msgs.extend(oracle(world, protocols));
+        }
+        assert!(
+            msgs.is_empty(),
+            "invariant violation(s) at {:?}:\n  {}",
+            world.now(),
+            msgs.join("\n  ")
+        );
     }
 
     /// Current simulated time.
@@ -165,14 +227,37 @@ impl<P: Protocol> Simulator<P> {
                         };
                         self.protocols[node.index()].handle_timer(&mut ctx, timer, kind);
                     }
+                    Upcall::Restart { node } => {
+                        let mut ctx = Ctx {
+                            world: &mut self.world,
+                            node,
+                        };
+                        self.protocols[node.index()].handle_restart(&mut ctx);
+                    }
                 }
             }
             self.upcall_buf = ups;
+            if let Some(every) = self.check_interval {
+                let due = *self
+                    .next_check
+                    .get_or_insert_with(|| self.world.now() + every);
+                if self.world.now() >= due {
+                    self.check_invariants();
+                    let mut next = due;
+                    while next <= self.world.now() {
+                        next += every;
+                    }
+                    self.next_check = Some(next);
+                }
+            }
             if !more {
                 break;
             }
         }
         self.world.advance_clock(t);
+        if self.check_interval.is_some() {
+            self.check_invariants();
+        }
     }
 
     /// Finish the run and extract the protocol instances and counters.

@@ -7,13 +7,14 @@
 
 use std::collections::HashSet;
 
-use crate::counters::{Counters, NodeCounters};
+use crate::counters::{Counters, NodeCounters, MAX_CLASSES};
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::frame::{Frame, FrameBody, FrameSlab};
 use crate::geometry::Pos;
 use crate::ids::{FrameId, NodeId, TimerId, TxHandle};
 use crate::mac::{CtrlResponse, Mac, MacParams, MacState, OutFrame};
-use crate::medium::{Medium, RxPlan};
+use crate::medium::{LinkEffect, Medium, RxPlan};
 use crate::mobility::Mobility;
 use crate::protocol::{RxMeta, TxOutcome};
 use crate::radio::{ArrivalOutcome, Radio};
@@ -73,6 +74,8 @@ pub(crate) enum Upcall<M> {
         timer: TimerId,
         kind: u64,
     },
+    /// A crashed node just recovered; its protocol should re-arm itself.
+    Restart { node: NodeId },
 }
 
 /// World configuration.
@@ -89,11 +92,11 @@ pub struct World<M> {
     now: SimTime,
     queue: EventQueue,
     positions: Vec<Pos>,
-    radios: Vec<Radio>,
-    macs: Vec<Mac<M>>,
-    frames: FrameSlab<M>,
+    pub(crate) radios: Vec<Radio>,
+    pub(crate) macs: Vec<Mac<M>>,
+    pub(crate) frames: FrameSlab<M>,
     medium: Box<dyn Medium>,
-    params: MacParams,
+    pub(crate) params: MacParams,
     rng: SimRng,
     counters: Counters,
     node_counters: Vec<NodeCounters>,
@@ -104,6 +107,21 @@ pub struct World<M> {
     fan_buf: Vec<RxPlan>,
     trace: Option<Box<dyn TraceSink>>,
     mobility: Option<Box<dyn Mobility>>,
+    /// Crashed (fault-injected) nodes; a down node neither sends nor hears.
+    pub(crate) down: Vec<bool>,
+    /// Nodes whose in-flight transmission outlived a crash: its `TxEnd`
+    /// only releases the frame instead of driving the MAC.
+    pub(crate) tx_orphaned: Vec<bool>,
+    fault_plan: Option<FaultPlan>,
+    /// Directed links blacked out by the active partition fault, so
+    /// `HealPartition` can restore exactly those.
+    partition_links: Vec<(NodeId, NodeId)>,
+    /// Per-class receive drop probability from an active class-loss burst.
+    class_drop: [f64; MAX_CLASSES],
+    /// Events observed with a timestamp before `now` (always 0 unless the
+    /// queue is broken); checked by the monotonicity oracle in release
+    /// builds where the `debug_assert` is compiled out.
+    pub(crate) time_regressions: u64,
 }
 
 impl<M> std::fmt::Debug for World<M> {
@@ -152,7 +170,41 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             fan_buf: Vec::new(),
             trace: None,
             mobility: None,
+            down: vec![false; n],
+            tx_orphaned: vec![false; n],
+            fault_plan: None,
+            partition_links: Vec::new(),
+            class_drop: [0.0; MAX_CLASSES],
+            time_regressions: 0,
         }
+    }
+
+    /// Attach a fault plan; every scheduled fault becomes a simulator event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan is already attached or any fault is scheduled before
+    /// the current time.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            self.fault_plan.is_none(),
+            "a fault plan is already attached"
+        );
+        for (idx, &(t, _)) in plan.events().iter().enumerate() {
+            assert!(t >= self.now, "fault scheduled in the past");
+            self.queue.push(t, EventKind::Fault { idx });
+        }
+        self.fault_plan = Some(plan);
+    }
+
+    /// Whether `node` is currently crashed by a fault.
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.down[node.index()]
+    }
+
+    /// Run the built-in invariant oracles against the current state.
+    pub fn check_invariants(&self) -> Vec<crate::invariants::Violation> {
+        crate::invariants::check_world(self)
     }
 
     /// Attach a mobility model; positions update from the next event on.
@@ -235,8 +287,14 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         let Some(ev) = self.queue.pop_if_at_or_before(limit) else {
             return false;
         };
-        debug_assert!(ev.time >= self.now, "time went backwards");
-        self.now = ev.time;
+        if ev.time < self.now {
+            // Tracked instead of only asserted so the monotonicity oracle
+            // also catches this in release builds.
+            self.time_regressions += 1;
+            debug_assert!(false, "time went backwards");
+        } else {
+            self.now = ev.time;
+        }
         self.counters.events += 1;
         match ev.kind {
             EventKind::MacTimer { node, gen } => self.on_mac_timer(node, gen, upcalls),
@@ -253,7 +311,10 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                 power_w,
             } => self.on_rx_end(node, frame, power_w, upcalls),
             EventKind::ProtoTimer { node, timer, kind } => {
-                if !self.cancelled_timers.remove(&timer.0) {
+                let cancelled = self.cancelled_timers.remove(&timer.0);
+                // Timers of a crashed node are swallowed, not deferred; its
+                // protocol re-arms what it needs in `handle_restart`.
+                if !cancelled && !self.down[node.index()] {
                     upcalls.push(Upcall::Timer { node, timer, kind });
                 }
             }
@@ -267,8 +328,124 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                     self.medium.invalidate_positions();
                 }
             }
+            EventKind::Fault { idx } => self.apply_fault(idx, upcalls),
         }
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn apply_fault(&mut self, idx: usize, upcalls: &mut Vec<Upcall<M>>) {
+        let Some(kind) = self
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.events().get(idx))
+            .map(|(_, k)| k.clone())
+        else {
+            debug_assert!(false, "fault event without a matching plan entry");
+            return;
+        };
+        self.counters.fault_events += 1;
+        match kind {
+            FaultKind::NodeCrash(node) => self.crash_node(node),
+            FaultKind::NodeRecover(node) => {
+                let i = node.index();
+                if self.down[i] {
+                    self.down[i] = false;
+                    upcalls.push(Upcall::Restart { node });
+                }
+            }
+            FaultKind::LinkFault { from, to, effect } => {
+                self.medium.set_link_fault(from, to, effect);
+            }
+            FaultKind::LinkRestore { from, to } => {
+                self.medium.clear_link_fault(from, to);
+            }
+            FaultKind::Partition { boundary_x_m } => {
+                // Judged against the positions at this instant; under
+                // mobility, nodes that later cross the boundary stay cut
+                // until the partition heals.
+                for i in 0..self.positions.len() {
+                    for j in 0..self.positions.len() {
+                        if i == j {
+                            continue;
+                        }
+                        let crosses = (self.positions[i].x < boundary_x_m)
+                            != (self.positions[j].x < boundary_x_m);
+                        if crosses {
+                            let (a, b) = (NodeId::new(i as u32), NodeId::new(j as u32));
+                            self.medium.set_link_fault(a, b, LinkEffect::Blackout);
+                            self.partition_links.push((a, b));
+                        }
+                    }
+                }
+            }
+            FaultKind::HealPartition => {
+                for (a, b) in std::mem::take(&mut self.partition_links) {
+                    self.medium.clear_link_fault(a, b);
+                }
+            }
+            FaultKind::ClassLossBurst { class, drop } => {
+                self.class_drop[class as usize % MAX_CLASSES] = drop.clamp(0.0, 1.0);
+            }
+            FaultKind::ClassLossClear { class } => {
+                self.class_drop[class as usize % MAX_CLASSES] = 0.0;
+            }
+        }
+    }
+
+    /// Power a node off: silence the radio, purge the MAC, freeze the
+    /// protocol (its timers are swallowed while down).
+    fn crash_node(&mut self, node: NodeId) {
+        let i = node.index();
+        if self.down[i] {
+            return;
+        }
+        self.down[i] = true;
+        // An in-flight reception dies with the radio.
+        if let Some(rx) = self.radios[i].rx.take() {
+            if self.frame_is_data(rx.frame) {
+                self.counters.rx_aborted_data += 1;
+            }
+        }
+        // An in-flight transmission keeps propagating (the energy already
+        // left the antenna) but its MAC bookkeeping is orphaned: the TxEnd
+        // releases the frame without driving the state machine.
+        if self.radios[i].tx_until.is_some() {
+            self.tx_orphaned[i] = true;
+        }
+        self.radios[i].energy_until = self.now;
+        self.radios[i].nav_until = self.now;
+        let cw_min = self.params.cw_min;
+        self.counters.fault_tx_purged += self.macs[i].queue.len() as u64;
+        let mac = &mut self.macs[i];
+        mac.queue.clear();
+        mac.state = MacState::Idle;
+        mac.backoff_slots = 0;
+        mac.pending_ctrl = None;
+        mac.rx_dedup.clear();
+        mac.bump_timer();
+        mac.bump_ctrl();
+        mac.reset_contention(cw_min);
+    }
+
+    fn frame_is_data(&self, frame: FrameId) -> bool {
+        self.frames
+            .get(frame)
+            .is_some_and(|f| matches!(f.body, FrameBody::Data { .. }))
+    }
+
+    /// Data frames currently being decoded by some radio (used by the
+    /// counter-conservation oracle: planned arrivals that have neither
+    /// resolved nor been lost yet).
+    pub(crate) fn data_rx_in_progress(&self) -> u64 {
+        self.radios
+            .iter()
+            .filter_map(|r| r.rx)
+            .filter(|rx| self.frame_is_data(rx.frame))
+            .count() as u64
     }
 
     /// Advance the clock to `t` without processing events (used at the end of
@@ -309,6 +486,10 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         bytes: u32,
         class: u8,
     ) -> Result<TxHandle, SendError> {
+        debug_assert!(
+            !self.down[node.index()],
+            "a crashed node cannot send (no upcalls are delivered while down)"
+        );
         if let Some(d) = dst {
             if d == node || d.index() >= self.positions.len() {
                 return Err(SendError::BadDestination);
@@ -524,6 +705,12 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         }
         let end = self.now + air;
         self.node_counters[node.index()].airtime_ns += air.as_nanos();
+        // Half-duplex: starting our own transmission aborts any reception.
+        if let Some(rx) = self.radios[node.index()].rx {
+            if self.frame_is_data(rx.frame) {
+                self.counters.rx_aborted_data += 1;
+            }
+        }
         self.radios[node.index()].start_tx(end);
         self.channel_became_busy(node);
 
@@ -567,6 +754,17 @@ impl<M: Clone + std::fmt::Debug> World<M> {
     fn on_tx_end(&mut self, node: NodeId, frame: FrameId, upcalls: &mut Vec<Upcall<M>>) {
         let i = node.index();
         self.radios[i].end_tx();
+        if self.tx_orphaned[i] {
+            // The sender crashed mid-transmission; the MAC was already reset
+            // (and possibly restarted since), so only release the frame.
+            self.tx_orphaned[i] = false;
+            self.frames.release(frame);
+            if !self.down[i] {
+                self.channel_maybe_idle(node);
+            }
+            return;
+        }
+        debug_assert!(!self.down[i], "down node finished a non-orphaned tx");
 
         enum After {
             Nothing,
@@ -673,6 +871,20 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             return;
         };
         let end = self.now + f.duration;
+        let is_data = matches!(f.body, FrameBody::Data { .. });
+        if is_data {
+            self.counters.planned_rx_data += 1;
+        }
+        if self.down[i] {
+            // A crashed radio hears nothing — no carrier sense, no capture.
+            if is_data {
+                self.counters.fault_rx_dropped += 1;
+            }
+            return;
+        }
+        // Remember what was being decoded: on capture the *old* frame is
+        // the one lost, and it will no longer match at its RxEnd.
+        let prev_rx_frame = self.radios[i].rx.map(|rx| rx.frame);
         let phy = self.medium.phy();
         let outcome =
             self.radios[i].arrival(frame, power_w, end, phy.rx_threshold_w, phy.capture_ratio);
@@ -680,23 +892,40 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             ArrivalOutcome::StartedRx => None,
             ArrivalOutcome::CapturedOver => {
                 self.counters.capture_losses += 1;
+                if prev_rx_frame.is_some_and(|p| self.frame_is_data(p)) {
+                    self.counters.rx_lost_data += 1;
+                }
                 Some(LossReason::Captured)
             }
             ArrivalOutcome::LostToStronger => {
                 self.counters.capture_losses += 1;
+                if is_data {
+                    self.counters.rx_lost_data += 1;
+                }
                 Some(LossReason::Captured)
             }
             ArrivalOutcome::Collision => {
                 self.counters.collisions += 1;
                 self.node_counters[i].collisions += 1;
+                // The ongoing frame is corrupted too; it resolves as
+                // `rx_corrupted_data` at its own RxEnd.
+                if is_data {
+                    self.counters.rx_lost_data += 1;
+                }
                 Some(LossReason::Collision)
             }
             ArrivalOutcome::BelowRxThreshold => {
                 self.counters.below_rx_threshold += 1;
+                if is_data {
+                    self.counters.rx_lost_data += 1;
+                }
                 Some(LossReason::BelowThreshold)
             }
             ArrivalOutcome::WhileTx => {
                 self.counters.rx_while_tx += 1;
+                if is_data {
+                    self.counters.rx_lost_data += 1;
+                }
                 Some(LossReason::WhileTx)
             }
         };
@@ -720,10 +949,18 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         upcalls: &mut Vec<Upcall<M>>,
     ) {
         let i = node.index();
+        if self.down[i] {
+            // Any accounting for this arrival happened at RxStart or at the
+            // moment of the crash.
+            self.frames.release(frame);
+            return;
+        }
         let done = self.radios[i].arrival_end(frame);
         if let Some(rx) = done {
             if !rx.corrupted {
                 self.decode_frame(node, frame, rx.power_w, upcalls);
+            } else if self.frame_is_data(frame) {
+                self.counters.rx_corrupted_data += 1;
             }
         }
         self.frames.release(frame);
@@ -812,6 +1049,13 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                 let bytes = self.frames.get(frame).map(|f| f.bytes).unwrap_or(0);
                 match dst {
                     None => {
+                        // An active class-loss burst (fault injection) drops
+                        // received broadcasts of the class probabilistically.
+                        let burst = self.class_drop[class as usize % MAX_CLASSES];
+                        if burst > 0.0 && self.rng.chance(burst) {
+                            self.counters.fault_rx_dropped += 1;
+                            return;
+                        }
                         self.counters.record_rx_data(class, bytes as u64);
                         self.node_counters[i].rx_data_frames += 1;
                         upcalls.push(Upcall::Deliver {
@@ -850,7 +1094,11 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                             });
                         }
                     }
-                    Some(_) => {} // unicast overheard; MAC drops it
+                    Some(_) => {
+                        // Unicast overheard by a third party; the MAC drops
+                        // it, but the conservation oracle still balances it.
+                        self.counters.unicast_overheard += 1;
+                    }
                 }
             }
         }

@@ -1,0 +1,175 @@
+//! Boundary coverage for the spatial [`NeighborIndex`] and its interaction
+//! with mobility-driven cache invalidation.
+//!
+//! The index promises a *superset* of the nodes within the query radius.
+//! These tests probe the places where that promise is easiest to break:
+//! positions exactly on cell edges (ties in the `f64 → usize` cell mapping),
+//! coincident positions, query squares whose corners land on edges, and —
+//! through the indexed [`PhysicalMedium`] under random-waypoint mobility —
+//! `invalidate_positions` arriving between transmissions mid-tick.
+
+use mesh_sim::geometry::Area;
+use mesh_sim::mobility::RandomWaypoint;
+use mesh_sim::prelude::*;
+
+fn brute_force(positions: &[Pos], center: Pos, r: f64) -> Vec<u32> {
+    let mut v: Vec<u32> = positions
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| center.distance_to(**p) <= r)
+        .map(|(i, _)| i as u32)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn assert_superset(idx: &NeighborIndex, positions: &[Pos], center: Pos, r: f64) {
+    let mut got = Vec::new();
+    idx.candidates_within(center, r, &mut got);
+    got.sort_unstable();
+    for e in brute_force(positions, center, r) {
+        assert!(
+            got.contains(&e),
+            "node {e} within {r} m of {center:?} missing from candidates"
+        );
+    }
+}
+
+#[test]
+fn nodes_exactly_on_cell_edges_are_never_lost() {
+    // A lattice whose points all sit exactly on cell boundaries (multiples
+    // of the 100 m cell size), including the far corner of the grid.
+    let cell = 100.0;
+    let positions: Vec<Pos> = (0..=5)
+        .flat_map(|i| (0..=5).map(move |j| Pos::new(i as f64 * cell, j as f64 * cell)))
+        .collect();
+    let idx = NeighborIndex::build(&positions, cell);
+    // Query centers on every lattice point and every cell midpoint, with
+    // radii that also land query corners exactly on edges.
+    for &center in &positions {
+        for r in [cell, cell / 2.0, 1.5 * cell] {
+            assert_superset(&idx, &positions, center, r);
+        }
+    }
+    for i in 0..5 {
+        for j in 0..5 {
+            let mid = Pos::new((i as f64 + 0.5) * cell, (j as f64 + 0.5) * cell);
+            assert_superset(&idx, &positions, mid, cell / 2.0);
+        }
+    }
+}
+
+#[test]
+fn zero_radius_query_on_an_edge_still_finds_the_node_there() {
+    let positions = vec![
+        Pos::new(0.0, 0.0),
+        Pos::new(100.0, 0.0),
+        Pos::new(200.0, 0.0),
+    ];
+    let idx = NeighborIndex::build(&positions, 100.0);
+    for (i, &p) in positions.iter().enumerate() {
+        let mut got = Vec::new();
+        idx.candidates_within(p, 0.0, &mut got);
+        assert!(got.contains(&(i as u32)), "node {i} lost at zero radius");
+    }
+}
+
+#[test]
+fn coincident_nodes_on_an_edge_all_appear_once() {
+    // Seven nodes stacked on a cell corner plus two one cell away.
+    let mut positions = vec![Pos::new(100.0, 100.0); 7];
+    positions.push(Pos::new(0.0, 100.0));
+    positions.push(Pos::new(200.0, 100.0));
+    let idx = NeighborIndex::build(&positions, 100.0);
+    let mut got = Vec::new();
+    idx.candidates_within(Pos::new(100.0, 100.0), 1.0, &mut got);
+    got.sort_unstable();
+    let stacked: Vec<u32> = (0..7).collect();
+    for e in &stacked {
+        assert_eq!(
+            got.iter().filter(|&&g| g == *e).count(),
+            1,
+            "node {e} duplicated or lost"
+        );
+    }
+    assert_superset(&idx, &positions, Pos::new(100.0, 100.0), 100.0);
+}
+
+#[test]
+fn negative_coordinates_with_edge_aligned_origin() {
+    // Origin at a negative edge-aligned coordinate: the origin-relative cell
+    // mapping must not truncate toward zero differently on either side.
+    let positions = vec![
+        Pos::new(-200.0, -100.0),
+        Pos::new(-100.0, -100.0),
+        Pos::new(0.0, 0.0),
+        Pos::new(100.0, 100.0),
+    ];
+    let idx = NeighborIndex::build(&positions, 100.0);
+    for &center in &positions {
+        assert_superset(&idx, &positions, center, 150.0);
+    }
+    // Query square poking past the grid on the low side.
+    assert_superset(&idx, &positions, Pos::new(-200.0, -100.0), 400.0);
+}
+
+/// A silent protocol; the medium, index and mobility do all the work.
+#[derive(Debug, Clone)]
+struct Beacon;
+
+impl Protocol for Beacon {
+    type Msg = u32;
+    fn start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        ctx.set_timer(SimDuration::from_millis(200), 0);
+    }
+    fn handle_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: &u32, _: RxMeta) {}
+    fn handle_timer(&mut self, ctx: &mut Ctx<'_, u32>, _: TimerId, _: u64) {
+        let _ = ctx.send_broadcast(ctx.node().index() as u32, 64, 0);
+        ctx.set_timer(SimDuration::from_millis(200), 0);
+    }
+}
+
+/// Under random-waypoint mobility, `invalidate_positions` hits the indexed
+/// medium between transmissions mid-tick. Indexed and unindexed media must
+/// stay bit-identical anyway — any stale cache shows up as diverging
+/// counters.
+#[test]
+fn indexed_medium_matches_scan_under_mobility_invalidation() {
+    let run = |indexed: bool| {
+        let area = Area::square(600.0);
+        let mut rng = SimRng::seed_from(99);
+        let positions: Vec<Pos> = (0..20)
+            .map(|_| Pos::new(rng.uniform_range(0.0, 600.0), rng.uniform_range(0.0, 600.0)))
+            .collect();
+        let phy = PhyParams {
+            fading: FadingModel::None,
+            ..PhyParams::default()
+        };
+        let medium = Box::new(PhysicalMedium::new(phy).with_indexing(indexed));
+        let mut sim = Simulator::new(
+            positions,
+            medium,
+            WorldConfig {
+                seed: 5,
+                ..WorldConfig::default()
+            },
+            vec![Beacon; 20],
+        );
+        sim.set_mobility(Box::new(RandomWaypoint::new(
+            area,
+            5.0,
+            20.0,
+            SimDuration::from_millis(500),
+        )));
+        sim.set_invariant_interval(SimDuration::from_secs(1));
+        sim.run_until(SimTime::from_secs(12));
+        sim.counters().clone()
+    };
+    let with_index = run(true);
+    let without_index = run(false);
+    assert_eq!(
+        with_index, without_index,
+        "indexed medium diverged from the full scan under mobility"
+    );
+    assert!(with_index.planned_rx_data > 0, "nothing was ever received");
+}

@@ -1,0 +1,116 @@
+//! Protocol-level invariant oracles for ODMRP.
+//!
+//! [`check`] inspects every node's soft state at a checkpoint and reports
+//! violations of the properties §3.1 relies on:
+//!
+//! * **neighbor-table grounding** — a node's `NEIGHBOR_TABLE` may only hold
+//!   entries for real, distinct nodes that actually transmitted probes;
+//! * **forwarding-group soundness** — a node forwards data for a group only
+//!   while an unexpired `JOIN REPLY` selected it (soft state within
+//!   `fg_timeout` of the last selection);
+//! * **loop freedom** — following the per-round upstream pointers recorded
+//!   from `JOIN QUERY` processing never revisits a node, for any
+//!   `(source, seq)` round.
+//!
+//! [`oracle`] packages the checks for
+//! [`mesh_sim::simulator::Simulator::add_oracle`].
+
+use std::collections::{HashMap, HashSet};
+
+use mesh_sim::ids::NodeId;
+use mesh_sim::time::SimTime;
+
+use crate::node::OdmrpNode;
+
+/// Run every ODMRP oracle over `nodes` at time `now`; one message per
+/// violation, empty when all invariants hold.
+pub fn check(now: SimTime, nodes: &[OdmrpNode]) -> Vec<String> {
+    let mut out = Vec::new();
+    check_neighbor_tables(nodes, &mut out);
+    check_forwarding_groups(now, nodes, &mut out);
+    check_loop_freedom(nodes, &mut out);
+    out
+}
+
+/// The checks of [`check`] boxed for
+/// [`mesh_sim::simulator::Simulator::add_oracle`].
+pub fn oracle() -> mesh_sim::simulator::Oracle<OdmrpNode> {
+    Box::new(|world, nodes| check(world.now(), nodes))
+}
+
+fn check_neighbor_tables(nodes: &[OdmrpNode], out: &mut Vec<String>) {
+    for (i, node) in nodes.iter().enumerate() {
+        for n in node.neighbor_table().known_neighbors() {
+            if n.index() >= nodes.len() {
+                out.push(format!(
+                    "[neighbor-exists] node {i} has a table entry for \
+                     nonexistent node {n:?}"
+                ));
+            } else if n.index() == i {
+                out.push(format!(
+                    "[neighbor-not-self] node {i} has a table entry for itself"
+                ));
+            } else if nodes[n.index()].stats().probes_sent == 0 {
+                out.push(format!(
+                    "[neighbor-probed] node {i} has a table entry for \
+                     {n:?}, which never sent a probe"
+                ));
+            }
+        }
+    }
+}
+
+fn check_forwarding_groups(now: SimTime, nodes: &[OdmrpNode], out: &mut Vec<String>) {
+    for (i, node) in nodes.iter().enumerate() {
+        let fg_timeout = node.config().fg_timeout;
+        for g in node.forwarding_groups() {
+            if !node.is_forwarding(g, now) {
+                continue;
+            }
+            let selected = node.stats().fg_selected.get(&g);
+            match selected {
+                None => out.push(format!(
+                    "[fg-join-backed] node {i} forwards for {g:?} but no \
+                     JOIN REPLY ever selected it"
+                )),
+                Some(&t) => {
+                    if now.saturating_since(t) > fg_timeout {
+                        out.push(format!(
+                            "[fg-unexpired-join] node {i} forwards for {g:?} \
+                             but its last selection at {t:?} expired"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_loop_freedom(nodes: &[OdmrpNode], out: &mut Vec<String>) {
+    // upstream pointer of each node, per (source, seq) round
+    let mut rounds: HashMap<(NodeId, u32), HashMap<usize, NodeId>> = HashMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        for (key, upstream) in node.query_upstreams() {
+            rounds.entry(key).or_default().insert(i, upstream);
+        }
+    }
+    let mut keys: Vec<_> = rounds.keys().copied().collect();
+    keys.sort();
+    for key in keys {
+        let ptrs = &rounds[&key];
+        for &start in ptrs.keys() {
+            let mut visited = HashSet::new();
+            let mut cur = start;
+            while let Some(&up) = ptrs.get(&cur) {
+                if !visited.insert(cur) {
+                    out.push(format!(
+                        "[query-loop-free] round {key:?}: upstream pointers \
+                         from node {start} revisit node {cur}"
+                    ));
+                    break;
+                }
+                cur = up.index();
+            }
+        }
+    }
+}

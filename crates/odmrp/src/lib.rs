@@ -45,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+pub mod invariants;
 pub mod messages;
 mod node;
 pub mod stats;

@@ -151,6 +151,20 @@ impl OdmrpNode {
         v
     }
 
+    /// The upstream chosen for every `(source, seq)` query round this node
+    /// has state for, sorted by key. The loop-freedom oracle chases these
+    /// pointers across nodes: following upstreams of the same round must
+    /// never revisit a node.
+    pub fn query_upstreams(&self) -> Vec<((NodeId, u32), NodeId)> {
+        let mut v: Vec<((NodeId, u32), NodeId)> = self
+            .query_state
+            .iter()
+            .map(|(&k, st)| (k, st.upstream))
+            .collect();
+        v.sort();
+        v
+    }
+
     // ------------------------------------------------------------------
 
     fn arm(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>, delay: SimDuration, payload: TimerPayload) {
@@ -389,6 +403,8 @@ impl OdmrpNode {
             let slot = self.fg.entry(r.group).or_insert(expiry);
             *slot = (*slot).max(expiry);
             self.stats.fg_refreshes += 1;
+            let sel = self.stats.fg_selected.entry(r.group).or_insert(now);
+            *sel = (*sel).max(now);
 
             if e.source != self.me && self.forwarded_reply.insert((e.source, e.seq)) {
                 self.send_reply(ctx, e.source, e.seq);
@@ -495,5 +511,40 @@ impl Protocol for OdmrpNode {
         _outcome: TxOutcome,
     ) {
         // Everything ODMRP sends is broadcast; no per-frame follow-up needed.
+    }
+
+    fn handle_restart(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>) {
+        // All soft state is volatile and lost with the crash. Sequence
+        // numbers survive (monotone counters avoid post-reboot duplicate-key
+        // collisions at nodes that cached our pre-crash packets), and stats
+        // survive because they model the experimenter's notebook, not the
+        // node's RAM.
+        self.timers.clear();
+        self.query_state.clear();
+        self.fg.clear();
+        self.forwarded_reply.clear();
+        self.delta_scheduled.clear();
+        self.data_seen.clear();
+        self.data_seen_order.clear();
+        self.table = NeighborTable::new(self.cfg.estimator.clone());
+        self.stats.restarts += 1;
+        self.stats.fg_selected.clear();
+
+        // Re-arm the periodic machinery exactly as `start` does, except
+        // sources whose window already closed stay silent.
+        if let Some(interval) = self.prober.as_ref().and_then(|p| p.plan().interval()) {
+            let phase = interval.mul_f64(ctx.rng().uniform());
+            self.arm(ctx, phase, TimerPayload::Probe);
+        }
+        let now = ctx.now();
+        for i in 0..self.role.sources.len() {
+            let spec = self.role.sources[i];
+            if now >= spec.stop {
+                continue;
+            }
+            let delay = spec.start.saturating_since(now);
+            self.arm(ctx, delay, TimerPayload::Refresh(i));
+            self.arm(ctx, delay, TimerPayload::Cbr(i));
+        }
     }
 }

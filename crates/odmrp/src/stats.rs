@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use mesh_sim::ids::{GroupId, NodeId};
+use mesh_sim::time::SimTime;
 
 /// Delivery record for one `(group, source)` pair at a member.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -51,6 +52,12 @@ pub struct NodeStats {
     pub fg_refreshes: u64,
     /// Duplicate data receptions suppressed by the network-layer cache.
     pub duplicate_data: u64,
+    /// Times this node rebooted after a fault-injected crash.
+    pub restarts: u64,
+    /// Last time a `JOIN REPLY` selected this node into the forwarding
+    /// group, per group. The forwarding-group soundness oracle checks that a
+    /// node only forwards while this is within `fg_timeout` of now.
+    pub fg_selected: HashMap<GroupId, SimTime>,
 }
 
 /// Implemented by every multicast protocol node in this workspace so the

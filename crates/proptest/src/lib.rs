@@ -18,6 +18,17 @@
 //! failures are reproducible by rerunning the test) and there is **no
 //! shrinking** — a failure reports the case number and the assertion message
 //! only.
+//!
+//! Two pieces of real-proptest workflow **are** supported:
+//!
+//! * the `PROPTEST_CASES` environment variable overrides the configured case
+//!   count, so CI can pin a budget without touching test sources;
+//! * a sibling `<test-file>.proptest-regressions` file is read before novel
+//!   cases are generated and every `cc <seed>` line is replayed first. A
+//!   16-hex-digit seed restores the exact shim RNG state; longer seeds
+//!   (saved by the real proptest) are hashed to a stable starting state so
+//!   the case still exercises a deterministic input. When a novel case
+//!   fails, the panic message includes the `cc` line to commit.
 
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
@@ -79,6 +90,17 @@ impl TestRng {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
         TestRng { state: h }
+    }
+
+    /// Restore a stream from a saved state (a `cc` regression seed).
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    /// The current state; saved before each case so failures can be
+    /// replayed exactly via [`TestRng::from_state`].
+    pub fn state(&self) -> u64 {
+        self.state
     }
 
     /// Next raw 64-bit output.
@@ -361,6 +383,59 @@ pub mod prop {
     pub use crate::option;
 }
 
+/// The case budget for a test: `PROPTEST_CASES` (if set and parseable)
+/// overrides the configured count.
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.trim().parse().unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
+/// Seeds saved in the `.proptest-regressions` file next to `source_file`
+/// (the `file!()` of the test), replayed before novel cases.
+///
+/// `source_file` is relative to the workspace root while tests run from the
+/// crate directory, so the file is searched relative to the current
+/// directory and each of its ancestors. `cc` lines carrying a 16-hex-digit
+/// seed map directly to a shim RNG state; anything else (real-proptest
+/// 256-bit seeds) is hashed to a stable state.
+pub fn regression_seeds(source_file: &str) -> Vec<u64> {
+    let sibling = format!("{source_file}.proptest-regressions");
+    let mut candidates: Vec<std::path::PathBuf> = vec![std::path::PathBuf::from(&sibling)];
+    if let Ok(cwd) = std::env::current_dir() {
+        candidates.extend(cwd.ancestors().map(|a| a.join(&sibling)));
+    }
+    let Some(text) = candidates
+        .iter()
+        .find_map(|p| std::fs::read_to_string(p).ok())
+    else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("cc ") else {
+            continue;
+        };
+        let token = rest.split_whitespace().next().unwrap_or("");
+        if token.len() == 16 && token.bytes().all(|b| b.is_ascii_hexdigit()) {
+            if let Ok(s) = u64::from_str_radix(token, 16) {
+                seeds.push(s);
+                continue;
+            }
+        }
+        // Foreign seed format: hash to a stable, deterministic state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in token.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        seeds.push(h);
+    }
+    seeds
+}
+
 /// The glob-importable prelude, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
@@ -424,8 +499,10 @@ macro_rules! __proptest_tests {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let mut __proptest_rng = $crate::TestRng::from_name(stringify!($name));
-            for __proptest_case in 0..config.cases {
+            let __proptest_cases = $crate::resolve_cases(config.cases);
+            // Replay committed regressions before generating novel cases.
+            for __proptest_seed in $crate::regression_seeds(file!()) {
+                let mut __proptest_rng = $crate::TestRng::from_state(__proptest_seed);
                 $(let $pat = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
                 let __proptest_result = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
                     $body
@@ -433,11 +510,33 @@ macro_rules! __proptest_tests {
                 })();
                 if let ::std::result::Result::Err(e) = __proptest_result {
                     panic!(
-                        "[proptest shim] {} failed at case {}/{}: {}",
+                        "[proptest shim] {} failed replaying regression seed \
+                         cc {:016x}: {}",
+                        stringify!($name),
+                        __proptest_seed,
+                        e
+                    );
+                }
+            }
+            let mut __proptest_rng = $crate::TestRng::from_name(stringify!($name));
+            for __proptest_case in 0..__proptest_cases {
+                let __proptest_state = __proptest_rng.state();
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)+
+                let __proptest_result = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __proptest_result {
+                    panic!(
+                        "[proptest shim] {} failed at case {}/{}: {}\n\
+                         To pin this case, add the line below to the \
+                         .proptest-regressions file next to the test:\n\
+                         cc {:016x}",
                         stringify!($name),
                         __proptest_case + 1,
-                        config.cases,
-                        e
+                        __proptest_cases,
+                        e,
+                        __proptest_state
                     );
                 }
             }

@@ -115,6 +115,14 @@ impl Medium for TestbedMedium {
     fn phy(&self) -> &PhyParams {
         self.table.phy()
     }
+
+    fn set_link_fault(&mut self, from: NodeId, to: NodeId, effect: mesh_sim::medium::LinkEffect) {
+        self.table.set_link_fault(from, to, effect);
+    }
+
+    fn clear_link_fault(&mut self, from: NodeId, to: NodeId) {
+        self.table.clear_link_fault(from, to);
+    }
 }
 
 #[cfg(test)]
