@@ -64,7 +64,8 @@ impl Wcett {
     /// WCETT of a path, in seconds. Lower is better. Empty paths cost 0.
     pub fn path_cost(&self, hops: &[ChannelHop]) -> f64 {
         let total: f64 = hops.iter().map(|h| h.ett_s).sum();
-        let mut per_channel = std::collections::HashMap::new();
+        // BTreeMap: `values()` below traverses it (mesh-lint R1).
+        let mut per_channel = std::collections::BTreeMap::new();
         for h in hops {
             *per_channel.entry(h.channel).or_insert(0.0f64) += h.ett_s;
         }

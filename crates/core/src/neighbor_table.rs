@@ -5,7 +5,7 @@
 //! travel). When a `JOIN QUERY` arrives, the node looks up the link it came
 //! over and accumulates that cost into the query.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mesh_sim::ids::NodeId;
 use mesh_sim::time::SimTime;
@@ -19,7 +19,9 @@ use crate::Metric;
 #[derive(Debug, Clone)]
 pub struct NeighborTable {
     cfg: EstimatorConfig,
-    links: HashMap<NodeId, LinkEstimate>,
+    // Traversed by the report/oracle accessors below: BTreeMap so every
+    // traversal is NodeId-ascending, never hash-ordered (mesh-lint R1).
+    links: BTreeMap<NodeId, LinkEstimate>,
 }
 
 impl NeighborTable {
@@ -27,7 +29,7 @@ impl NeighborTable {
     pub fn new(cfg: EstimatorConfig) -> Self {
         NeighborTable {
             cfg,
-            links: HashMap::new(),
+            links: BTreeMap::new(),
         }
     }
 
@@ -95,13 +97,10 @@ impl NeighborTable {
     /// Forward delivery ratios of all known neighbors (piggybacked into
     /// single probes for the bidirectional-ETX ablation).
     pub fn reverse_report(&self, now: SimTime) -> Vec<(NodeId, f32)> {
-        let mut v: Vec<(NodeId, f32)> = self
-            .links
+        self.links
             .iter()
             .map(|(&n, est)| (n, est.forward_ratio(now, &self.cfg) as f32))
-            .collect();
-        v.sort_by_key(|(n, _)| *n);
-        v
+            .collect()
     }
 
     /// Neighbors heard from within `horizon` before `now`.
@@ -110,17 +109,14 @@ impl NeighborTable {
         now: SimTime,
         horizon: mesh_sim::time::SimDuration,
     ) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self
-            .links
+        self.links
             .iter()
             .filter(|(_, est)| {
                 est.last_heard()
                     .is_some_and(|t| now.saturating_since(t) <= horizon)
             })
             .map(|(&n, _)| n)
-            .collect();
-        v.sort();
-        v
+            .collect()
     }
 
     /// Every neighbor this table has an estimate for, sorted by id.
@@ -128,9 +124,7 @@ impl NeighborTable {
     /// Used by the invariant oracles: an entry may exist only for a node
     /// that actually transmitted probes.
     pub fn known_neighbors(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.links.keys().copied().collect();
-        v.sort();
-        v
+        self.links.keys().copied().collect()
     }
 
     /// Number of neighbors ever heard.

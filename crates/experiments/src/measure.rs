@@ -27,6 +27,10 @@ pub struct RunMeasurement {
     pub probe_overhead_pct: f64,
     /// World counters for deeper analysis.
     pub counters: Counters,
+    /// FNV-1a fold over every dequeued event's `(time, seq, kind)` — the
+    /// replay-contract fingerprint: equal `(scenario, plan, seed)` must give
+    /// equal hashes (see `mesh_sim::Simulator::schedule_hash`).
+    pub schedule_hash: u64,
 }
 
 impl RunMeasurement {
@@ -95,6 +99,7 @@ impl RunMeasurement {
             mean_delay_s,
             probe_overhead_pct,
             counters,
+            schedule_hash: sim.schedule_hash(),
         }
     }
 }
@@ -114,6 +119,7 @@ mod tests {
             mean_delay_s: 0.0,
             probe_overhead_pct: 0.0,
             counters: Counters::default(),
+            schedule_hash: 0,
         };
         assert_eq!(m.pdr(), 0.0);
     }
@@ -129,6 +135,7 @@ mod tests {
             mean_delay_s: 0.01,
             probe_overhead_pct: 0.5,
             counters: Counters::default(),
+            schedule_hash: 0,
         };
         assert_eq!(m.pdr(), 0.75);
     }

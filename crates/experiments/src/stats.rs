@@ -70,18 +70,20 @@ impl std::fmt::Display for Summary {
 }
 
 /// Percentile of a sample via linear interpolation between order statistics
-/// (`q` in `[0, 1]`). Returns `None` for an empty sample.
+/// (`q` in `[0, 1]`). Returns `None` for an empty sample. NaN values sort to
+/// the ends under `total_cmp` instead of panicking (mesh-lint rule R4: the
+/// order must be total and replay-stable).
 ///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+/// Panics if `q` is outside `[0, 1]`.
 pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
     if values.is_empty() {
         return None;
     }
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in sample"));
+    v.sort_by(f64::total_cmp);
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

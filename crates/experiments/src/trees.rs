@@ -5,7 +5,7 @@
 //! effective dissemination structure — the paper draws exactly those arrows
 //! for ODMRP vs ODMRP_PP on the testbed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mesh_sim::ids::NodeId;
 use mesh_sim::simulator::Simulator;
@@ -40,9 +40,9 @@ pub fn tree_usage(sim: &Simulator<OdmrpNode>) -> Vec<EdgeUse> {
 
 fn collect(
     sim: &Simulator<OdmrpNode>,
-    field: impl Fn(&odmrp::NodeStats) -> &HashMap<(NodeId, NodeId), u64>,
+    field: impl Fn(&odmrp::NodeStats) -> &BTreeMap<(NodeId, NodeId), u64>,
 ) -> Vec<EdgeUse> {
-    let mut agg: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+    let mut agg: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
     for n in sim.protocols() {
         for (&(from, to), &c) in field(n.stats()) {
             *agg.entry((from, to)).or_insert(0) += c;

@@ -33,6 +33,43 @@ fn same_config_and_seed_is_bit_identical() {
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.mean_delay_s.to_bits(), b.mean_delay_s.to_bits());
         assert_eq!(a.counters, b.counters, "counters diverged across reruns");
+        assert_eq!(
+            a.schedule_hash, b.schedule_hash,
+            "event schedules diverged across reruns"
+        );
+    }
+}
+
+/// Three repeated in-process runs of the same `(scenario, variant, seed)`
+/// must agree on every counter *and* on the schedule hash. Two runs can
+/// agree by luck when nondeterministic state happens to coincide (e.g. a
+/// hash map seeded once per process would pass a 2-run check); three runs in
+/// the same process make hash-order leaks much harder to miss, and the
+/// schedule hash additionally pins the full dequeue order, not just the
+/// final tallies.
+#[test]
+fn three_runs_same_process_identical_counters_and_schedule() {
+    let scenario = tiny();
+    let runs: Vec<_> = (0..3)
+        .map(|_| {
+            run_mesh_once(
+                &scenario,
+                Variant::Metric(mcast_metrics::MetricKind::Spp),
+                11,
+            )
+        })
+        .collect();
+    assert!(runs[0].delivered > 0, "nothing delivered — vacuous check");
+    for (i, r) in runs.iter().enumerate().skip(1) {
+        assert_eq!(
+            runs[0].counters, r.counters,
+            "run 0 and run {i} disagree on counters"
+        );
+        assert_eq!(
+            runs[0].schedule_hash, r.schedule_hash,
+            "run 0 and run {i} disagree on the dequeue schedule"
+        );
+        assert_eq!(runs[0].mean_delay_s.to_bits(), r.mean_delay_s.to_bits());
     }
 }
 
@@ -51,6 +88,10 @@ fn indexed_medium_is_bit_identical_to_naive() {
         assert_eq!(
             indexed.counters, naive.counters,
             "seed {seed}: spatial index changed simulation results"
+        );
+        assert_eq!(
+            indexed.schedule_hash, naive.schedule_hash,
+            "seed {seed}: spatial index changed the event dequeue schedule"
         );
     }
 }

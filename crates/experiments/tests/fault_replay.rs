@@ -64,6 +64,12 @@ proptest! {
             "replay of the same (scenario, plan, seed) diverged"
         );
         prop_assert_eq!(faulted.delivered, replay.delivered);
+        // The schedule hash commits to every dequeued (time, seq, kind), so
+        // it catches reorderings that happen to leave the counters equal.
+        prop_assert_eq!(
+            faulted.schedule_hash, replay.schedule_hash,
+            "event schedules diverged between oracle and replay runs"
+        );
         // (c) graceful degradation. Small slack: removing a node also
         // removes its collisions, which can nudge delivery up a hair.
         prop_assert!(

@@ -6,7 +6,7 @@
 //! is kept **per source** and activated hop-by-hop with **unicast grafts**,
 //! producing a tree with no mesh redundancy.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use mcast_metrics::{AnyMetric, Metric, NeighborTable, PathCost, Prober};
 use mesh_sim::ids::{GroupId, NodeId, TimerId, TxHandle};
@@ -50,7 +50,9 @@ struct RequestState {
 #[derive(Debug, Default)]
 struct TreeState {
     /// Downstream tree neighbors and their expiry.
-    children: HashMap<NodeId, SimTime>,
+    // Iterated (live_children): BTreeMap so traversal is key-ordered,
+    // never hash-ordered (mesh-lint rule R1).
+    children: BTreeMap<NodeId, SimTime>,
 }
 
 impl TreeState {
@@ -73,7 +75,8 @@ pub struct MaodvNode {
     timer_token: u64,
 
     requests: HashMap<(NodeId, u32), RequestState>,
-    trees: HashMap<(GroupId, NodeId), TreeState>,
+    // Iterated (tree_count): BTreeMap for the same reason as `children`.
+    trees: BTreeMap<(GroupId, NodeId), TreeState>,
     /// Rounds for which this node already sent its own graft upstream.
     grafted: HashSet<(NodeId, u32)>,
     delta_scheduled: HashSet<(NodeId, u32)>,
@@ -110,7 +113,7 @@ impl MaodvNode {
             timers: HashMap::new(),
             timer_token: 0,
             requests: HashMap::new(),
-            trees: HashMap::new(),
+            trees: BTreeMap::new(),
             grafted: HashSet::new(),
             delta_scheduled: HashSet::new(),
             pending_grafts: HashMap::new(),

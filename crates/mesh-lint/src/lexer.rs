@@ -1,0 +1,270 @@
+//! A lightweight Rust lexer: just enough to strip comments, string/char
+//! literals and lifetimes so the rules only ever see real code tokens.
+//!
+//! This is deliberately not a full Rust grammar (`syn` would drag in a
+//! dependency tree; the workspace builds offline). The rules are token-level
+//! heuristics, so the lexer only has to get the *boundaries* right: a
+//! `thread_rng` inside a string or comment must never become a token, and a
+//! lifetime tick must not swallow the rest of the line as a char literal.
+
+/// One code token: an identifier, a number, or a single punctuation item
+/// (`::` is fused because the rules match paths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text with literals removed (string literals lex as `""`).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexer output: code tokens plus the comments (for suppression parsing).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// `(line, text)` of every comment, line and block alike. Block comments
+    /// report their starting line.
+    pub comments: Vec<(u32, String)>,
+}
+
+/// Tokenize `src`. Never fails: unterminated literals simply end the stream.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident_cont = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                out.comments
+                    .push((line, b[start..i].iter().collect::<String>()));
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i;
+                i += 2;
+                let mut depth = 1u32;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments
+                    .push((start_line, b[start..i].iter().collect::<String>()));
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line);
+                out.tokens.push(Token {
+                    text: "\"\"".into(),
+                    line,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`, `'_`, `'static`) vs char literal (`'x'`,
+                // `'\n'`): a char literal always closes with a tick right
+                // after one escaped or plain character.
+                if i + 1 < b.len() && b[i + 1] == '\\' {
+                    // Escaped char literal: skip to the closing tick.
+                    i += 2;
+                    while i < b.len() && b[i] != '\'' {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < b.len() && b[i + 2] == '\'' {
+                    i += 3; // plain char literal like 'a'
+                } else {
+                    // Lifetime: skip the tick and the identifier after it.
+                    i += 1;
+                    while i < b.len() && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                // Raw / byte / C string prefixes: `r"`, `r#"`, `b"`, `br#"`,
+                // `c"`, `cr#"` — the "identifier" is actually a literal.
+                let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "c" | "cr" | "rb");
+                if is_str_prefix && i < b.len() && (b[i] == '"' || b[i] == '#') {
+                    i = skip_raw_string(&b, i, &mut line);
+                    out.tokens.push(Token {
+                        text: "\"\"".into(),
+                        line,
+                    });
+                } else {
+                    out.tokens.push(Token { text, line });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (is_ident_cont(b[i]) || b[i] == '.') {
+                    // Stop at `..` (range) and method calls on literals.
+                    if b[i] == '.'
+                        && i + 1 < b.len()
+                        && (b[i + 1] == '.' || is_ident_start(b[i + 1]))
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            ':' if i + 1 < b.len() && b[i + 1] == ':' => {
+                out.tokens.push(Token {
+                    text: "::".into(),
+                    line,
+                });
+                i += 2;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skip a `"…"` literal starting at the opening quote; returns the index
+/// past the closing quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw/byte string starting at the `"` or first `#` after the prefix.
+fn skip_raw_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != '"' {
+        return i; // not actually a string; bail without consuming more
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == '#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let l = lex("a // Instant::now\n/* thread_rng\n spans */ b");
+        let t: Vec<_> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(t, ["a", "b"]);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.tokens[1].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(texts("a /* x /* y */ z */ b"), ["a", "b"]);
+    }
+
+    #[test]
+    fn string_contents_do_not_tokenize() {
+        let t = texts(r#"let s = "Instant::now() thread_rng";"#);
+        assert!(!t.iter().any(|x| x == "Instant" || x == "thread_rng"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let t = texts(r##"let s = r#"SystemTime "quoted" mpsc"#; let b = b"spawn";"##);
+        assert!(!t
+            .iter()
+            .any(|x| x == "SystemTime" || x == "mpsc" || x == "spawn"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_line() {
+        let t = texts("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(t.contains(&"str".to_string()));
+        assert!(t.contains(&"}".to_string()));
+    }
+
+    #[test]
+    fn path_separator_fuses() {
+        assert_eq!(
+            texts("std::time::Instant"),
+            ["std", "::", "time", "::", "Instant"]
+        );
+    }
+
+    #[test]
+    fn numbers_lex_as_single_tokens() {
+        assert_eq!(texts("seed_from_u64(0)"), ["seed_from_u64", "(", "0", ")"]);
+        assert_eq!(texts("0u64 1_000"), ["0u64", "1_000"]);
+    }
+}

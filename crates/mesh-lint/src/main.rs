@@ -1,0 +1,134 @@
+//! CLI for the workspace determinism auditor.
+//!
+//! ```text
+//! mesh-lint [--deny] [--json] [--all-rules] [--root DIR] [--config FILE] [PATH...]
+//! ```
+//!
+//! Exit codes are stable so CI can rely on them:
+//!   0 — no findings (or findings without `--deny`)
+//!   1 — findings present and `--deny` was given
+//!   2 — usage, I/O or config error
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mesh_lint::{config, lint_paths, to_json};
+
+struct Args {
+    deny: bool,
+    json: bool,
+    all_rules: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> String {
+    "usage: mesh-lint [--deny] [--json] [--all-rules] [--root DIR] [--config FILE] [PATH...]\n\
+     \n\
+     Statically audits the workspace for determinism hazards (rules R1-R5,\n\
+     see DESIGN.md §10). With no PATH, scans the whole workspace minus the\n\
+     config's skip_paths; explicit PATHs are scanned unconditionally.\n\
+     \n\
+     --deny       exit 1 if any finding is reported (CI mode)\n\
+     --json       machine-readable output\n\
+     --all-rules  ignore per-crate scoping and allowlists (fixture self-test)\n\
+     --root DIR   workspace root (default: .)\n\
+     --config F   config file (default: <root>/mesh-lint.toml)"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        json: false,
+        all_rules: false,
+        root: PathBuf::from("."),
+        config: None,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "--json" => args.json = true,
+            "--all-rules" => args.all_rules = true,
+            "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a value")?),
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a value")?))
+            }
+            "--help" | "-h" => return Err(usage()),
+            p if !p.starts_with('-') => args.paths.push(PathBuf::from(p)),
+            other => return Err(format!("unknown flag `{other}`\n\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("mesh-lint.toml"));
+    let cfg = if config_path.is_file() {
+        match std::fs::read_to_string(&config_path)
+            .map_err(|e| e.to_string())
+            .and_then(|src| config::parse(&src))
+        {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("mesh-lint: bad config {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else if args.config.is_some() {
+        eprintln!("mesh-lint: config {} not found", config_path.display());
+        return ExitCode::from(2);
+    } else {
+        config::Config::default()
+    };
+
+    let explicit = !args.paths.is_empty();
+    let paths = if explicit {
+        args.paths.iter().map(|p| args.root.join(p)).collect()
+    } else {
+        vec![args.root.clone()]
+    };
+
+    let (findings, scanned) = match lint_paths(&args.root, &paths, &cfg, args.all_rules, explicit) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mesh-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        println!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!(
+                "{}:{}: [{}] {}",
+                f.path, f.finding.line, f.finding.rule, f.finding.message
+            );
+        }
+        eprintln!(
+            "mesh-lint: {} finding(s) in {scanned} file(s) scanned",
+            findings.len()
+        );
+    }
+
+    if args.deny && !findings.is_empty() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

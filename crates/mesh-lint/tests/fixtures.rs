@@ -1,0 +1,161 @@
+//! Self-test over the known-bad fixture set: every rule R1–R5 must fire on
+//! its fixture, the adversarial clean file must stay silent, and the
+//! suppression contract (reason mandatory, wrong forms don't silence) must
+//! hold. A second half drives the built CLI binary end-to-end and pins the
+//! exit-code contract.
+
+use std::path::Path;
+use std::process::Command;
+
+use mesh_lint::{lint_source, Config};
+
+fn fixture(name: &str) -> String {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    std::fs::read_to_string(dir.join(name))
+        .unwrap_or_else(|e| panic!("reading fixture {name}: {e}"))
+}
+
+/// Lint a fixture as if it lived in a deterministic crate, with an empty
+/// config (no scoping), and return the fired rule ids in order.
+fn fired(name: &str) -> Vec<String> {
+    let src = fixture(name);
+    let rel = format!("crates/mesh-sim/src/{name}");
+    lint_source(&rel, &src, &Config::default(), false)
+        .into_iter()
+        .map(|f| f.finding.rule)
+        .collect()
+}
+
+#[test]
+fn r1_fixture_fires_on_iteration_only() {
+    assert_eq!(fired("r1_hash_iter.rs"), ["R1", "R1", "R1"]);
+}
+
+#[test]
+fn r2_fixture_fires_on_both_clocks() {
+    assert_eq!(fired("r2_wallclock.rs"), ["R2", "R2"]);
+}
+
+#[test]
+fn r3_fixture_fires_on_ambient_and_degenerate_seeds() {
+    assert_eq!(fired("r3_randomness.rs"), ["R3", "R3", "R3"]);
+}
+
+#[test]
+fn r4_fixture_fires_on_partial_cmp_orderings() {
+    assert_eq!(fired("r4_float_sort.rs"), ["R4", "R4", "R4"]);
+}
+
+#[test]
+fn r5_fixture_fires_on_threading_primitives() {
+    assert_eq!(fired("r5_threading.rs"), ["R5", "R5", "R5"]);
+}
+
+#[test]
+fn tricky_clean_fixture_stays_silent() {
+    assert_eq!(fired("clean_tricky.rs"), Vec::<String>::new());
+}
+
+#[test]
+fn reasoned_suppressions_silence() {
+    assert_eq!(fired("suppressed_ok.rs"), Vec::<String>::new());
+}
+
+#[test]
+fn reasonless_suppressions_are_findings_and_do_not_silence() {
+    assert_eq!(
+        fired("suppressed_no_reason.rs"),
+        ["SUPPRESS", "R2", "SUPPRESS", "R2"]
+    );
+}
+
+/// Per-crate scoping from the real workspace config: R1 is confined to the
+/// deterministic crates, so the same R1 fixture is silent when placed in
+/// e.g. the bench crate — unless `--all-rules` overrides scoping.
+#[test]
+fn workspace_config_scopes_r1_to_deterministic_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg_src = std::fs::read_to_string(root.join("mesh-lint.toml")).unwrap();
+    let cfg = mesh_lint::config::parse(&cfg_src).unwrap();
+    let src = fixture("r1_hash_iter.rs");
+
+    let in_sim = lint_source("crates/mesh-sim/src/f.rs", &src, &cfg, false);
+    assert_eq!(in_sim.len(), 3, "R1 must fire inside mesh-sim");
+
+    let in_bench = lint_source("crates/bench/src/f.rs", &src, &cfg, false);
+    assert!(in_bench.is_empty(), "R1 must not fire in the bench crate");
+
+    let all_rules = lint_source("crates/bench/src/f.rs", &src, &cfg, true);
+    assert_eq!(all_rules.len(), 3, "--all-rules ignores crate scoping");
+}
+
+// ---------------------------------------------------------------------------
+// CLI end-to-end: exit codes 0 / 1 / 2.
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mesh-lint"))
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn cli_workspace_is_lint_clean_under_deny() {
+    let out = cli()
+        .args(["--deny", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("running mesh-lint");
+    assert!(
+        out.status.success(),
+        "workspace must be lint-clean; findings:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn cli_fixture_set_fails_under_deny_with_all_rules() {
+    let out = cli()
+        .args(["--deny", "--all-rules", "--json", "--root"])
+        .arg(workspace_root())
+        .arg("crates/mesh-lint/tests/fixtures")
+        .output()
+        .expect("running mesh-lint");
+    assert_eq!(out.status.code(), Some(1), "fixtures must trip --deny");
+    let json = String::from_utf8_lossy(&out.stdout);
+    for rule in ["R1", "R2", "R3", "R4", "R5", "SUPPRESS"] {
+        assert!(
+            json.contains(&format!("\"rule\": \"{rule}\"")),
+            "{rule} missing from fixture findings:\n{json}"
+        );
+    }
+}
+
+#[test]
+fn cli_fixture_set_fails_under_deny_even_with_default_scoping() {
+    // The globally-scoped rules (R2-R4) alone are enough to trip --deny on
+    // the fixture directory, with the real workspace config in force.
+    let out = cli()
+        .args(["--deny", "--root"])
+        .arg(workspace_root())
+        .arg("crates/mesh-lint/tests/fixtures")
+        .output()
+        .expect("running mesh-lint");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn cli_missing_explicit_config_is_a_usage_error() {
+    let out = cli()
+        .args(["--config", "/nonexistent/mesh-lint.toml"])
+        .output()
+        .expect("running mesh-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn cli_unknown_flag_is_a_usage_error() {
+    let out = cli().arg("--bogus").output().expect("running mesh-lint");
+    assert_eq!(out.status.code(), Some(2));
+}

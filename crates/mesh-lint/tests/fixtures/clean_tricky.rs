@@ -1,0 +1,37 @@
+//! Adversarial *clean* fixture: every rule's trigger text appears here, but
+//! only inside strings, comments, raw strings or identifiers that must NOT
+//! fire. Expected findings: none.
+
+// Instant::now() SystemTime thread_rng mpsc thread::spawn partial_cmp
+/* for k in m.keys() { } — block comments don't count
+   /* nested: HashMap::new().iter() */ still inside */
+
+fn strings_do_not_fire() -> Vec<String> {
+    vec![
+        "Instant::now()".to_string(),
+        "let r = thread_rng();".to_string(),
+        r#"SystemTime::now() and mpsc::channel()"#.to_string(),
+        r##"raw with hashes: v.sort_by(|a, b| a.partial_cmp(b).unwrap())"##.to_string(),
+        "for k in map.keys() {}".to_string(),
+    ]
+}
+
+fn escaped_quotes_do_not_unbalance() -> &'static str {
+    "she said \"thread_rng()\" and left" // comment after a tricky string: SystemTime
+}
+
+fn char_literals_and_lifetimes<'a>(x: &'a u8) -> (&'a u8, char) {
+    (x, '"') // a quote char must not open a string
+}
+
+struct Mpsc; // an identifier merely *containing* trigger text
+
+fn identifier_lookalikes(_m: Mpsc) {
+    let thread_rng_count = 3; // not a call to thread_rng
+    let _ = thread_rng_count;
+}
+
+fn btree_iteration_is_fine() {
+    let m: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    for (_k, _v) in &m {} // ordered traversal — legal everywhere
+}

@@ -1,0 +1,30 @@
+//! R1 fixture: hash-order traversal of HashMap/HashSet must fire; keyed
+//! access must not. Expected findings: R1 on the marked lines only.
+
+use std::collections::{HashMap, HashSet};
+
+struct Stats {
+    sent: HashMap<u32, u64>,
+}
+
+fn leak_method_iteration(s: &Stats) -> u64 {
+    s.sent.values().sum() // FIRE: R1 (hash-order .values())
+}
+
+fn leak_for_loop(s: &Stats) {
+    for (_k, _v) in &s.sent {} // FIRE: R1 (for over hash map)
+}
+
+fn leak_set() {
+    let mut seen: HashSet<u32> = HashSet::new();
+    seen.insert(1);
+    for _x in &seen {} // FIRE: R1
+}
+
+fn keyed_access_is_fine(s: &mut Stats) -> Option<u64> {
+    s.sent.insert(1, 2); // ok: keyed write
+    if s.sent.contains_key(&3) {
+        s.sent.remove(&3); // ok: keyed removal
+    }
+    s.sent.get(&1).copied() // ok: keyed lookup
+}

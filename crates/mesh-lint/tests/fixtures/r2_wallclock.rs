@@ -1,0 +1,13 @@
+//! R2 fixture: wall-clock reads must fire. Expected findings: R2 twice.
+
+fn reads_monotonic_clock() {
+    let _t = std::time::Instant::now(); // FIRE: R2
+}
+
+fn reads_wall_clock() {
+    let _t = std::time::SystemTime::now(); // FIRE: R2 (any SystemTime use)
+}
+
+fn sim_time_is_fine(now_ns: u64) -> u64 {
+    now_ns + 1_000 // ok: simulated time is plain data
+}

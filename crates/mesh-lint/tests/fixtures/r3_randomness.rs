@@ -1,0 +1,23 @@
+//! R3 fixture: ambient and degenerate randomness must fire; seed-threaded
+//! streams must not. Expected findings: R3 three times.
+
+fn ambient() -> u32 {
+    let mut rng = thread_rng(); // FIRE: R3 (ambient)
+    rng.gen()
+}
+
+fn os_seeded() -> SimRng {
+    SimRng::from_entropy() // FIRE: R3 (OS entropy)
+}
+
+fn degenerate_literal_seed() -> SimRng {
+    SimRng::seed_from_u64(0) // FIRE: R3 (hard-coded zero seed)
+}
+
+fn threaded_seed_is_fine(seed: u64) -> SimRng {
+    SimRng::seed_from_u64(seed) // ok: derived from the run seed
+}
+
+fn nonzero_literal_is_fine() -> SimRng {
+    SimRng::seed_from_u64(0xD1CE) // ok: a fixed stream label, not seed 0
+}

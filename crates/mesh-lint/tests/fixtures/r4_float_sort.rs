@@ -1,0 +1,22 @@
+//! R4 fixture: `partial_cmp`-based float ordering must fire; `total_cmp`
+//! must not. Expected findings: R4 three times.
+
+fn comparator_closure(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap()); // FIRE: R4
+}
+
+fn max_by_closure(v: &[f64]) -> Option<&f64> {
+    v.iter().max_by(|a, b| a.partial_cmp(b).unwrap()) // FIRE: R4
+}
+
+fn expect_outside_sort(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).expect("no NaN here") // FIRE: R4
+}
+
+fn total_cmp_is_fine(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp); // ok
+}
+
+fn propagating_the_option_is_fine(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b) // ok: caller handles None
+}

@@ -1,0 +1,19 @@
+//! R5 fixture: threading primitives must fire. Expected findings: R5 three
+//! times (spawn, scope, mpsc).
+
+fn spawns() {
+    std::thread::spawn(|| {}); // FIRE: R5
+}
+
+fn scoped() {
+    std::thread::scope(|_s| {}); // FIRE: R5
+}
+
+fn channels() {
+    let (_tx, _rx) = std::sync::mpsc::channel::<u32>(); // FIRE: R5
+}
+
+fn plain_closures_are_fine() {
+    let f = || 1 + 1; // ok: no threads involved
+    let _ = f();
+}

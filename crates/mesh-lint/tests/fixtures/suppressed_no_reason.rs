@@ -1,0 +1,13 @@
+//! Suppression-misuse fixture: reason-less or malformed suppressions are
+//! themselves findings AND do not silence the underlying violation.
+//! Expected findings: SUPPRESS twice, R2 twice.
+
+fn reasonless() -> std::time::Instant {
+    // mesh-lint: allow(R2)
+    std::time::Instant::now() // still FIRES: R2 (suppression had no reason)
+}
+
+fn malformed() -> std::time::Instant {
+    // mesh-lint: allow R2 please
+    std::time::Instant::now() // still FIRES: R2 (not the allow(..) form)
+}

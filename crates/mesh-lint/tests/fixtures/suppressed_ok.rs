@@ -1,0 +1,16 @@
+//! Suppression fixture: real violations silenced by well-formed
+//! `allow(rule, "reason")` comments. Expected findings: none.
+
+fn bench_wrapper() -> std::time::Instant {
+    // mesh-lint: allow(R2, "this fixture models a bench wrapper that measures wall time")
+    std::time::Instant::now()
+}
+
+fn same_line_form() {
+    std::thread::spawn(|| {}); // mesh-lint: allow(R5, "fixture models the sanctioned runner")
+}
+
+fn float_sort(v: &mut [f64]) {
+    // mesh-lint: allow(R4, "fixture demonstrates a reasoned exception")
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -72,6 +72,76 @@ impl PartialOrd for ScheduledEvent {
     }
 }
 
+/// Fold one dequeued event into a running FNV-1a schedule hash.
+///
+/// The hash commits to the exact dequeue order `(time, seq, kind)` of every
+/// event the simulator processes, so two runs of the same
+/// `(scenario, plan, seed)` agree on it iff their event schedules are
+/// bit-identical. This is the runtime cross-check behind the static
+/// determinism rules (mesh-lint R1–R5, DESIGN.md §10): counters can collide
+/// by luck, the schedule hash cannot realistically do so.
+pub(crate) fn fold_schedule_hash(h: &mut u64, ev: &ScheduledEvent) {
+    fn fold(h: &mut u64, v: u64) {
+        for byte in v.to_le_bytes() {
+            *h ^= byte as u64;
+            *h = h.wrapping_mul(0x0000_0100_0000_01B3); // FNV-1a prime
+        }
+    }
+    fold(h, ev.time.as_nanos());
+    fold(h, ev.seq);
+    match ev.kind {
+        EventKind::MacTimer { node, gen } => {
+            fold(h, 1);
+            fold(h, node.as_u32() as u64);
+            fold(h, gen);
+        }
+        EventKind::CtrlTimer { node, gen } => {
+            fold(h, 2);
+            fold(h, node.as_u32() as u64);
+            fold(h, gen);
+        }
+        EventKind::TxEnd { node, frame } => {
+            fold(h, 3);
+            fold(h, node.as_u32() as u64);
+            fold(h, frame.as_u64());
+        }
+        EventKind::RxStart {
+            node,
+            frame,
+            power_w,
+        } => {
+            fold(h, 4);
+            fold(h, node.as_u32() as u64);
+            fold(h, frame.as_u64());
+            fold(h, power_w.to_bits());
+        }
+        EventKind::RxEnd {
+            node,
+            frame,
+            power_w,
+        } => {
+            fold(h, 5);
+            fold(h, node.as_u32() as u64);
+            fold(h, frame.as_u64());
+            fold(h, power_w.to_bits());
+        }
+        EventKind::ProtoTimer { node, timer, kind } => {
+            fold(h, 6);
+            fold(h, node.as_u32() as u64);
+            fold(h, timer.0);
+            fold(h, kind);
+        }
+        EventKind::MobilityTick => fold(h, 7),
+        EventKind::Fault { idx } => {
+            fold(h, 8);
+            fold(h, idx as u64);
+        }
+    }
+}
+
+/// FNV-1a offset basis: the schedule hash of a run with zero events.
+pub(crate) const SCHEDULE_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// Min-heap of scheduled events with deterministic tie-breaking.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
@@ -162,6 +232,27 @@ mod tests {
         assert!(q.pop_if_at_or_before(SimTime::from_nanos(99)).is_none());
         assert!(q.pop_if_at_or_before(SimTime::from_nanos(100)).is_some());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn schedule_hash_commits_to_dequeue_order() {
+        let drain = |pushes: &[(u64, u32)]| {
+            let mut q = EventQueue::new();
+            for &(t, n) in pushes {
+                q.push(SimTime::from_nanos(t), dummy(n));
+            }
+            let mut h = SCHEDULE_HASH_SEED;
+            while let Some(ev) = q.pop_if_at_or_before(SimTime::MAX) {
+                fold_schedule_hash(&mut h, &ev);
+            }
+            h
+        };
+        let a = drain(&[(10, 1), (20, 2)]);
+        let b = drain(&[(10, 1), (20, 2)]);
+        let swapped = drain(&[(10, 2), (20, 1)]);
+        assert_eq!(a, b, "identical schedules must hash identically");
+        assert_ne!(a, swapped, "different event payloads must change the hash");
+        assert_ne!(a, SCHEDULE_HASH_SEED, "events must perturb the seed value");
     }
 
     #[test]

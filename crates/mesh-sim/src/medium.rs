@@ -349,8 +349,11 @@ impl Medium for PhysicalMedium {
 #[derive(Debug, Clone)]
 pub struct LinkTableMedium {
     phy: PhyParams,
-    /// Directed link -> loss probability in `[0, 1]`.
-    links: std::collections::HashMap<(NodeId, NodeId), f64>,
+    /// Directed link -> loss probability in `[0, 1]`. A `BTreeMap` because
+    /// `rebuild_adjacency` traverses it; hash-order traversal is banned in
+    /// this crate (mesh-lint rule R1). The `faults` maps stay `HashMap`s —
+    /// they are only ever probed by key.
+    links: std::collections::BTreeMap<(NodeId, NodeId), f64>,
     /// Per-transmitter outgoing links `(receiver, loss)` sorted by receiver,
     /// so `fan_out` iterates actual links instead of probing the map per
     /// node. Rebuilt lazily after any mutation.
@@ -371,7 +374,7 @@ impl LinkTableMedium {
             // Thresholds are kept from the default PHY; emitted powers are
             // chosen relative to them.
             phy: PhyParams::default(),
-            links: std::collections::HashMap::new(),
+            links: std::collections::BTreeMap::new(),
             adjacency: Vec::new(),
             adjacency_stale: false,
             delay: SimDuration::from_nanos(200),

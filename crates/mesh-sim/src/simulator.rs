@@ -144,6 +144,12 @@ impl<P: Protocol> Simulator<P> {
         self.world.counters()
     }
 
+    /// Schedule hash over every event processed so far (see
+    /// [`World::schedule_hash`]): equal seeds must yield equal hashes.
+    pub fn schedule_hash(&self) -> u64 {
+        self.world.schedule_hash()
+    }
+
     /// Immutable access to the protocol instances (indexed by node id).
     pub fn protocols(&self) -> &[P] {
         &self.protocols

@@ -8,7 +8,7 @@
 use std::collections::HashSet;
 
 use crate::counters::{Counters, NodeCounters, MAX_CLASSES};
-use crate::event::{EventKind, EventQueue};
+use crate::event::{fold_schedule_hash, EventKind, EventQueue, SCHEDULE_HASH_SEED};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::frame::{Frame, FrameBody, FrameSlab};
 use crate::geometry::Pos;
@@ -122,6 +122,9 @@ pub struct World<M> {
     /// queue is broken); checked by the monotonicity oracle in release
     /// builds where the `debug_assert` is compiled out.
     pub(crate) time_regressions: u64,
+    /// Running FNV-1a fold over every dequeued event's `(time, seq, kind)`;
+    /// see [`crate::event::fold_schedule_hash`].
+    sched_hash: u64,
 }
 
 impl<M> std::fmt::Debug for World<M> {
@@ -176,6 +179,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             partition_links: Vec::new(),
             class_drop: [0.0; MAX_CLASSES],
             time_regressions: 0,
+            sched_hash: SCHEDULE_HASH_SEED,
         }
     }
 
@@ -276,6 +280,15 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         self.frames.live()
     }
 
+    /// Hash of the event schedule processed so far: an FNV-1a fold over the
+    /// `(time, seq, kind)` of every dequeued event. Two runs of the same
+    /// `(scenario, plan, seed)` must agree on this value at every point —
+    /// the runtime cross-check for the static determinism rules enforced by
+    /// `mesh-lint` (DESIGN.md §10).
+    pub fn schedule_hash(&self) -> u64 {
+        self.sched_hash
+    }
+
     // ------------------------------------------------------------------
     // Event processing
     // ------------------------------------------------------------------
@@ -287,6 +300,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         let Some(ev) = self.queue.pop_if_at_or_before(limit) else {
             return false;
         };
+        fold_schedule_hash(&mut self.sched_hash, &ev);
         if ev.time < self.now {
             // Tracked instead of only asserted so the monotonicity oracle
             // also catches this in release builds.

@@ -15,7 +15,7 @@
 //! [`oracle`] packages the checks for
 //! [`mesh_sim::simulator::Simulator::add_oracle`].
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use mesh_sim::ids::NodeId;
 use mesh_sim::time::SimTime;
@@ -87,17 +87,16 @@ fn check_forwarding_groups(now: SimTime, nodes: &[OdmrpNode], out: &mut Vec<Stri
 }
 
 fn check_loop_freedom(nodes: &[OdmrpNode], out: &mut Vec<String>) {
-    // upstream pointer of each node, per (source, seq) round
-    let mut rounds: HashMap<(NodeId, u32), HashMap<usize, NodeId>> = HashMap::new();
+    // Upstream pointer of each node, per (source, seq) round. BTreeMaps at
+    // both levels so violation messages come out in round/node order —
+    // oracle output is part of what differential replay compares.
+    let mut rounds: BTreeMap<(NodeId, u32), BTreeMap<usize, NodeId>> = BTreeMap::new();
     for (i, node) in nodes.iter().enumerate() {
         for (key, upstream) in node.query_upstreams() {
             rounds.entry(key).or_default().insert(i, upstream);
         }
     }
-    let mut keys: Vec<_> = rounds.keys().copied().collect();
-    keys.sort();
-    for key in keys {
-        let ptrs = &rounds[&key];
+    for (key, ptrs) in &rounds {
         for &start in ptrs.keys() {
             let mut visited = HashSet::new();
             let mut cur = start;

@@ -6,7 +6,7 @@
 //! best-query `JOIN REPLY` at members, forwarding-group maintenance with
 //! soft-state timeouts, and flooding of data over the forwarding group.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use mcast_metrics::{AnyMetric, Metric, NeighborTable, PathCost, Prober};
 use mesh_sim::ids::{GroupId, NodeId, TimerId, TxHandle};
@@ -70,9 +70,11 @@ pub struct OdmrpNode {
     timers: HashMap<u64, TimerPayload>,
     timer_token: u64,
 
-    query_state: HashMap<(NodeId, u32), QueryState>,
+    // Iterated (query_upstreams, forwarding_groups): BTreeMap so traversal
+    // order is key order, never hash order (mesh-lint rule R1).
+    query_state: BTreeMap<(NodeId, u32), QueryState>,
     /// Groups this node currently forwards for, with expiry.
-    fg: HashMap<GroupId, SimTime>,
+    fg: BTreeMap<GroupId, SimTime>,
     /// (source, seq) reply rounds already forwarded upstream.
     forwarded_reply: HashSet<(NodeId, u32)>,
     /// (source, seq) delta timers already scheduled.
@@ -107,8 +109,8 @@ impl OdmrpNode {
             me: NodeId::new(0),
             timers: HashMap::new(),
             timer_token: 0,
-            query_state: HashMap::new(),
-            fg: HashMap::new(),
+            query_state: BTreeMap::new(),
+            fg: BTreeMap::new(),
             forwarded_reply: HashSet::new(),
             delta_scheduled: HashSet::new(),
             data_seen: HashSet::new(),
@@ -144,11 +146,10 @@ impl OdmrpNode {
         self.fg.get(&group).is_some_and(|&t| t > now)
     }
 
-    /// Groups this node has *ever* forwarded for (soft state ignored).
+    /// Groups this node has *ever* forwarded for (soft state ignored),
+    /// ascending (`fg` is a `BTreeMap`).
     pub fn forwarding_groups(&self) -> Vec<GroupId> {
-        let mut v: Vec<GroupId> = self.fg.keys().copied().collect();
-        v.sort();
-        v
+        self.fg.keys().copied().collect()
     }
 
     /// The upstream chosen for every `(source, seq)` query round this node
@@ -156,13 +157,10 @@ impl OdmrpNode {
     /// pointers across nodes: following upstreams of the same round must
     /// never revisit a node.
     pub fn query_upstreams(&self) -> Vec<((NodeId, u32), NodeId)> {
-        let mut v: Vec<((NodeId, u32), NodeId)> = self
-            .query_state
+        self.query_state
             .iter()
             .map(|(&k, st)| (k, st.upstream))
-            .collect();
-        v.sort();
-        v
+            .collect()
     }
 
     // ------------------------------------------------------------------

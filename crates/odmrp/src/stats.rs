@@ -1,6 +1,10 @@
 //! Per-node protocol statistics collected during a run.
+//!
+//! Maps are `BTreeMap`s, not `HashMap`s: the harness traverses them when
+//! aggregating (edge usage, per-group totals), and hash-order traversal
+//! would leak into reported floats and replay hashes (mesh-lint rule R1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mesh_sim::ids::{GroupId, NodeId};
 use mesh_sim::time::SimTime;
@@ -29,9 +33,9 @@ impl Delivered {
 #[derive(Debug, Clone, Default)]
 pub struct NodeStats {
     /// Data packets originated, per group (source side).
-    pub sent: HashMap<GroupId, u64>,
+    pub sent: BTreeMap<GroupId, u64>,
     /// Data delivered to the application, per `(group, source)` (member side).
-    pub delivered: HashMap<(GroupId, NodeId), Delivered>,
+    pub delivered: BTreeMap<(GroupId, NodeId), Delivered>,
     /// Data packets rebroadcast as a forwarding-group member.
     pub data_forwards: u64,
     /// `JOIN QUERY` packets originated (as a source).
@@ -43,10 +47,10 @@ pub struct NodeStats {
     /// Probe packets broadcast.
     pub probes_sent: u64,
     /// First-copy data receptions per directed link `(from, to=this node)`.
-    pub data_edges: HashMap<(NodeId, NodeId), u64>,
+    pub data_edges: BTreeMap<(NodeId, NodeId), u64>,
     /// Tree edges selected in `JOIN REPLY`s: `(upstream, this node)` counted
     /// once per refresh round the edge was chosen; used for Fig. 5.
-    pub tree_edges: HashMap<(NodeId, NodeId), u64>,
+    pub tree_edges: BTreeMap<(NodeId, NodeId), u64>,
     /// Times this node became (or refreshed membership in) the forwarding
     /// group of some group.
     pub fg_refreshes: u64,
@@ -57,7 +61,7 @@ pub struct NodeStats {
     /// Last time a `JOIN REPLY` selected this node into the forwarding
     /// group, per group. The forwarding-group soundness oracle checks that a
     /// node only forwards while this is within `fg_timeout` of now.
-    pub fg_selected: HashMap<GroupId, SimTime>,
+    pub fg_selected: BTreeMap<GroupId, SimTime>,
 }
 
 /// Implemented by every multicast protocol node in this workspace so the
