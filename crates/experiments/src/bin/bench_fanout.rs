@@ -40,7 +40,12 @@ struct Measurement {
 
 impl Measurement {
     fn speedup(&self) -> f64 {
-        self.ns_naive / self.ns_indexed
+        // Never emit NaN/inf into the JSON report.
+        if self.ns_indexed > 0.0 {
+            self.ns_naive / self.ns_indexed
+        } else {
+            0.0
+        }
     }
 }
 

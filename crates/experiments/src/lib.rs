@@ -41,6 +41,7 @@ pub mod trees;
 
 pub use measure::RunMeasurement;
 pub use runner::{
-    paper_variants, run_matrix, run_mesh_once, run_testbed_once, summarize, VariantSummary,
+    paper_variants, run_matrix, run_mesh_observed, run_mesh_once, run_testbed_once, summarize,
+    VariantSummary,
 };
 pub use scenario::{GroupSpec, MeshScenario, ScenarioLayout, TestbedScenario};

@@ -1,6 +1,7 @@
 //! Extracting measurements from a finished run.
 
 use mesh_sim::counters::Counters;
+use mesh_sim::metrics::TimeSeries;
 use mesh_sim::protocol::Protocol;
 use mesh_sim::simulator::Simulator;
 use odmrp::{messages::class, MulticastApp, Variant};
@@ -31,6 +32,9 @@ pub struct RunMeasurement {
     /// replay-contract fingerprint: equal `(scenario, plan, seed)` must give
     /// equal hashes (see `mesh_sim::Simulator::schedule_hash`).
     pub schedule_hash: u64,
+    /// Per-bucket metrics timeseries, when the run recorded one
+    /// (see [`crate::runner::run_mesh_observed`]).
+    pub timeseries: Option<TimeSeries>,
 }
 
 impl RunMeasurement {
@@ -100,6 +104,7 @@ impl RunMeasurement {
             probe_overhead_pct,
             counters,
             schedule_hash: sim.schedule_hash(),
+            timeseries: None,
         }
     }
 }
@@ -120,6 +125,7 @@ mod tests {
             probe_overhead_pct: 0.0,
             counters: Counters::default(),
             schedule_hash: 0,
+            timeseries: None,
         };
         assert_eq!(m.pdr(), 0.0);
     }
@@ -136,6 +142,7 @@ mod tests {
             probe_overhead_pct: 0.5,
             counters: Counters::default(),
             schedule_hash: 0,
+            timeseries: None,
         };
         assert_eq!(m.pdr(), 0.75);
     }

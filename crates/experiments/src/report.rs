@@ -2,6 +2,7 @@
 //! numbers, plus the qualitative "shape" checks DESIGN.md commits to.
 
 use mcast_metrics::MetricKind;
+use mesh_sim::metrics::TimeSeries;
 use odmrp::Variant;
 
 use crate::paper;
@@ -93,6 +94,46 @@ pub fn overhead_table(summaries: &[VariantSummary]) -> String {
     }
     render_table(
         &["metric", "% overhead (ours)", "% overhead (paper)"],
+        &rows,
+    )
+}
+
+/// Render a per-bucket view of one run's metrics timeseries: throughput,
+/// deliveries and mean delay over time (the "when", next to the end-of-run
+/// tables' "how much"). Buckets with no deliveries render delay as `-`
+/// rather than a bogus zero.
+pub fn timeseries_table(ts: &TimeSeries) -> String {
+    let rows: Vec<Vec<String>> = ts
+        .buckets
+        .iter()
+        .map(|b| {
+            vec![
+                format!("{:.1}-{:.1}", b.start.as_secs_f64(), b.end.as_secs_f64()),
+                format!("{:.1}", b.throughput_bps() / 1000.0),
+                b.tx_data_frames.to_string(),
+                b.rx_data_frames.to_string(),
+                b.deliveries.to_string(),
+                if b.deliveries > 0 {
+                    format!("{:.1}", b.mean_delay_s() * 1000.0)
+                } else {
+                    "-".to_string()
+                },
+                (b.collisions + b.rx_lost_data + b.rx_corrupted_data).to_string(),
+                (b.queue_drops + b.fault_rx_dropped).to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &[
+            "t (s)",
+            "rx kbit/s",
+            "tx data",
+            "rx data",
+            "delivered",
+            "delay ms",
+            "phy loss",
+            "drops",
+        ],
         &rows,
     )
 }
@@ -266,6 +307,36 @@ mod tests {
         assert!(bars.contains('#'));
         assert!(bars.contains('|') || bars.contains(':'));
         assert_eq!(bars.lines().count(), 6); // 5 metrics + legend
+    }
+
+    #[test]
+    fn timeseries_table_renders_buckets_without_nan() {
+        use mesh_sim::metrics::MetricsBucket;
+        use mesh_sim::time::{SimDuration, SimTime};
+        let ts = TimeSeries {
+            bucket_width: SimDuration::from_secs(10),
+            buckets: vec![
+                MetricsBucket {
+                    start: SimTime::ZERO,
+                    end: SimTime::from_secs(10),
+                    rx_data_bytes: 125_000,
+                    deliveries: 4,
+                    delay_sum_s: 0.08,
+                    ..MetricsBucket::default()
+                },
+                // An all-idle bucket must not produce NaN anywhere.
+                MetricsBucket {
+                    start: SimTime::from_secs(10),
+                    end: SimTime::from_secs(20),
+                    ..MetricsBucket::default()
+                },
+            ],
+        };
+        let t = timeseries_table(&ts);
+        assert!(t.contains("100.0"), "throughput kbit/s missing:\n{t}");
+        assert!(t.contains("20.0"), "delay ms missing:\n{t}");
+        assert!(!t.contains("NaN"), "NaN leaked into report:\n{t}");
+        assert_eq!(t.lines().count(), 4);
     }
 
     #[test]

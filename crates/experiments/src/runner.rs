@@ -48,6 +48,41 @@ pub fn run_mesh_with_faults(
     RunMeasurement::from_sim(&sim, &groups, seed)
 }
 
+/// Run one mesh-scenario simulation with observability attached: an
+/// optional fault `plan`, an optional metrics timeseries with buckets of
+/// `metrics_bucket`, and an optional trace sink. Returns the measurement
+/// (with `timeseries` populated when requested) and the sink, so callers can
+/// downcast a ring buffer or finish a JSONL file.
+///
+/// Observability is observation only: the measurement — including
+/// `schedule_hash` — is bit-identical to [`run_mesh_once`] /
+/// [`run_mesh_with_faults`] for the same `(scenario, variant, seed, plan)`
+/// apart from the attached `timeseries`.
+pub fn run_mesh_observed(
+    scenario: &MeshScenario,
+    variant: Variant,
+    seed: u64,
+    plan: Option<&FaultPlan>,
+    metrics_bucket: Option<SimDuration>,
+    trace: Option<Box<dyn mesh_sim::trace::TraceSink>>,
+) -> (RunMeasurement, Option<Box<dyn mesh_sim::trace::TraceSink>>) {
+    let groups = scenario.layout(seed).groups;
+    let mut sim = match plan {
+        Some(p) => scenario.build_with_faults(variant, seed, p),
+        None => scenario.build(variant, seed),
+    };
+    if let Some(width) = metrics_bucket {
+        sim.world_mut().set_metrics(width);
+    }
+    if let Some(sink) = trace {
+        sim.world_mut().set_trace(sink);
+    }
+    sim.run_until(scenario.run_until());
+    let mut m = RunMeasurement::from_sim(&sim, &groups, seed);
+    m.timeseries = sim.world_mut().take_metrics();
+    (m, sim.world_mut().take_trace())
+}
+
 /// Run one mesh-scenario simulation under the **tree-based** protocol.
 pub fn run_tree_once(scenario: &MeshScenario, variant: Variant, seed: u64) -> RunMeasurement {
     let groups = scenario.layout(seed).groups;
@@ -213,6 +248,7 @@ mod tests {
             probe_overhead_pct: 1.0,
             counters: Counters::default(),
             schedule_hash: 0,
+            timeseries: None,
         }
     }
 

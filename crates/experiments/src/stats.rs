@@ -112,8 +112,15 @@ pub fn jain_fairness(values: &[f64]) -> Option<f64> {
 }
 
 /// Render a plain-text table: `headers` then aligned `rows`.
+///
+/// Cells beyond the header count are ignored; with no headers the result is
+/// an empty string (this used to underflow on the separator width and index
+/// past `widths` when a row was wider than the header).
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let cols = headers.len();
+    if cols == 0 {
+        return String::new();
+    }
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate().take(cols) {
@@ -123,7 +130,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     let fmt_row = |cells: &[String], widths: &[usize]| -> String {
         let mut line = String::new();
-        for (i, c) in cells.iter().enumerate() {
+        for (i, c) in cells.iter().enumerate().take(cols) {
             if i > 0 {
                 line.push_str("  ");
             }
@@ -186,6 +193,26 @@ mod tests {
         assert!(lines[0].starts_with("metric"));
         assert!(lines[2].starts_with("ETX"));
         assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn table_with_no_headers_is_empty() {
+        // Regression: `2 * (cols - 1)` underflowed usize and panicked.
+        let t = render_table(&[], &[vec!["orphan".into()]]);
+        assert_eq!(t, "");
+    }
+
+    #[test]
+    fn table_ignores_extra_cells_in_wide_rows() {
+        // Regression: a row wider than the header indexed `widths[i]` out
+        // of bounds and panicked.
+        let t = render_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into(), "3".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[2], "1  2");
+        assert!(!t.contains('3'));
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! The observer-effect contract of `mesh_sim::trace` / `mesh_sim::metrics`:
+//! attaching a sink or a metrics recorder must not change the simulation in
+//! any observable way — same counters, same measurement, bit-identical
+//! `schedule_hash` — and the trace itself must be complete: every planned
+//! data arrival appears as exactly one `rx_start` with a terminal outcome.
+
+use experiments::runner::{run_mesh_observed, run_mesh_once};
+use experiments::scenario::MeshScenario;
+use mesh_sim::fault::{FaultKind, FaultPlan};
+use mesh_sim::ids::NodeId;
+use mesh_sim::time::{SimDuration, SimTime};
+use mesh_sim::trace::{DropReason, JsonlTrace, RingTrace, TraceEvent, TraceEventKind};
+use odmrp::Variant;
+
+/// The determinism-suite scenario: small but exercises probing, join
+/// floods, CBR data and (with the plan below) every fault code path.
+fn tiny() -> MeshScenario {
+    MeshScenario {
+        nodes: 25,
+        area_side: 700.0,
+        data_start: SimTime::from_secs(5),
+        data_stop: SimTime::from_secs(10),
+        ..MeshScenario::paper_default()
+    }
+}
+
+fn plan() -> FaultPlan {
+    FaultPlan::new()
+        .crash_window(NodeId::new(3), SimTime::from_secs(6), SimTime::from_secs(8))
+        .at(
+            SimTime::from_secs(7),
+            FaultKind::ClassLossBurst {
+                class: 0,
+                drop: 0.3,
+            },
+        )
+        .at(
+            SimTime::from_secs(9),
+            FaultKind::ClassLossClear { class: 0 },
+        )
+}
+
+fn temp_jsonl(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "mesh-sim-observability-{}-{tag}.jsonl",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn tracing_off_ring_and_file_are_bit_identical() {
+    let scenario = tiny();
+    let seed = 7;
+    let p = plan();
+
+    let baseline = run_mesh_once(&scenario, Variant::Original, seed);
+    let (off, _) = run_mesh_observed(&scenario, Variant::Original, seed, Some(&p), None, None);
+    let (ring, ring_sink) = run_mesh_observed(
+        &scenario,
+        Variant::Original,
+        seed,
+        Some(&p),
+        Some(SimDuration::from_secs(2)),
+        Some(Box::new(RingTrace::new(1 << 20))),
+    );
+    let path = temp_jsonl("observer");
+    let (file, file_sink) = run_mesh_observed(
+        &scenario,
+        Variant::Original,
+        seed,
+        Some(&p),
+        None,
+        Some(Box::new(JsonlTrace::create(&path).expect("create temp"))),
+    );
+
+    // The fault plan really changed the run (otherwise the comparison is
+    // weaker than it looks).
+    assert_ne!(baseline.schedule_hash, off.schedule_hash);
+    assert!(off.counters.fault_events > 0);
+
+    for (label, m) in [("ring", &ring), ("file", &file)] {
+        assert_eq!(
+            off.schedule_hash, m.schedule_hash,
+            "{label} sink perturbed the event schedule"
+        );
+        assert_eq!(off.counters, m.counters, "{label} sink changed counters");
+        assert_eq!(off.sent, m.sent);
+        assert_eq!(off.delivered, m.delivered);
+        assert_eq!(off.mean_delay_s.to_bits(), m.mean_delay_s.to_bits());
+        assert_eq!(
+            off.probe_overhead_pct.to_bits(),
+            m.probe_overhead_pct.to_bits()
+        );
+    }
+
+    // The sinks actually observed the run.
+    let ring_sink = ring_sink.expect("ring sink returned");
+    let ring_ref: &RingTrace = ring_sink.as_any().downcast_ref().expect("RingTrace");
+    assert!(!ring_ref.is_empty(), "ring sink saw no events");
+    let ts = ring.timeseries.as_ref().expect("timeseries recorded");
+    assert!(!ts.buckets.is_empty());
+    assert!(ts.buckets.iter().all(|b| b.throughput_bps().is_finite()));
+
+    let mut file_sink = file_sink.expect("file sink returned");
+    let jsonl: &mut JsonlTrace = file_sink.as_any_mut().downcast_mut().expect("JsonlTrace");
+    let lines = jsonl.finish().expect("flush trace file");
+    assert!(lines > 0, "file sink wrote nothing");
+    let text = std::fs::read_to_string(&path).expect("read trace back");
+    assert_eq!(text.lines().count() as u64, lines);
+    for line in text.lines() {
+        TraceEvent::parse_jsonl(line).expect("every line parses");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Trace completeness: `rx_start` count equals `planned_rx_data`, and each
+/// `(node, frame)` reception resolves to exactly one terminal event —
+/// `delivered` or `rx_drop` — mirroring the counter-conservation oracle.
+#[test]
+fn every_planned_arrival_has_one_rx_start_and_one_terminal() {
+    let scenario = tiny();
+    let (m, sink) = run_mesh_observed(
+        &scenario,
+        Variant::Original,
+        11,
+        Some(&plan()),
+        None,
+        Some(Box::new(RingTrace::new(1 << 22))),
+    );
+    let sink = sink.expect("sink returned");
+    let ring: &RingTrace = sink.as_any().downcast_ref().expect("RingTrace");
+    assert!(
+        (ring.len() as u64) < (1 << 22),
+        "ring overflowed; completeness check would be vacuous"
+    );
+
+    let mut starts: Vec<(u32, u64)> = Vec::new();
+    let mut terminals: Vec<(u32, u64)> = Vec::new();
+    for e in ring.events() {
+        let key = |e: &TraceEvent| {
+            (
+                e.node.expect("rx events carry a node").index() as u32,
+                e.frame.expect("rx events carry a frame").as_u64(),
+            )
+        };
+        match e.kind {
+            TraceEventKind::RxStart { .. } => starts.push(key(e)),
+            // Data-frame terminals: any rx_drop, or a data Delivered.
+            TraceEventKind::RxDrop { .. } => terminals.push(key(e)),
+            TraceEventKind::Delivered {
+                frame_kind: mesh_sim::trace::FrameKind::Data,
+                ..
+            } => terminals.push(key(e)),
+            _ => {}
+        }
+    }
+    assert_eq!(
+        starts.len() as u64,
+        m.counters.planned_rx_data,
+        "rx_start count != planned_rx_data"
+    );
+    assert!(m.counters.planned_rx_data > 0, "vacuous run");
+
+    starts.sort_unstable();
+    terminals.sort_unstable();
+    assert_eq!(
+        starts, terminals,
+        "every reception must resolve to exactly one terminal event"
+    );
+}
+
+/// Satellite 3: a plan that blacks out every source before data starts must
+/// not leak NaN into any reported quantity.
+#[test]
+fn all_sources_blacked_out_reports_finite_values() {
+    let scenario = tiny();
+    let seed = 5;
+    // Crash every source for the whole data phase.
+    let sources: Vec<NodeId> = {
+        let layout = scenario.layout(seed);
+        layout
+            .groups
+            .iter()
+            .flat_map(|g| g.sources.clone())
+            .collect()
+    };
+    assert!(!sources.is_empty());
+    let mut p = FaultPlan::new();
+    for s in sources {
+        p = p.at(SimTime::from_secs(1), FaultKind::NodeCrash(s));
+    }
+    let (m, _) = run_mesh_observed(
+        &scenario,
+        Variant::Original,
+        seed,
+        Some(&p),
+        Some(SimDuration::from_secs(5)),
+        None,
+    );
+    assert_eq!(m.delivered, 0, "crashed sources still delivered data");
+    assert!(m.pdr().is_finite());
+    assert_eq!(m.pdr(), 0.0);
+    assert!(m.mean_delay_s.is_finite());
+    assert!(m.probe_overhead_pct.is_finite());
+    let ts = m.timeseries.as_ref().expect("timeseries recorded");
+    for b in &ts.buckets {
+        assert!(b.throughput_bps().is_finite());
+        assert!(b.mean_delay_s().is_finite());
+    }
+}
+
+/// The metrics timeseries agrees with the end-of-run counters and the
+/// protocol-reported deliveries.
+#[test]
+fn timeseries_buckets_sum_to_run_totals() {
+    let scenario = tiny();
+    let (m, _) = run_mesh_observed(
+        &scenario,
+        Variant::Original,
+        3,
+        None,
+        Some(SimDuration::from_secs(1)),
+        None,
+    );
+    let ts = m.timeseries.as_ref().expect("timeseries recorded");
+    let rx_frames: u64 = ts.buckets.iter().map(|b| b.rx_data_frames).sum();
+    let total_counter_rx: u64 = m.counters.rx_data.iter().map(|c| c.frames).sum();
+    assert_eq!(rx_frames, total_counter_rx);
+    assert_eq!(ts.total_deliveries(), m.delivered);
+    // Buckets tile [0, end) with no gaps.
+    for w in ts.buckets.windows(2) {
+        assert_eq!(w[0].end, w[1].start);
+    }
+}
+
+/// Drop reasons recorded in the trace agree with the loss counters.
+#[test]
+fn drop_histogram_matches_loss_counters() {
+    let scenario = tiny();
+    let (m, sink) = run_mesh_observed(
+        &scenario,
+        Variant::Original,
+        13,
+        None,
+        None,
+        Some(Box::new(RingTrace::new(1 << 22))),
+    );
+    let sink = sink.expect("sink returned");
+    let ring: &RingTrace = sink.as_any().downcast_ref().expect("RingTrace");
+    let count = |r: DropReason| {
+        ring.events()
+            .filter(|e| matches!(e.kind, TraceEventKind::RxDrop { reason } if reason == r))
+            .count() as u64
+    };
+    let c = &m.counters;
+    assert_eq!(
+        count(DropReason::Captured)
+            + count(DropReason::Collision)
+            + count(DropReason::BelowThreshold)
+            + count(DropReason::WhileTx),
+        c.rx_lost_data,
+    );
+    assert_eq!(count(DropReason::Corrupted), c.rx_corrupted_data);
+    assert_eq!(count(DropReason::Aborted), c.rx_aborted_data);
+    assert_eq!(count(DropReason::Duplicate), c.duplicate_rx_suppressed);
+    assert_eq!(count(DropReason::NotForUs), c.unicast_overheard);
+    assert_eq!(
+        count(DropReason::FaultRx) + count(DropReason::ClassBurst),
+        c.fault_rx_dropped
+    );
+}

@@ -12,6 +12,7 @@ use mcast_metrics::{AnyMetric, Metric, NeighborTable, PathCost, Prober};
 use mesh_sim::ids::{GroupId, NodeId, TimerId, TxHandle};
 use mesh_sim::protocol::{Protocol, RxMeta, TxOutcome};
 use mesh_sim::time::{SimDuration, SimTime};
+use mesh_sim::trace::Decision;
 use mesh_sim::world::Ctx;
 use odmrp::messages::{class, DataPacket};
 use odmrp::{MulticastApp, NodeRole, NodeStats, Variant};
@@ -388,6 +389,10 @@ impl MaodvNode {
         let slot = tree.children.entry(from).or_insert(expiry);
         *slot = (*slot).max(expiry);
         self.stats.fg_refreshes += 1;
+        ctx.trace_decision(Decision::TreeJoin {
+            group: g.group.0,
+            child: from,
+        });
 
         if g.source == self.me {
             return; // the branch reached the root
@@ -409,6 +414,11 @@ impl MaodvNode {
         let key = (d.source, d.seq);
         if self.data_seen.contains(&key) {
             self.stats.duplicate_data += 1;
+            ctx.trace_decision(Decision::SuppressDuplicate {
+                group: d.group.0,
+                source: d.source,
+                pkt_seq: d.seq,
+            });
             return;
         }
         self.data_seen.insert(key);
@@ -425,6 +435,7 @@ impl MaodvNode {
             let rec = self.stats.delivered.entry((d.group, d.source)).or_default();
             rec.count += 1;
             rec.delay_sum_s += now.saturating_since(d.sent_at).as_secs_f64();
+            ctx.observe_delivery(now.saturating_since(d.sent_at));
         }
         if self.is_tree_forwarder(d.group, d.source, now)
             && ctx
@@ -432,6 +443,11 @@ impl MaodvNode {
                 .is_ok()
         {
             self.stats.data_forwards += 1;
+            ctx.trace_decision(Decision::ForwardData {
+                group: d.group.0,
+                source: d.source,
+                pkt_seq: d.seq,
+            });
         }
     }
 }

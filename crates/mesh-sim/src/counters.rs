@@ -4,8 +4,24 @@
 //! `u8 < 16`), which is how the experiments separate probe overhead from data
 //! traffic (Table 1 of the paper).
 
-/// Maximum number of traffic classes.
+/// Maximum number of distinct traffic classes.
 pub const MAX_CLASSES: usize = 16;
+
+/// Index of the overflow bucket in per-class arrays: classes `>= MAX_CLASSES`
+/// are tallied here instead of silently aliasing a real class (which would
+/// corrupt e.g. the Table-1 probe/data overhead split).
+pub const OVERFLOW_CLASS_SLOT: usize = MAX_CLASSES;
+
+/// Map a traffic class to its per-class array slot: in-range classes map to
+/// themselves, anything else to [`OVERFLOW_CLASS_SLOT`].
+pub fn class_slot(class: u8) -> usize {
+    let c = class as usize;
+    if c < MAX_CLASSES {
+        c
+    } else {
+        OVERFLOW_CLASS_SLOT
+    }
+}
 
 /// Per-class frame/byte tallies.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -19,11 +35,13 @@ pub struct ClassCounts {
 /// Global medium/MAC statistics for a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Counters {
-    /// Data frames transmitted, by class.
-    pub tx_data: [ClassCounts; MAX_CLASSES],
+    /// Data frames transmitted, by class (index [`OVERFLOW_CLASS_SLOT`]
+    /// collects out-of-range classes; see [`class_slot`]).
+    pub tx_data: [ClassCounts; MAX_CLASSES + 1],
     /// Data frames delivered to a protocol, by class (each broadcast frame
-    /// counts once per receiver that decoded it).
-    pub rx_data: [ClassCounts; MAX_CLASSES],
+    /// counts once per receiver that decoded it; index
+    /// [`OVERFLOW_CLASS_SLOT`] collects out-of-range classes).
+    pub rx_data: [ClassCounts; MAX_CLASSES + 1],
     /// Control frames transmitted (RTS/CTS/ACK).
     pub tx_ctrl_frames: u64,
     /// Control bytes transmitted.
@@ -83,7 +101,7 @@ impl Counters {
 
     /// Merge another counter set into this one (used by parallel runners).
     pub fn merge(&mut self, other: &Counters) {
-        for i in 0..MAX_CLASSES {
+        for i in 0..=MAX_CLASSES {
             self.tx_data[i].frames += other.tx_data[i].frames;
             self.tx_data[i].bytes += other.tx_data[i].bytes;
             self.rx_data[i].frames += other.rx_data[i].frames;
@@ -111,13 +129,13 @@ impl Counters {
     }
 
     pub(crate) fn record_tx_data(&mut self, class: u8, bytes: u64) {
-        let c = &mut self.tx_data[class as usize % MAX_CLASSES];
+        let c = &mut self.tx_data[class_slot(class)];
         c.frames += 1;
         c.bytes += bytes;
     }
 
     pub(crate) fn record_rx_data(&mut self, class: u8, bytes: u64) {
-        let c = &mut self.rx_data[class as usize % MAX_CLASSES];
+        let c = &mut self.rx_data[class_slot(class)];
         c.frames += 1;
         c.bytes += bytes;
     }
@@ -179,9 +197,28 @@ mod tests {
     }
 
     #[test]
-    fn class_wraps_instead_of_panicking() {
+    fn out_of_range_class_lands_in_overflow_bucket() {
+        // Regression: class 200 used to wrap to slot 200 % 16 == 8,
+        // silently corrupting class 8's tally.
         let mut c = Counters::default();
         c.record_tx_data(200, 1);
-        assert_eq!(c.tx_data[200 % MAX_CLASSES].frames, 1);
+        c.record_rx_data(16, 7);
+        assert_eq!(c.tx_data[OVERFLOW_CLASS_SLOT].frames, 1);
+        assert_eq!(c.rx_data[OVERFLOW_CLASS_SLOT].bytes, 7);
+        for slot in 0..MAX_CLASSES {
+            assert_eq!(c.tx_data[slot].frames, 0, "class {slot} was aliased");
+            assert_eq!(c.rx_data[slot].frames, 0, "class {slot} was aliased");
+        }
+        // Totals still include the overflow bucket.
+        assert_eq!(c.tx_data_bytes_total(), 1);
+        assert_eq!(c.rx_data_bytes_total(), 7);
+    }
+
+    #[test]
+    fn class_slot_boundaries() {
+        assert_eq!(class_slot(0), 0);
+        assert_eq!(class_slot(15), 15);
+        assert_eq!(class_slot(16), OVERFLOW_CLASS_SLOT);
+        assert_eq!(class_slot(255), OVERFLOW_CLASS_SLOT);
     }
 }

@@ -66,6 +66,7 @@ pub mod ids;
 pub mod invariants;
 pub mod mac;
 pub mod medium;
+pub mod metrics;
 pub mod mobility;
 pub mod neighbor_index;
 pub mod propagation;
@@ -87,11 +88,13 @@ pub mod prelude {
     pub use crate::invariants::Violation;
     pub use crate::mac::MacParams;
     pub use crate::medium::{LinkEffect, LinkTableMedium, Medium, PhysicalMedium, RxPlan};
+    pub use crate::metrics::{MetricsBucket, TimeSeries};
     pub use crate::neighbor_index::NeighborIndex;
     pub use crate::propagation::{FadingModel, PathLossModel, PhyParams};
     pub use crate::protocol::{Protocol, RxMeta, TxOutcome};
     pub use crate::rng::SimRng;
     pub use crate::simulator::Simulator;
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{Decision, DropReason, JsonlTrace, RingTrace, TraceEvent, TraceSink};
     pub use crate::world::{Ctx, SendError, World, WorldConfig};
 }

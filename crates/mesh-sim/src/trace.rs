@@ -1,11 +1,24 @@
-//! Structured event tracing.
+//! Zero-perturbation structured tracing.
 //!
-//! A [`TraceSink`] attached to the world receives one [`TraceRecord`] per
-//! PHY/MAC event — transmissions, decodes, losses — independent of the
-//! protocol message type. Tests use it to assert exact MAC sequences
-//! (RTS → CTS → DATA → ACK); debugging uses the bounded [`RingTrace`].
+//! A [`TraceSink`] attached to the world receives one typed [`TraceEvent`]
+//! per packet-lifecycle step — transmissions, arrivals, losses, deliveries,
+//! queue drops, retries, fault applications and protocol decisions — each
+//! stamped with `(time, node, seq, class, frame)` where known.
+//!
+//! **The zero-perturbation contract**: tracing is observation only. A sink
+//! never touches the event queue, the RNG, or any counter, so
+//! [`crate::world::World::schedule_hash`] is bit-identical whether tracing
+//! is off, buffered in a [`RingTrace`], or streamed to a [`JsonlTrace`]
+//! file. Every emission site in the world is guarded by `trace.is_some()`,
+//! making the whole subsystem zero-cost when no sink is attached. The
+//! observer-effect suite in `experiments/tests/observability.rs` enforces
+//! this contract.
+//!
+//! Two sinks are provided: [`RingTrace`] (bounded in-memory ring, oldest
+//! events evicted first) and [`JsonlTrace`] (streams one JSON object per
+//! line to a file; [`TraceEvent::parse_jsonl`] reads them back).
 
-use crate::ids::NodeId;
+use crate::ids::{FrameId, NodeId};
 use crate::time::SimTime;
 
 /// What kind of frame an event concerns.
@@ -21,87 +34,622 @@ pub enum FrameKind {
     Data,
 }
 
-/// Why a reception failed.
+impl FrameKind {
+    /// Stable wire label used in the JSONL encoding.
+    pub fn label(self) -> &'static str {
+        match self {
+            FrameKind::Rts => "rts",
+            FrameKind::Cts => "cts",
+            FrameKind::Ack => "ack",
+            FrameKind::Data => "data",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<FrameKind> {
+        Some(match s {
+            "rts" => FrameKind::Rts,
+            "cts" => FrameKind::Cts,
+            "ack" => FrameKind::Ack,
+            "data" => FrameKind::Data,
+            _ => return None,
+        })
+    }
+}
+
+/// Why an arrival never became a delivery.
+///
+/// Together with [`TraceEventKind::Delivered`] these are the *terminal
+/// outcomes* of a reception: every data-frame `RxStart` is followed by
+/// exactly one of them for the same `(node, frame)` (the trace-completeness
+/// test mirrors the counter-conservation oracle in [`crate::invariants`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LossReason {
-    /// Destroyed by a collision (neither frame survived).
+pub enum DropReason {
+    /// Destroyed by a collision at arrival (neither frame survived).
     Collision,
-    /// A stronger frame captured the receiver.
+    /// Lost to capture: a stronger frame owned (or took over) the receiver.
     Captured,
     /// Power below the decode threshold.
     BelowThreshold,
-    /// The radio was transmitting.
+    /// The radio was transmitting when the frame arrived.
     WhileTx,
+    /// Reception completed but the frame was corrupted mid-air.
+    Corrupted,
+    /// Reception aborted: the receiver started transmitting (half-duplex)
+    /// or crashed mid-reception.
+    Aborted,
+    /// The receiver was crashed (fault-injected) for the whole arrival.
+    FaultRx,
+    /// Dropped by an active class-loss burst (fault injection).
+    ClassBurst,
+    /// Decoded intact but suppressed by MAC duplicate detection.
+    Duplicate,
+    /// Unicast decoded by a node that was not the destination.
+    NotForUs,
 }
 
-/// One traced event.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum TraceRecord {
-    /// `node` put a frame on the air.
-    TxStart {
-        /// Transmitting node.
-        node: NodeId,
-        /// Frame kind.
-        kind: FrameKind,
-        /// Unicast destination, `None` for broadcast.
-        dst: Option<NodeId>,
-        /// On-air size in bytes.
-        bytes: u32,
-        /// When the transmission began.
-        at: SimTime,
+impl DropReason {
+    /// Stable wire label used in the JSONL encoding.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::Collision => "collision",
+            DropReason::Captured => "captured",
+            DropReason::BelowThreshold => "below_threshold",
+            DropReason::WhileTx => "while_tx",
+            DropReason::Corrupted => "corrupted",
+            DropReason::Aborted => "aborted",
+            DropReason::FaultRx => "fault_rx",
+            DropReason::ClassBurst => "class_burst",
+            DropReason::Duplicate => "duplicate",
+            DropReason::NotForUs => "not_for_us",
+        }
+    }
+
+    /// All reasons, in a stable order (drop-histogram rows).
+    pub const ALL: [DropReason; 10] = [
+        DropReason::Collision,
+        DropReason::Captured,
+        DropReason::BelowThreshold,
+        DropReason::WhileTx,
+        DropReason::Corrupted,
+        DropReason::Aborted,
+        DropReason::FaultRx,
+        DropReason::ClassBurst,
+        DropReason::Duplicate,
+        DropReason::NotForUs,
+    ];
+
+    fn from_label(s: &str) -> Option<DropReason> {
+        DropReason::ALL.into_iter().find(|r| r.label() == s)
+    }
+}
+
+/// Stable labels for [`TraceEventKind::FaultApplied`], one per
+/// [`crate::fault::FaultKind`] variant.
+pub mod fault_label {
+    /// A node was powered off.
+    pub const NODE_CRASH: &str = "node_crash";
+    /// A crashed node was powered back on.
+    pub const NODE_RECOVER: &str = "node_recover";
+    /// A directed-link override was applied.
+    pub const LINK_FAULT: &str = "link_fault";
+    /// A directed-link override was removed.
+    pub const LINK_RESTORE: &str = "link_restore";
+    /// A regional partition was applied.
+    pub const PARTITION: &str = "partition";
+    /// A partition was healed.
+    pub const HEAL_PARTITION: &str = "heal_partition";
+    /// A class-loss burst began.
+    pub const CLASS_LOSS_BURST: &str = "class_loss_burst";
+    /// A class-loss burst ended.
+    pub const CLASS_LOSS_CLEAR: &str = "class_loss_clear";
+
+    /// All labels (for parsing back from JSONL).
+    pub const ALL: [&str; 8] = [
+        NODE_CRASH,
+        NODE_RECOVER,
+        LINK_FAULT,
+        LINK_RESTORE,
+        PARTITION,
+        HEAL_PARTITION,
+        CLASS_LOSS_BURST,
+        CLASS_LOSS_CLEAR,
+    ];
+}
+
+/// A routing-layer decision worth a trace line, reported by protocol code
+/// through [`crate::world::Ctx::trace_decision`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// This node joined (or refreshed) the forwarding group of `group`.
+    FgJoin {
+        /// Raw multicast group id.
+        group: u32,
     },
-    /// `node` decoded a frame intact.
-    RxOk {
-        /// Receiving node.
-        node: NodeId,
-        /// Originating node.
-        src: NodeId,
-        /// Frame kind.
-        kind: FrameKind,
-        /// When decoding finished.
-        at: SimTime,
+    /// `child` was grafted as a tree child for `group` (tree protocols).
+    TreeJoin {
+        /// Raw multicast group id.
+        group: u32,
+        /// The grafting neighbor.
+        child: NodeId,
     },
-    /// An arrival at `node` was not decodable.
-    RxLost {
-        /// Receiving node.
-        node: NodeId,
-        /// Why it was lost.
-        reason: LossReason,
-        /// When the loss was determined (arrival start).
-        at: SimTime,
+    /// This node re-broadcast data packet `(source, pkt_seq)`.
+    ForwardData {
+        /// Raw multicast group id.
+        group: u32,
+        /// Originating application source.
+        source: NodeId,
+        /// Application-level packet sequence number.
+        pkt_seq: u32,
+    },
+    /// Data packet `(source, pkt_seq)` was a network-layer duplicate.
+    SuppressDuplicate {
+        /// Raw multicast group id.
+        group: u32,
+        /// Originating application source.
+        source: NodeId,
+        /// Application-level packet sequence number.
+        pkt_seq: u32,
+    },
+    /// This node re-flooded the join query of round `(source, pkt_seq)`.
+    ForwardQuery {
+        /// The source whose query round this is.
+        source: NodeId,
+        /// Query round sequence number.
+        pkt_seq: u32,
+    },
+    /// This node answered round `(source, pkt_seq)` with a join reply.
+    SendReply {
+        /// The source whose query round this is.
+        source: NodeId,
+        /// Query round sequence number.
+        pkt_seq: u32,
     },
 }
 
-impl TraceRecord {
-    /// The simulated time of the event.
-    pub fn at(&self) -> SimTime {
-        match *self {
-            TraceRecord::TxStart { at, .. }
-            | TraceRecord::RxOk { at, .. }
-            | TraceRecord::RxLost { at, .. } => at,
+impl Decision {
+    /// Stable wire label used in the JSONL encoding.
+    pub fn label(self) -> &'static str {
+        match self {
+            Decision::FgJoin { .. } => "fg_join",
+            Decision::TreeJoin { .. } => "tree_join",
+            Decision::ForwardData { .. } => "forward_data",
+            Decision::SuppressDuplicate { .. } => "suppress_duplicate",
+            Decision::ForwardQuery { .. } => "forward_query",
+            Decision::SendReply { .. } => "send_reply",
         }
     }
 }
 
-/// Receives trace records as the simulation runs.
+/// What happened (the typed part of a [`TraceEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEventKind {
+    /// A frame went on the air.
+    TxStart {
+        /// MAC-level frame kind.
+        frame_kind: FrameKind,
+        /// Unicast destination, `None` for broadcast.
+        dst: Option<NodeId>,
+        /// On-air size in bytes.
+        bytes: u32,
+    },
+    /// A data-frame arrival began at this node (one per `planned_rx_data`,
+    /// including arrivals at crashed receivers).
+    RxStart {
+        /// Transmitting node.
+        src: NodeId,
+    },
+    /// An arrival (or in-progress reception) was lost.
+    RxDrop {
+        /// Why it was lost.
+        reason: DropReason,
+    },
+    /// A frame was decoded intact and consumed (data frames: handed to the
+    /// protocol; control frames: acted on by the MAC).
+    Delivered {
+        /// Transmitting node.
+        src: NodeId,
+        /// MAC-level frame kind.
+        frame_kind: FrameKind,
+    },
+    /// A send was refused because the MAC queue was full (drop-tail).
+    QueueDrop,
+    /// A unicast attempt timed out and is being retried.
+    Retry {
+        /// Attempt number about to run (1 = first retransmission).
+        attempt: u32,
+    },
+    /// A fault-plan event was applied (see [`fault_label`]).
+    FaultApplied {
+        /// Which fault (one of the [`fault_label`] constants).
+        fault: &'static str,
+        /// The other endpoint, for link faults.
+        peer: Option<NodeId>,
+    },
+    /// A routing-layer decision (see [`Decision`]).
+    ProtocolDecision {
+        /// The decision taken.
+        decision: Decision,
+    },
+}
+
+/// One traced packet-lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// The node concerned; `None` for world-scoped events (partitions,
+    /// class-loss bursts).
+    pub node: Option<NodeId>,
+    /// MAC-level sequence number of the data frame concerned, if any
+    /// (stable across retransmissions of the same frame).
+    pub seq: Option<u64>,
+    /// Traffic class of the data frame concerned, if any.
+    pub class: Option<u8>,
+    /// The in-flight frame concerned, if any. Frame ids are unique while a
+    /// frame is on the air (slots are generation-tagged on reuse).
+    pub frame: Option<FrameId>,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// The simulated time of the event.
+    pub fn at(&self) -> SimTime {
+        self.at
+    }
+
+    /// Stable wire name of the event kind (the `"ev"` JSONL field).
+    pub fn ev_name(&self) -> &'static str {
+        match self.kind {
+            TraceEventKind::TxStart { .. } => "tx_start",
+            TraceEventKind::RxStart { .. } => "rx_start",
+            TraceEventKind::RxDrop { .. } => "rx_drop",
+            TraceEventKind::Delivered { .. } => "delivered",
+            TraceEventKind::QueueDrop => "queue_drop",
+            TraceEventKind::Retry { .. } => "retry",
+            TraceEventKind::FaultApplied { .. } => "fault",
+            TraceEventKind::ProtocolDecision { .. } => "decision",
+        }
+    }
+
+    /// Append the flat single-line JSON encoding of this event to `out`
+    /// (no trailing newline). All values are unsigned integers or labels
+    /// from a fixed vocabulary, so no escaping is ever required.
+    pub fn write_jsonl(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"t\":{},\"ev\":\"{}\"",
+            self.at.as_nanos(),
+            self.ev_name()
+        );
+        if let Some(n) = self.node {
+            let _ = write!(out, ",\"node\":{}", n.as_u32());
+        }
+        if let Some(s) = self.seq {
+            let _ = write!(out, ",\"seq\":{s}");
+        }
+        if let Some(c) = self.class {
+            let _ = write!(out, ",\"class\":{c}");
+        }
+        if let Some(f) = self.frame {
+            let _ = write!(out, ",\"frame\":{}", f.as_u64());
+        }
+        match self.kind {
+            TraceEventKind::TxStart {
+                frame_kind,
+                dst,
+                bytes,
+            } => {
+                let _ = write!(out, ",\"kind\":\"{}\"", frame_kind.label());
+                if let Some(d) = dst {
+                    let _ = write!(out, ",\"dst\":{}", d.as_u32());
+                }
+                let _ = write!(out, ",\"bytes\":{bytes}");
+            }
+            TraceEventKind::RxStart { src } => {
+                let _ = write!(out, ",\"src\":{}", src.as_u32());
+            }
+            TraceEventKind::RxDrop { reason } => {
+                let _ = write!(out, ",\"reason\":\"{}\"", reason.label());
+            }
+            TraceEventKind::Delivered { src, frame_kind } => {
+                let _ = write!(
+                    out,
+                    ",\"src\":{},\"kind\":\"{}\"",
+                    src.as_u32(),
+                    frame_kind.label()
+                );
+            }
+            TraceEventKind::QueueDrop => {}
+            TraceEventKind::Retry { attempt } => {
+                let _ = write!(out, ",\"attempt\":{attempt}");
+            }
+            TraceEventKind::FaultApplied { fault, peer } => {
+                let _ = write!(out, ",\"fault\":\"{fault}\"");
+                if let Some(p) = peer {
+                    let _ = write!(out, ",\"peer\":{}", p.as_u32());
+                }
+            }
+            TraceEventKind::ProtocolDecision { decision } => {
+                let _ = write!(out, ",\"decision\":\"{}\"", decision.label());
+                match decision {
+                    Decision::FgJoin { group } => {
+                        let _ = write!(out, ",\"group\":{group}");
+                    }
+                    Decision::TreeJoin { group, child } => {
+                        let _ = write!(out, ",\"group\":{group},\"child\":{}", child.as_u32());
+                    }
+                    Decision::ForwardData {
+                        group,
+                        source,
+                        pkt_seq,
+                    }
+                    | Decision::SuppressDuplicate {
+                        group,
+                        source,
+                        pkt_seq,
+                    } => {
+                        let _ = write!(
+                            out,
+                            ",\"group\":{group},\"src\":{},\"pseq\":{pkt_seq}",
+                            source.as_u32()
+                        );
+                    }
+                    Decision::ForwardQuery { source, pkt_seq }
+                    | Decision::SendReply { source, pkt_seq } => {
+                        let _ = write!(out, ",\"src\":{},\"pseq\":{pkt_seq}", source.as_u32());
+                    }
+                }
+            }
+        }
+        out.push('}');
+    }
+
+    /// The JSONL encoding as an owned line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_jsonl(&mut s);
+        s
+    }
+
+    /// Parse one line produced by [`TraceEvent::write_jsonl`].
+    ///
+    /// Accepts exactly the flat subset this module emits: one JSON object of
+    /// unsigned-integer and unescaped-string fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first syntactic or
+    /// semantic problem found.
+    pub fn parse_jsonl(line: &str) -> Result<TraceEvent, String> {
+        let fields = Fields::parse(line)?;
+        let at = SimTime::from_nanos(fields.num("t").ok_or("missing \"t\"")?);
+        let node = fields.node_field("node")?;
+        let seq = fields.num("seq");
+        let class = fields
+            .num("class")
+            .map(|v| int::<u8>(v, "class"))
+            .transpose()?;
+        let frame = fields.num("frame").map(FrameId);
+        let ev = fields.str("ev").ok_or("missing \"ev\"")?;
+        let kind = match ev {
+            "tx_start" => TraceEventKind::TxStart {
+                frame_kind: fields.frame_kind()?,
+                dst: fields.node_field("dst")?,
+                bytes: int(fields.num("bytes").ok_or("missing \"bytes\"")?, "bytes")?,
+            },
+            "rx_start" => TraceEventKind::RxStart {
+                src: fields.node_field("src")?.ok_or("missing \"src\"")?,
+            },
+            "rx_drop" => {
+                let label = fields.str("reason").ok_or("missing \"reason\"")?;
+                TraceEventKind::RxDrop {
+                    reason: DropReason::from_label(label)
+                        .ok_or_else(|| format!("unknown drop reason {label:?}"))?,
+                }
+            }
+            "delivered" => TraceEventKind::Delivered {
+                src: fields.node_field("src")?.ok_or("missing \"src\"")?,
+                frame_kind: fields.frame_kind()?,
+            },
+            "queue_drop" => TraceEventKind::QueueDrop,
+            "retry" => TraceEventKind::Retry {
+                attempt: int(
+                    fields.num("attempt").ok_or("missing \"attempt\"")?,
+                    "attempt",
+                )?,
+            },
+            "fault" => {
+                let label = fields.str("fault").ok_or("missing \"fault\"")?;
+                let fault = fault_label::ALL
+                    .into_iter()
+                    .find(|&l| l == label)
+                    .ok_or_else(|| format!("unknown fault label {label:?}"))?;
+                TraceEventKind::FaultApplied {
+                    fault,
+                    peer: fields.node_field("peer")?,
+                }
+            }
+            "decision" => {
+                let label = fields.str("decision").ok_or("missing \"decision\"")?;
+                let group = || -> Result<u32, String> {
+                    int(fields.num("group").ok_or("missing \"group\"")?, "group")
+                };
+                let source = || -> Result<NodeId, String> {
+                    fields
+                        .node_field("src")?
+                        .ok_or_else(|| "missing \"src\"".to_string())
+                };
+                let pseq = || -> Result<u32, String> {
+                    int(fields.num("pseq").ok_or("missing \"pseq\"")?, "pseq")
+                };
+                let decision = match label {
+                    "fg_join" => Decision::FgJoin { group: group()? },
+                    "tree_join" => Decision::TreeJoin {
+                        group: group()?,
+                        child: fields.node_field("child")?.ok_or("missing \"child\"")?,
+                    },
+                    "forward_data" => Decision::ForwardData {
+                        group: group()?,
+                        source: source()?,
+                        pkt_seq: pseq()?,
+                    },
+                    "suppress_duplicate" => Decision::SuppressDuplicate {
+                        group: group()?,
+                        source: source()?,
+                        pkt_seq: pseq()?,
+                    },
+                    "forward_query" => Decision::ForwardQuery {
+                        source: source()?,
+                        pkt_seq: pseq()?,
+                    },
+                    "send_reply" => Decision::SendReply {
+                        source: source()?,
+                        pkt_seq: pseq()?,
+                    },
+                    other => return Err(format!("unknown decision {other:?}")),
+                };
+                TraceEventKind::ProtocolDecision { decision }
+            }
+            other => return Err(format!("unknown event {other:?}")),
+        };
+        Ok(TraceEvent {
+            at,
+            node,
+            seq,
+            class,
+            frame,
+            kind,
+        })
+    }
+}
+
+fn int<T: TryFrom<u64>>(v: u64, field: &str) -> Result<T, String> {
+    T::try_from(v).map_err(|_| format!("field \"{field}\" out of range: {v}"))
+}
+
+/// Parsed flat-JSON fields of one line (key → unsigned int or string).
+#[derive(Debug)]
+struct Fields<'a> {
+    // A handful of fields per line: linear scan beats any map, and a Vec
+    // keeps iteration order deterministic (mesh-lint rule R1).
+    pairs: Vec<(&'a str, Value<'a>)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Value<'a> {
+    Num(u64),
+    Str(&'a str),
+}
+
+impl<'a> Fields<'a> {
+    fn parse(line: &'a str) -> Result<Fields<'a>, String> {
+        let body = line
+            .trim()
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or("not a JSON object")?;
+        let mut pairs = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let key_body = rest.strip_prefix('"').ok_or("expected a quoted key")?;
+            let kq = key_body.find('"').ok_or("unterminated key")?;
+            let key = &key_body[..kq];
+            rest = key_body[kq + 1..]
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or("expected ':' after key")?
+                .trim_start();
+            let value;
+            if let Some(s) = rest.strip_prefix('"') {
+                let vq = s.find('"').ok_or("unterminated string value")?;
+                let v = &s[..vq];
+                if v.contains('\\') {
+                    return Err("escaped strings are not supported".into());
+                }
+                value = Value::Str(v);
+                rest = &s[vq + 1..];
+            } else {
+                let end = rest
+                    .find(|c: char| !c.is_ascii_digit())
+                    .unwrap_or(rest.len());
+                if end == 0 {
+                    return Err(format!("expected a value near {rest:?}"));
+                }
+                let n: u64 = rest[..end]
+                    .parse()
+                    .map_err(|_| format!("bad integer {:?}", &rest[..end]))?;
+                value = Value::Num(n);
+                rest = &rest[end..];
+            }
+            pairs.push((key, value));
+            rest = rest.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+                if rest.is_empty() {
+                    return Err("trailing comma".into());
+                }
+            } else if !rest.is_empty() {
+                return Err(format!("expected ',' near {rest:?}"));
+            }
+        }
+        Ok(Fields { pairs })
+    }
+
+    fn num(&self, key: &str) -> Option<u64> {
+        self.pairs.iter().find_map(|&(k, v)| match v {
+            Value::Num(n) if k == key => Some(n),
+            _ => None,
+        })
+    }
+
+    fn str(&self, key: &str) -> Option<&'a str> {
+        self.pairs.iter().find_map(|&(k, v)| match v {
+            Value::Str(s) if k == key => Some(s),
+            _ => None,
+        })
+    }
+
+    fn node_field(&self, key: &str) -> Result<Option<NodeId>, String> {
+        self.num(key)
+            .map(|v| int(v, key).map(NodeId::new))
+            .transpose()
+    }
+
+    fn frame_kind(&self) -> Result<FrameKind, String> {
+        let label = self.str("kind").ok_or("missing \"kind\"")?;
+        FrameKind::from_label(label).ok_or_else(|| format!("unknown frame kind {label:?}"))
+    }
+}
+
+/// Receives trace events as the simulation runs.
+///
+/// Sink contract: `record` must not panic and must not interact with the
+/// simulation in any way (sinks only see copies of events). Expensive sinks
+/// defer failures — [`JsonlTrace`] stashes I/O errors and surfaces them from
+/// [`JsonlTrace::finish`].
 pub trait TraceSink: std::fmt::Debug {
     /// Called once per traced event, in simulation order.
-    fn record(&mut self, record: TraceRecord);
+    fn record(&mut self, event: TraceEvent);
 
     /// Downcasting support so callers can recover the concrete sink after
     /// [`take_trace`](crate::world::World::take_trace).
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcasting (e.g. to call [`JsonlTrace::finish`]).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
-/// A bounded in-memory trace, dropping the oldest records when full.
+/// A bounded in-memory trace, dropping the oldest events when full.
 #[derive(Debug)]
 pub struct RingTrace {
     cap: usize,
-    records: std::collections::VecDeque<TraceRecord>,
+    events: std::collections::VecDeque<TraceEvent>,
 }
 
 impl RingTrace {
-    /// Create a ring holding up to `cap` records.
+    /// Create a ring holding up to `cap` events.
     ///
     /// # Panics
     ///
@@ -110,35 +658,121 @@ impl RingTrace {
         assert!(cap > 0, "trace capacity must be positive");
         RingTrace {
             cap,
-            records: std::collections::VecDeque::with_capacity(cap.min(4096)),
+            events: std::collections::VecDeque::with_capacity(cap.min(4096)),
         }
     }
 
-    /// The records currently retained, oldest first.
-    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
-        self.records.iter()
+    /// The events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
     }
 
-    /// Number of retained records.
+    /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.events.len()
     }
 
     /// Whether the ring is empty.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.events.is_empty()
     }
 }
 
 impl TraceSink for RingTrace {
-    fn record(&mut self, record: TraceRecord) {
-        if self.records.len() == self.cap {
-            self.records.pop_front();
+    fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
         }
-        self.records.push_back(record);
+        self.events.push_back(event);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Streams events to a file as JSON Lines, one object per event.
+///
+/// I/O errors during the run are stashed, not raised (a sink must never
+/// perturb the simulation); [`JsonlTrace::finish`] flushes and reports the
+/// first deferred error.
+#[derive(Debug)]
+pub struct JsonlTrace {
+    out: std::io::BufWriter<std::fs::File>,
+    path: std::path::PathBuf,
+    lines: u64,
+    line_buf: String,
+    deferred_err: Option<std::io::Error>,
+}
+
+impl JsonlTrace {
+    /// Create (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create(path: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = std::fs::File::create(&path)?;
+        Ok(JsonlTrace {
+            out: std::io::BufWriter::new(file),
+            path,
+            lines: 0,
+            line_buf: String::with_capacity(128),
+            deferred_err: None,
+        })
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Lines successfully handed to the writer so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush the file and surface any I/O error deferred during the run.
+    /// Returns the number of lines written.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred write error, or the flush error.
+    pub fn finish(&mut self) -> std::io::Result<u64> {
+        use std::io::Write;
+        if let Some(e) = self.deferred_err.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.lines)
+    }
+}
+
+impl TraceSink for JsonlTrace {
+    fn record(&mut self, event: TraceEvent) {
+        use std::io::Write;
+        if self.deferred_err.is_some() {
+            return;
+        }
+        self.line_buf.clear();
+        event.write_jsonl(&mut self.line_buf);
+        self.line_buf.push('\n');
+        match self.out.write_all(self.line_buf.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.deferred_err = Some(e),
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
 }
@@ -147,13 +781,18 @@ impl TraceSink for RingTrace {
 mod tests {
     use super::*;
 
-    fn tx(node: u32, at_ns: u64) -> TraceRecord {
-        TraceRecord::TxStart {
-            node: NodeId::new(node),
-            kind: FrameKind::Data,
-            dst: None,
-            bytes: 100,
+    fn tx(node: u32, at_ns: u64) -> TraceEvent {
+        TraceEvent {
             at: SimTime::from_nanos(at_ns),
+            node: Some(NodeId::new(node)),
+            seq: Some(9),
+            class: Some(0),
+            frame: Some(FrameId(42)),
+            kind: TraceEventKind::TxStart {
+                frame_kind: FrameKind::Data,
+                dst: None,
+                bytes: 100,
+            },
         }
     }
 
@@ -164,23 +803,163 @@ mod tests {
             r.record(tx(i, i as u64));
         }
         assert_eq!(r.len(), 3);
-        let ats: Vec<u64> = r.records().map(|x| x.at().as_nanos()).collect();
+        let ats: Vec<u64> = r.events().map(|x| x.at().as_nanos()).collect();
         assert_eq!(ats, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn record_time_accessor() {
-        let rec = TraceRecord::RxLost {
-            node: NodeId::new(1),
-            reason: LossReason::Collision,
-            at: SimTime::from_nanos(7),
-        };
-        assert_eq!(rec.at().as_nanos(), 7);
     }
 
     #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = RingTrace::new(0);
+    }
+
+    fn all_event_shapes() -> Vec<TraceEvent> {
+        let base = TraceEvent {
+            at: SimTime::from_nanos(1_234_567),
+            node: Some(NodeId::new(7)),
+            seq: Some(3),
+            class: Some(1),
+            frame: Some(FrameId(99)),
+            kind: TraceEventKind::QueueDrop,
+        };
+        let k = |kind| TraceEvent { kind, ..base };
+        vec![
+            k(TraceEventKind::TxStart {
+                frame_kind: FrameKind::Rts,
+                dst: Some(NodeId::new(2)),
+                bytes: 52,
+            }),
+            k(TraceEventKind::TxStart {
+                frame_kind: FrameKind::Data,
+                dst: None,
+                bytes: 512,
+            }),
+            k(TraceEventKind::RxStart {
+                src: NodeId::new(4),
+            }),
+            k(TraceEventKind::RxDrop {
+                reason: DropReason::Captured,
+            }),
+            k(TraceEventKind::Delivered {
+                src: NodeId::new(4),
+                frame_kind: FrameKind::Data,
+            }),
+            TraceEvent {
+                seq: None,
+                class: Some(0),
+                frame: None,
+                ..base
+            },
+            k(TraceEventKind::Retry { attempt: 2 }),
+            TraceEvent {
+                node: None,
+                seq: None,
+                class: Some(1),
+                frame: None,
+                kind: TraceEventKind::FaultApplied {
+                    fault: fault_label::CLASS_LOSS_BURST,
+                    peer: None,
+                },
+                ..base
+            },
+            k(TraceEventKind::FaultApplied {
+                fault: fault_label::LINK_FAULT,
+                peer: Some(NodeId::new(5)),
+            }),
+            k(TraceEventKind::ProtocolDecision {
+                decision: Decision::FgJoin { group: 3 },
+            }),
+            k(TraceEventKind::ProtocolDecision {
+                decision: Decision::TreeJoin {
+                    group: 3,
+                    child: NodeId::new(8),
+                },
+            }),
+            k(TraceEventKind::ProtocolDecision {
+                decision: Decision::ForwardData {
+                    group: 3,
+                    source: NodeId::new(1),
+                    pkt_seq: 1317,
+                },
+            }),
+            k(TraceEventKind::ProtocolDecision {
+                decision: Decision::SuppressDuplicate {
+                    group: 3,
+                    source: NodeId::new(1),
+                    pkt_seq: 1317,
+                },
+            }),
+            k(TraceEventKind::ProtocolDecision {
+                decision: Decision::ForwardQuery {
+                    source: NodeId::new(1),
+                    pkt_seq: 12,
+                },
+            }),
+            k(TraceEventKind::ProtocolDecision {
+                decision: Decision::SendReply {
+                    source: NodeId::new(1),
+                    pkt_seq: 12,
+                },
+            }),
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrips_every_event_shape() {
+        for ev in all_event_shapes() {
+            let line = ev.to_jsonl();
+            let back = TraceEvent::parse_jsonl(&line)
+                .unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
+            assert_eq!(back, ev, "roundtrip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "not json",
+            "{\"t\":1}",
+            "{\"t\":1,\"ev\":\"no_such_event\"}",
+            "{\"t\":1,\"ev\":\"rx_drop\",\"reason\":\"made_up\"}",
+            "{\"t\":1,\"ev\":\"tx_start\"",
+            "{\"t\":,\"ev\":\"queue_drop\"}",
+            "{\"t\":1,\"ev\":\"queue_drop\",}",
+            "{\"t\":1,\"ev\":\"rx_start\"}",
+            "{\"t\":1,\"ev\":\"rx_start\",\"src\":99999999999}",
+        ] {
+            assert!(
+                TraceEvent::parse_jsonl(bad).is_err(),
+                "parser accepted malformed line {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn jsonl_file_sink_writes_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("mesh-sim-trace-test-{}.jsonl", std::process::id()));
+        let mut sink = JsonlTrace::create(&path).expect("create trace file");
+        let evs = all_event_shapes();
+        for ev in &evs {
+            sink.record(*ev);
+        }
+        let lines = sink.finish().expect("finish");
+        assert_eq!(lines, evs.len() as u64);
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let parsed: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::parse_jsonl(l).expect("valid line"))
+            .collect();
+        assert_eq!(parsed, evs);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sink_downcast_recovers_ring() {
+        let mut sink: Box<dyn TraceSink> = Box::new(RingTrace::new(4));
+        sink.record(tx(0, 5));
+        let ring = sink.as_any().downcast_ref::<RingTrace>().expect("ring");
+        assert_eq!(ring.len(), 1);
     }
 }

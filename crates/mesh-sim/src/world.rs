@@ -7,7 +7,7 @@
 
 use std::collections::HashSet;
 
-use crate::counters::{Counters, NodeCounters, MAX_CLASSES};
+use crate::counters::{class_slot, Counters, NodeCounters, MAX_CLASSES};
 use crate::event::{fold_schedule_hash, EventKind, EventQueue, SCHEDULE_HASH_SEED};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::frame::{Frame, FrameBody, FrameSlab};
@@ -15,12 +15,16 @@ use crate::geometry::Pos;
 use crate::ids::{FrameId, NodeId, TimerId, TxHandle};
 use crate::mac::{CtrlResponse, Mac, MacParams, MacState, OutFrame};
 use crate::medium::{LinkEffect, Medium, RxPlan};
+use crate::metrics::{MetricsRecorder, TimeSeries};
 use crate::mobility::Mobility;
 use crate::protocol::{RxMeta, TxOutcome};
 use crate::radio::{ArrivalOutcome, Radio};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{FrameKind as TraceFrameKind, LossReason, TraceRecord, TraceSink};
+use crate::trace::{
+    fault_label, Decision, DropReason, FrameKind as TraceFrameKind, TraceEvent, TraceEventKind,
+    TraceSink,
+};
 
 /// Error returned when a transmit queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +110,7 @@ pub struct World<M> {
     mac_seq: u64,
     fan_buf: Vec<RxPlan>,
     trace: Option<Box<dyn TraceSink>>,
+    metrics: Option<MetricsRecorder>,
     mobility: Option<Box<dyn Mobility>>,
     /// Crashed (fault-injected) nodes; a down node neither sends nor hears.
     pub(crate) down: Vec<bool>,
@@ -116,8 +121,10 @@ pub struct World<M> {
     /// Directed links blacked out by the active partition fault, so
     /// `HealPartition` can restore exactly those.
     partition_links: Vec<(NodeId, NodeId)>,
-    /// Per-class receive drop probability from an active class-loss burst.
-    class_drop: [f64; MAX_CLASSES],
+    /// Per-class receive drop probability from an active class-loss burst
+    /// (indexed by [`class_slot`], so out-of-range classes share the
+    /// overflow slot instead of aliasing a real class).
+    class_drop: [f64; MAX_CLASSES + 1],
     /// Events observed with a timestamp before `now` (always 0 unless the
     /// queue is broken); checked by the monotonicity oracle in release
     /// builds where the `debug_assert` is compiled out.
@@ -172,12 +179,13 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             mac_seq: 0,
             fan_buf: Vec::new(),
             trace: None,
+            metrics: None,
             mobility: None,
             down: vec![false; n],
             tx_orphaned: vec![false; n],
             fault_plan: None,
             partition_links: Vec::new(),
-            class_drop: [0.0; MAX_CLASSES],
+            class_drop: [0.0; MAX_CLASSES + 1],
             time_regressions: 0,
             sched_hash: SCHEDULE_HASH_SEED,
         }
@@ -220,7 +228,9 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         self.mobility = Some(model);
     }
 
-    /// Attach a trace sink receiving every PHY/MAC event from now on.
+    /// Attach a trace sink receiving every packet-lifecycle event from now
+    /// on. Tracing is observation only: attaching a sink never changes the
+    /// event schedule (see [`crate::trace`]).
     pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
         self.trace = Some(sink);
     }
@@ -230,10 +240,102 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         self.trace.take()
     }
 
-    fn trace(&mut self, record: TraceRecord) {
+    /// Start recording a metrics timeseries with buckets of `width`
+    /// (see [`crate::metrics`]). Replaces any recorder already attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn set_metrics(&mut self, width: SimDuration) {
+        self.metrics = Some(MetricsRecorder::new(width, self.now));
+    }
+
+    /// Stop recording and return the finished timeseries, if one was
+    /// attached; the final partial bucket is closed at the current time.
+    pub fn take_metrics(&mut self) -> Option<TimeSeries> {
+        self.metrics
+            .take()
+            .map(|rec| rec.finish(self.now, &self.counters))
+    }
+
+    /// Hand `event` to the attached sink. Call sites guard on
+    /// `self.trace.is_some()` before building the event, so tracing costs
+    /// nothing when off.
+    fn emit(&mut self, event: TraceEvent) {
         if let Some(t) = self.trace.as_mut() {
-            t.record(record);
+            t.record(event);
         }
+    }
+
+    /// `(class, mac_seq, src)` of a frame, if it is a live data frame.
+    fn frame_trace_meta(&self, frame: FrameId) -> (Option<u8>, Option<u64>, Option<NodeId>) {
+        match self.frames.get(frame) {
+            Some(f) => match &f.body {
+                FrameBody::Data { class, mac_seq, .. } => {
+                    (Some(*class), Some(*mac_seq), Some(f.src))
+                }
+                _ => (None, None, Some(f.src)),
+            },
+            None => (None, None, None),
+        }
+    }
+
+    /// Trace an [`TraceEventKind::RxDrop`] for `frame` at `node`, stamping
+    /// the frame's class/seq when it is still alive.
+    fn emit_rx_drop(&mut self, node: NodeId, frame: FrameId, reason: DropReason) {
+        if self.trace.is_none() {
+            return;
+        }
+        let (class, seq, _) = self.frame_trace_meta(frame);
+        self.emit(TraceEvent {
+            at: self.now,
+            node: Some(node),
+            seq,
+            class,
+            frame: Some(frame),
+            kind: TraceEventKind::RxDrop { reason },
+        });
+    }
+
+    /// Trace a decoded data frame handed to the protocol at `node`.
+    fn emit_data_delivered(&mut self, node: NodeId, frame: FrameId, src: NodeId) {
+        if self.trace.is_none() {
+            return;
+        }
+        let (class, seq, _) = self.frame_trace_meta(frame);
+        self.emit(TraceEvent {
+            at: self.now,
+            node: Some(node),
+            seq,
+            class,
+            frame: Some(frame),
+            kind: TraceEventKind::Delivered {
+                src,
+                frame_kind: TraceFrameKind::Data,
+            },
+        });
+    }
+
+    /// Trace the upcoming MAC retry of `node`'s head frame; `attempt`
+    /// counts short and long retries together, 1-based.
+    fn emit_retry(&mut self, node: NodeId) {
+        if self.trace.is_none() {
+            return;
+        }
+        let mac = &self.macs[node.index()];
+        let attempt = mac.short_retries + mac.long_retries + 1;
+        let (class, seq) = match mac.queue.front() {
+            Some(f) => (Some(f.class), Some(f.mac_seq)),
+            None => (None, None),
+        };
+        self.emit(TraceEvent {
+            at: self.now,
+            node: Some(node),
+            seq,
+            class,
+            frame: None,
+            kind: TraceEventKind::Retry { attempt },
+        });
     }
 
     fn trace_kind(body: &FrameBody<M>) -> TraceFrameKind {
@@ -309,6 +411,12 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         } else {
             self.now = ev.time;
         }
+        // Close metrics buckets the clock has passed *before* dispatching, so
+        // every bucket holds exactly the events inside its time span. Reads
+        // counters, mutates nothing else: zero-perturbation.
+        if let Some(m) = self.metrics.as_mut() {
+            m.advance(self.now, &self.counters);
+        }
         self.counters.events += 1;
         match ev.kind {
             EventKind::MacTimer { node, gen } => self.on_mac_timer(node, gen, upcalls),
@@ -362,6 +470,34 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             return;
         };
         self.counters.fault_events += 1;
+        if self.trace.is_some() {
+            let (node, peer, class, fault) = match &kind {
+                FaultKind::NodeCrash(n) => (Some(*n), None, None, fault_label::NODE_CRASH),
+                FaultKind::NodeRecover(n) => (Some(*n), None, None, fault_label::NODE_RECOVER),
+                FaultKind::LinkFault { from, to, .. } => {
+                    (Some(*from), Some(*to), None, fault_label::LINK_FAULT)
+                }
+                FaultKind::LinkRestore { from, to } => {
+                    (Some(*from), Some(*to), None, fault_label::LINK_RESTORE)
+                }
+                FaultKind::Partition { .. } => (None, None, None, fault_label::PARTITION),
+                FaultKind::HealPartition => (None, None, None, fault_label::HEAL_PARTITION),
+                FaultKind::ClassLossBurst { class, .. } => {
+                    (None, None, Some(*class), fault_label::CLASS_LOSS_BURST)
+                }
+                FaultKind::ClassLossClear { class } => {
+                    (None, None, Some(*class), fault_label::CLASS_LOSS_CLEAR)
+                }
+            };
+            self.emit(TraceEvent {
+                at: self.now,
+                node,
+                seq: None,
+                class,
+                frame: None,
+                kind: TraceEventKind::FaultApplied { fault, peer },
+            });
+        }
         match kind {
             FaultKind::NodeCrash(node) => self.crash_node(node),
             FaultKind::NodeRecover(node) => {
@@ -402,10 +538,10 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                 }
             }
             FaultKind::ClassLossBurst { class, drop } => {
-                self.class_drop[class as usize % MAX_CLASSES] = drop.clamp(0.0, 1.0);
+                self.class_drop[class_slot(class)] = drop.clamp(0.0, 1.0);
             }
             FaultKind::ClassLossClear { class } => {
-                self.class_drop[class as usize % MAX_CLASSES] = 0.0;
+                self.class_drop[class_slot(class)] = 0.0;
             }
         }
     }
@@ -422,6 +558,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         if let Some(rx) = self.radios[i].rx.take() {
             if self.frame_is_data(rx.frame) {
                 self.counters.rx_aborted_data += 1;
+                self.emit_rx_drop(node, rx.frame, DropReason::Aborted);
             }
         }
         // An in-flight transmission keeps propagating (the energy already
@@ -511,6 +648,17 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         }
         if self.macs[node.index()].queue.len() >= self.params.queue_cap {
             self.counters.queue_drops += 1;
+            if self.trace.is_some() {
+                // No mac_seq yet: the frame is dropped before one is drawn.
+                self.emit(TraceEvent {
+                    at: self.now,
+                    node: Some(node),
+                    seq: None,
+                    class: Some(class),
+                    frame: None,
+                    kind: TraceEventKind::QueueDrop,
+                });
+            }
             return Err(SendError::QueueFull);
         }
         self.handle_seq += 1;
@@ -636,10 +784,12 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             }
             MacState::WaitCts => {
                 self.counters.retries += 1;
+                self.emit_retry(node);
                 self.retry_head(node, true, upcalls);
             }
             MacState::WaitAck => {
                 self.counters.retries += 1;
+                self.emit_retry(node);
                 let long = self.head_uses_rts(node);
                 self.retry_head(node, !long, upcalls);
             }
@@ -708,21 +858,20 @@ impl<M: Clone + std::fmt::Debug> World<M> {
 
     /// Put a frame on the air: radio TX, fan-out to receivers, TxEnd event.
     fn transmit_frame(&mut self, node: NodeId, body: FrameBody<M>, bytes: u32, air: SimDuration) {
-        if self.trace.is_some() {
-            self.trace(TraceRecord::TxStart {
-                node,
-                kind: Self::trace_kind(&body),
-                dst: body_dst(&body),
-                bytes,
-                at: self.now,
-            });
-        }
+        // Capture trace metadata before `body` moves into the slab; the
+        // event itself is emitted after insertion so it carries the FrameId.
+        let trace_meta = if self.trace.is_some() {
+            Some((Self::trace_kind(&body), body_dst(&body)))
+        } else {
+            None
+        };
         let end = self.now + air;
         self.node_counters[node.index()].airtime_ns += air.as_nanos();
         // Half-duplex: starting our own transmission aborts any reception.
         if let Some(rx) = self.radios[node.index()].rx {
             if self.frame_is_data(rx.frame) {
                 self.counters.rx_aborted_data += 1;
+                self.emit_rx_drop(node, rx.frame, DropReason::Aborted);
             }
         }
         self.radios[node.index()].start_tx(end);
@@ -744,6 +893,21 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             duration: air,
             refs,
         });
+        if let Some((frame_kind, dst)) = trace_meta {
+            let (class, seq, _) = self.frame_trace_meta(id);
+            self.emit(TraceEvent {
+                at: self.now,
+                node: Some(node),
+                seq,
+                class,
+                frame: Some(id),
+                kind: TraceEventKind::TxStart {
+                    frame_kind,
+                    dst,
+                    bytes,
+                },
+            });
+        }
         for plan in &self.fan_buf {
             self.queue.push(
                 self.now + plan.delay,
@@ -888,11 +1052,28 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         let is_data = matches!(f.body, FrameBody::Data { .. });
         if is_data {
             self.counters.planned_rx_data += 1;
+            // Every planned data arrival opens a traced reception — even at
+            // a crashed receiver — so count(RxStart) == planned_rx_data and
+            // each one can be paired with exactly one terminal event.
+            if self.trace.is_some() {
+                let (class, seq, src) = self.frame_trace_meta(frame);
+                self.emit(TraceEvent {
+                    at: self.now,
+                    node: Some(node),
+                    seq,
+                    class,
+                    frame: Some(frame),
+                    kind: TraceEventKind::RxStart {
+                        src: src.expect("live frame has a source"),
+                    },
+                });
+            }
         }
         if self.down[i] {
             // A crashed radio hears nothing — no carrier sense, no capture.
             if is_data {
                 self.counters.fault_rx_dropped += 1;
+                self.emit_rx_drop(node, frame, DropReason::FaultRx);
             }
             return;
         }
@@ -902,21 +1083,24 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         let phy = self.medium.phy();
         let outcome =
             self.radios[i].arrival(frame, power_w, end, phy.rx_threshold_w, phy.capture_ratio);
-        let loss = match outcome {
-            ArrivalOutcome::StartedRx => None,
+        match outcome {
+            ArrivalOutcome::StartedRx => {}
             ArrivalOutcome::CapturedOver => {
                 self.counters.capture_losses += 1;
+                // The *previous* reception is the one lost here; the new
+                // frame is now being decoded and resolves at its own RxEnd.
                 if prev_rx_frame.is_some_and(|p| self.frame_is_data(p)) {
                     self.counters.rx_lost_data += 1;
+                    let prev = prev_rx_frame.expect("checked above");
+                    self.emit_rx_drop(node, prev, DropReason::Captured);
                 }
-                Some(LossReason::Captured)
             }
             ArrivalOutcome::LostToStronger => {
                 self.counters.capture_losses += 1;
                 if is_data {
                     self.counters.rx_lost_data += 1;
+                    self.emit_rx_drop(node, frame, DropReason::Captured);
                 }
-                Some(LossReason::Captured)
             }
             ArrivalOutcome::Collision => {
                 self.counters.collisions += 1;
@@ -925,31 +1109,22 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                 // `rx_corrupted_data` at its own RxEnd.
                 if is_data {
                     self.counters.rx_lost_data += 1;
+                    self.emit_rx_drop(node, frame, DropReason::Collision);
                 }
-                Some(LossReason::Collision)
             }
             ArrivalOutcome::BelowRxThreshold => {
                 self.counters.below_rx_threshold += 1;
                 if is_data {
                     self.counters.rx_lost_data += 1;
+                    self.emit_rx_drop(node, frame, DropReason::BelowThreshold);
                 }
-                Some(LossReason::BelowThreshold)
             }
             ArrivalOutcome::WhileTx => {
                 self.counters.rx_while_tx += 1;
                 if is_data {
                     self.counters.rx_lost_data += 1;
+                    self.emit_rx_drop(node, frame, DropReason::WhileTx);
                 }
-                Some(LossReason::WhileTx)
-            }
-        };
-        if let Some(reason) = loss {
-            if self.trace.is_some() {
-                self.trace(TraceRecord::RxLost {
-                    node,
-                    reason,
-                    at: self.now,
-                });
             }
         }
         self.channel_became_busy(node);
@@ -975,6 +1150,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                 self.decode_frame(node, frame, rx.power_w, upcalls);
             } else if self.frame_is_data(frame) {
                 self.counters.rx_corrupted_data += 1;
+                self.emit_rx_drop(node, frame, DropReason::Corrupted);
             }
         }
         self.frames.release(frame);
@@ -994,12 +1170,20 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             let f = self.frames.get(frame).expect("frame alive at RxEnd");
             (f.src, f.body.clone())
         };
-        if self.trace.is_some() {
-            self.trace(TraceRecord::RxOk {
-                node,
-                src,
-                kind: Self::trace_kind(&body),
+        // Control frames have no RxStart/terminal pairing; a bare Delivered
+        // marks the successful decode. Data frames are traced per outcome
+        // below so each RxStart resolves to exactly one terminal event.
+        if self.trace.is_some() && !matches!(body, FrameBody::Data { .. }) {
+            self.emit(TraceEvent {
                 at: self.now,
+                node: Some(node),
+                seq: None,
+                class: None,
+                frame: Some(frame),
+                kind: TraceEventKind::Delivered {
+                    src,
+                    frame_kind: Self::trace_kind(&body),
+                },
             });
         }
         match body {
@@ -1065,13 +1249,15 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                     None => {
                         // An active class-loss burst (fault injection) drops
                         // received broadcasts of the class probabilistically.
-                        let burst = self.class_drop[class as usize % MAX_CLASSES];
+                        let burst = self.class_drop[class_slot(class)];
                         if burst > 0.0 && self.rng.chance(burst) {
                             self.counters.fault_rx_dropped += 1;
+                            self.emit_rx_drop(node, frame, DropReason::ClassBurst);
                             return;
                         }
                         self.counters.record_rx_data(class, bytes as u64);
                         self.node_counters[i].rx_data_frames += 1;
+                        self.emit_data_delivered(node, frame, src);
                         upcalls.push(Upcall::Deliver {
                             node,
                             src,
@@ -1093,10 +1279,12 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                         let dup = self.macs[i].rx_dedup.get(&src) == Some(&mac_seq);
                         if dup {
                             self.counters.duplicate_rx_suppressed += 1;
+                            self.emit_rx_drop(node, frame, DropReason::Duplicate);
                         } else {
                             self.macs[i].rx_dedup.insert(src, mac_seq);
                             self.counters.record_rx_data(class, bytes as u64);
                             self.node_counters[i].rx_data_frames += 1;
+                            self.emit_data_delivered(node, frame, src);
                             upcalls.push(Upcall::Deliver {
                                 node,
                                 src,
@@ -1112,6 +1300,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                         // Unicast overheard by a third party; the MAC drops
                         // it, but the conservation oracle still balances it.
                         self.counters.unicast_overheard += 1;
+                        self.emit_rx_drop(node, frame, DropReason::NotForUs);
                     }
                 }
             }
@@ -1259,5 +1448,31 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
     /// Run counters (read-only).
     pub fn counters(&self) -> &Counters {
         self.world.counters()
+    }
+
+    /// Record a protocol-level decision in the attached trace. Observation
+    /// only — a no-op when tracing is off, and never schedules events, draws
+    /// randomness or touches counters (see [`crate::trace`]).
+    pub fn trace_decision(&mut self, decision: Decision) {
+        if self.world.trace.is_some() {
+            let at = self.world.now;
+            self.world.emit(TraceEvent {
+                at,
+                node: Some(self.node),
+                seq: None,
+                class: None,
+                frame: None,
+                kind: TraceEventKind::ProtocolDecision { decision },
+            });
+        }
+    }
+
+    /// Report one application-level delivery with its end-to-end `delay` to
+    /// the metrics timeseries (see [`crate::metrics`]). No-op when metrics
+    /// recording is off.
+    pub fn observe_delivery(&mut self, delay: SimDuration) {
+        if let Some(m) = self.world.metrics.as_mut() {
+            m.record_delivery(delay);
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Trace-based assertions on exact MAC sequences.
 
 use mesh_sim::prelude::*;
-use mesh_sim::trace::{FrameKind, RingTrace, TraceRecord};
+use mesh_sim::trace::{FrameKind, RingTrace, TraceEventKind};
 
 #[derive(Debug, Default)]
 struct SendOnce {
@@ -38,9 +38,9 @@ fn unicast_exchange_is_rts_cts_data_ack_in_order() {
     let sink = sim.world_mut().take_trace().expect("trace attached");
     let ring: &RingTrace = sink.as_any().downcast_ref().expect("RingTrace installed");
     let tx_sequence: Vec<FrameKind> = ring
-        .records()
-        .filter_map(|r| match *r {
-            TraceRecord::TxStart { kind, .. } => Some(kind),
+        .events()
+        .filter_map(|e| match e.kind {
+            TraceEventKind::TxStart { frame_kind, .. } => Some(frame_kind),
             _ => None,
         })
         .collect();
@@ -54,14 +54,30 @@ fn unicast_exchange_is_rts_cts_data_ack_in_order() {
         ],
         "unexpected MAC sequence"
     );
-    // Every transmission was decoded by the peer: 4 RxOk records.
-    let rx_ok = ring
-        .records()
-        .filter(|r| matches!(r, TraceRecord::RxOk { .. }))
+    // Every transmission was decoded by the peer: 4 Delivered events.
+    let delivered = ring
+        .events()
+        .filter(|e| matches!(e.kind, TraceEventKind::Delivered { .. }))
         .count();
-    assert_eq!(rx_ok, 4);
-    // Times strictly increase across the exchange.
-    let times: Vec<_> = ring.records().map(|r| r.at()).collect();
+    assert_eq!(delivered, 4);
+    // The data frame's Delivered carries the sender and class.
+    let data_delivery = ring
+        .events()
+        .find(|e| {
+            matches!(
+                e.kind,
+                TraceEventKind::Delivered {
+                    frame_kind: FrameKind::Data,
+                    ..
+                }
+            )
+        })
+        .expect("data delivered");
+    assert_eq!(data_delivery.node, Some(NodeId::new(1)));
+    assert_eq!(data_delivery.class, Some(0));
+    assert!(data_delivery.seq.is_some());
+    // Times never decrease across the exchange.
+    let times: Vec<_> = ring.events().map(|e| e.at()).collect();
     let mut sorted = times.clone();
     sorted.sort();
     assert_eq!(times, sorted);

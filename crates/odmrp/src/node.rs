@@ -12,6 +12,7 @@ use mcast_metrics::{AnyMetric, Metric, NeighborTable, PathCost, Prober};
 use mesh_sim::ids::{GroupId, NodeId, TimerId, TxHandle};
 use mesh_sim::protocol::{Protocol, RxMeta, TxOutcome};
 use mesh_sim::time::{SimDuration, SimTime};
+use mesh_sim::trace::Decision;
 use mesh_sim::world::Ctx;
 
 use crate::config::{NodeRole, OdmrpConfig};
@@ -359,6 +360,10 @@ impl OdmrpNode {
             .is_ok()
         {
             self.stats.queries_forwarded += 1;
+            ctx.trace_decision(Decision::ForwardQuery {
+                source,
+                pkt_seq: seq,
+            });
         }
     }
 
@@ -387,6 +392,10 @@ impl OdmrpNode {
                 .tree_edges
                 .entry((upstream, self.me))
                 .or_insert(0) += 1;
+            ctx.trace_decision(Decision::SendReply {
+                source,
+                pkt_seq: seq,
+            });
         }
     }
 
@@ -401,6 +410,7 @@ impl OdmrpNode {
             let slot = self.fg.entry(r.group).or_insert(expiry);
             *slot = (*slot).max(expiry);
             self.stats.fg_refreshes += 1;
+            ctx.trace_decision(Decision::FgJoin { group: r.group.0 });
             let sel = self.stats.fg_selected.entry(r.group).or_insert(now);
             *sel = (*sel).max(now);
 
@@ -417,6 +427,11 @@ impl OdmrpNode {
         let key = (d.source, d.seq);
         if self.data_seen.contains(&key) {
             self.stats.duplicate_data += 1;
+            ctx.trace_decision(Decision::SuppressDuplicate {
+                group: d.group.0,
+                source: d.source,
+                pkt_seq: d.seq,
+            });
             return;
         }
         self.data_seen.insert(key);
@@ -433,6 +448,7 @@ impl OdmrpNode {
             let rec = self.stats.delivered.entry((d.group, d.source)).or_default();
             rec.count += 1;
             rec.delay_sum_s += now.saturating_since(d.sent_at).as_secs_f64();
+            ctx.observe_delivery(now.saturating_since(d.sent_at));
         }
         if self.is_forwarding(d.group, now)
             && ctx
@@ -440,6 +456,11 @@ impl OdmrpNode {
                 .is_ok()
         {
             self.stats.data_forwards += 1;
+            ctx.trace_decision(Decision::ForwardData {
+                group: d.group.0,
+                source: d.source,
+                pkt_seq: d.seq,
+            });
         }
     }
 }
