@@ -7,6 +7,7 @@
 
 use mesh_sim::time::{SimDuration, SimTime};
 
+use crate::staleness::{Freshness, StalenessConfig};
 use crate::window::SeqWindow;
 
 /// Tuning knobs for link estimation (defaults follow §2.2 of the paper).
@@ -26,6 +27,8 @@ pub struct EstimatorConfig {
     pub default_df: f64,
     /// Bandwidth assumed before the first pair completes (channel rate).
     pub default_bandwidth_bps: f64,
+    /// Thresholds of the fresh → suspect → quarantined state machine.
+    pub staleness: StalenessConfig,
 }
 
 impl Default for EstimatorConfig {
@@ -38,6 +41,7 @@ impl Default for EstimatorConfig {
             max_open_gap_penalties: 100,
             default_df: 0.1,
             default_bandwidth_bps: 2.0e6,
+            staleness: StalenessConfig::default(),
         }
     }
 }
@@ -253,6 +257,21 @@ impl LinkEstimate {
             (a, b) => a.or(b),
         }
     }
+
+    /// Probes inferred missing at `now`: the larger open gap across the
+    /// single-probe and pair-probe streams (whichever stream the deployed
+    /// metric uses, its silence counts).
+    pub fn missed_probes(&self, now: SimTime) -> u32 {
+        let single = Self::open_gap(self.last_single, self.single_interval, now);
+        let pair = Self::open_gap(self.last_pair_event, self.pair_interval, now);
+        single.max(pair)
+    }
+
+    /// Freshness class of this estimate at `now` per `cfg.staleness`.
+    pub fn freshness(&self, now: SimTime, cfg: &EstimatorConfig) -> Freshness {
+        let silence = self.last_heard().map(|t| now.saturating_since(t));
+        cfg.staleness.classify(self.missed_probes(now), silence)
+    }
 }
 
 #[cfg(test)]
@@ -430,6 +449,47 @@ mod tests {
         }
         let df = e.forward_ratio(t(91), &c);
         assert!((df - 1.0).abs() < 1e-9, "df={df}");
+    }
+
+    #[test]
+    fn freshness_progresses_with_silence() {
+        let c = cfg();
+        let iv1 = SimDuration::from_secs(1);
+        let mut e = LinkEstimate::new(&c);
+        for i in 0..10u64 {
+            e.on_single(i, iv1, t(i));
+        }
+        // Last probe at t=9s, interval 1s.
+        assert_eq!(e.freshness(t(10), &c), Freshness::Fresh);
+        // 3 intervals elapsed = 2 missed -> suspect; silence 3s < 9s.
+        assert_eq!(e.freshness(t(12), &c), Freshness::Suspect);
+        // 7 intervals elapsed = 6 missed -> quarantined by missed count.
+        assert_eq!(e.freshness(t(16), &c), Freshness::Quarantined);
+        assert_eq!(e.freshness(t(500), &c), Freshness::Quarantined);
+    }
+
+    #[test]
+    fn silence_horizon_quarantines_slow_probe_schedules() {
+        // With 5s probes, missed-count thresholds take 15s+ to trip; the
+        // absolute fg_timeout-scale horizon quarantines at 9s regardless.
+        let c = cfg();
+        let mut e = LinkEstimate::new(&c);
+        for i in 0..10u64 {
+            e.on_single(i, IV, t(i * 5));
+        }
+        assert_eq!(e.freshness(t(53), &c), Freshness::Fresh);
+        assert_eq!(e.freshness(t(54), &c), Freshness::Quarantined);
+    }
+
+    #[test]
+    fn missed_probes_tracks_the_noisier_stream() {
+        let c = cfg();
+        let mut e = LinkEstimate::new(&c);
+        e.on_single(0, IV, t(0));
+        e.on_pair_small(0, SimDuration::from_secs(10), t(0), &c);
+        // At t=21s: singles 4 intervals elapsed (missed 3), pairs 2 elapsed
+        // (missed 1).
+        assert_eq!(e.missed_probes(t(21)), 3);
     }
 
     #[test]

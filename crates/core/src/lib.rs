@@ -60,6 +60,7 @@ pub mod metrics;
 pub mod neighbor_table;
 pub mod path;
 pub mod probe;
+pub mod staleness;
 pub mod window;
 
 pub use cost::{LinkCost, PathCost};
@@ -70,3 +71,4 @@ pub use metrics::{
 pub use neighbor_table::NeighborTable;
 pub use path::{choose_path, figure1_candidates, figure3_candidates, CandidatePath, PathChoice};
 pub use probe::{ProbeMsg, ProbePlan, Prober};
+pub use staleness::{Freshness, StalenessConfig};

@@ -13,6 +13,7 @@ use mesh_sim::time::SimTime;
 use crate::cost::LinkCost;
 use crate::estimator::{EstimatorConfig, LinkEstimate, LinkObservation};
 use crate::probe::ProbeMsg;
+use crate::staleness::Freshness;
 use crate::Metric;
 
 /// Per-node table of link estimates keyed by neighbor.
@@ -22,6 +23,9 @@ pub struct NeighborTable {
     // Traversed by the report/oracle accessors below: BTreeMap so every
     // traversal is NodeId-ascending, never hash-ordered (mesh-lint R1).
     links: BTreeMap<NodeId, LinkEstimate>,
+    /// Freshness last reported through [`NeighborTable::sweep_freshness`],
+    /// so the sweep emits transitions, not states.
+    reported: BTreeMap<NodeId, Freshness>,
 }
 
 impl NeighborTable {
@@ -30,6 +34,7 @@ impl NeighborTable {
         NeighborTable {
             cfg,
             links: BTreeMap::new(),
+            reported: BTreeMap::new(),
         }
     }
 
@@ -92,6 +97,57 @@ impl NeighborTable {
         now: SimTime,
     ) -> LinkCost {
         metric.link_cost(&self.observe(from, now))
+    }
+
+    /// Freshness class of the estimate for `from` at `now` (`None` when the
+    /// neighbor was never heard — there is no estimate to be stale).
+    pub fn freshness(&self, from: NodeId, now: SimTime) -> Option<Freshness> {
+        self.links.get(&from).map(|e| e.freshness(now, &self.cfg))
+    }
+
+    /// The measured observation together with its freshness class.
+    ///
+    /// Degraded-mode consumers decide from the freshness whether to feed the
+    /// measured values to the metric or to substitute
+    /// [`LinkObservation::unknown`]; the table itself never hides data.
+    pub fn classified_observe(
+        &self,
+        from: NodeId,
+        now: SimTime,
+    ) -> (LinkObservation, Option<Freshness>) {
+        match self.links.get(&from) {
+            Some(est) => (
+                est.observe(now, &self.cfg),
+                Some(est.freshness(now, &self.cfg)),
+            ),
+            None => (LinkObservation::unknown(&self.cfg), None),
+        }
+    }
+
+    /// Whether any estimate in the table is still usable (not quarantined)
+    /// at `now`. When this is false a degraded-mode node has no measured
+    /// link state at all and falls back to minimum-hop selection.
+    pub fn has_usable_estimate(&self, now: SimTime) -> bool {
+        self.links
+            .values()
+            .any(|e| e.freshness(now, &self.cfg) != Freshness::Quarantined)
+    }
+
+    /// Re-classify every estimate at `now` and return the `(neighbor, new)`
+    /// transitions since the previous sweep, NodeId-ascending. Protocols
+    /// call this on their probe tick and trace the quarantine transitions.
+    pub fn sweep_freshness(&mut self, now: SimTime) -> Vec<(NodeId, Freshness)> {
+        let mut changed = Vec::new();
+        for (&n, est) in &self.links {
+            let f = est.freshness(now, &self.cfg);
+            if self.reported.get(&n) != Some(&f) {
+                changed.push((n, f));
+            }
+        }
+        for &(n, f) in &changed {
+            self.reported.insert(n, f);
+        }
+        changed
     }
 
     /// Forward delivery ratios of all known neighbors (piggybacked into
@@ -208,6 +264,63 @@ mod tests {
         let horizon = SimDuration::from_secs(15);
         let active = t.active_neighbors(SimTime::from_secs(55), horizon);
         assert_eq!(active, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn freshness_and_usability_follow_silence() {
+        let mut t = NeighborTable::new(EstimatorConfig::default());
+        let me = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        for i in 0..4 {
+            t.handle_probe(n1, &single(i), me, SimTime::from_secs(i * 5));
+        }
+        // Heard 1s ago: fresh and usable.
+        let now = SimTime::from_secs(16);
+        assert_eq!(t.freshness(n1, now), Some(crate::Freshness::Fresh));
+        assert!(t.has_usable_estimate(now));
+        // Silent past the 9s horizon: quarantined, nothing usable.
+        let later = SimTime::from_secs(40);
+        assert_eq!(t.freshness(n1, later), Some(crate::Freshness::Quarantined));
+        assert!(!t.has_usable_estimate(later));
+        // Never-heard neighbor has no freshness at all.
+        assert_eq!(t.freshness(NodeId::new(9), later), None);
+    }
+
+    #[test]
+    fn classified_observe_matches_plain_observe() {
+        let mut t = NeighborTable::new(EstimatorConfig::default());
+        let me = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        for i in 0..4 {
+            t.handle_probe(n1, &single(i), me, SimTime::from_secs(i * 5));
+        }
+        let now = SimTime::from_secs(16);
+        let (obs, f) = t.classified_observe(n1, now);
+        assert_eq!(obs, t.observe(n1, now));
+        assert_eq!(f, Some(crate::Freshness::Fresh));
+        let (unk, none) = t.classified_observe(NodeId::new(7), now);
+        assert_eq!(unk, LinkObservation::unknown(t.config()));
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn sweep_reports_transitions_once() {
+        let mut t = NeighborTable::new(EstimatorConfig::default());
+        let me = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        t.handle_probe(n1, &single(0), me, SimTime::from_secs(0));
+        let first = t.sweep_freshness(SimTime::from_secs(1));
+        assert_eq!(first, vec![(n1, crate::Freshness::Fresh)]);
+        // No change: nothing reported.
+        assert!(t.sweep_freshness(SimTime::from_secs(2)).is_empty());
+        // Past the silence horizon: one quarantine transition, then quiet.
+        let q = t.sweep_freshness(SimTime::from_secs(20));
+        assert_eq!(q, vec![(n1, crate::Freshness::Quarantined)]);
+        assert!(t.sweep_freshness(SimTime::from_secs(25)).is_empty());
+        // A new probe revives the link: fresh transition reported again.
+        t.handle_probe(n1, &single(1), me, SimTime::from_secs(30));
+        let back = t.sweep_freshness(SimTime::from_secs(31));
+        assert_eq!(back, vec![(n1, crate::Freshness::Fresh)]);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Staleness state machine for link estimates.
+//!
+//! Probe-driven estimators fail open: when probes stop arriving the window
+//! ratios decay lazily, but the estimate keeps being served as if it were
+//! measurement. This module classifies every [`crate::LinkEstimate`] as
+//! fresh → suspect → quarantined, driven by the same missed-probe inference
+//! the lazy decay uses plus an absolute silence horizon on the scale of the
+//! protocol's forwarding-group timeout. Degraded-mode consumers exclude
+//! quarantined entries from metric path costs and substitute the
+//! no-history default observation, which makes every link cost a constant —
+//! i.e. the path choice falls back to minimum hop count.
+
+use mesh_sim::time::SimDuration;
+
+/// Freshness class of one link estimate.
+///
+/// Ordered: `Fresh < Suspect < Quarantined`, so "at least this stale"
+/// comparisons read naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Freshness {
+    /// Probes are arriving on schedule; the estimate is measurement.
+    Fresh,
+    /// A few probes are overdue; the estimate is served but flagged.
+    Suspect,
+    /// The silence is long enough that the estimate is fiction; degraded
+    /// mode excludes it from metric path costs.
+    Quarantined,
+}
+
+impl Freshness {
+    /// Stable lower-case label (used in traces and reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            Freshness::Fresh => "fresh",
+            Freshness::Suspect => "suspect",
+            Freshness::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Thresholds of the fresh → suspect → quarantined state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StalenessConfig {
+    /// Missed probes (inferred from elapsed probe intervals) at which an
+    /// estimate becomes suspect.
+    pub suspect_after_missed: u32,
+    /// Missed probes at which an estimate is quarantined.
+    pub quarantine_after_missed: u32,
+    /// Absolute silence horizon that quarantines regardless of probe-interval
+    /// bookkeeping; sized to the protocol soft-state timeout (`fg_timeout`).
+    pub quarantine_silence: SimDuration,
+}
+
+impl Default for StalenessConfig {
+    fn default() -> Self {
+        StalenessConfig {
+            suspect_after_missed: 2,
+            quarantine_after_missed: 6,
+            quarantine_silence: SimDuration::from_secs(9),
+        }
+    }
+}
+
+impl StalenessConfig {
+    /// Classify an estimate from its missed-probe count and the time since
+    /// anything was last heard (`None` when nothing was ever heard — such an
+    /// estimate does not exist in a table, so it classifies as fresh).
+    pub fn classify(&self, missed: u32, silence: Option<SimDuration>) -> Freshness {
+        let silent_out = silence.is_some_and(|s| s >= self.quarantine_silence);
+        if missed >= self.quarantine_after_missed || silent_out {
+            Freshness::Quarantined
+        } else if missed >= self.suspect_after_missed {
+            Freshness::Suspect
+        } else {
+            Freshness::Fresh
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_is_monotone_in_missed_probes() {
+        let cfg = StalenessConfig::default();
+        let mut prev = Freshness::Fresh;
+        for missed in 0..20 {
+            let f = cfg.classify(missed, Some(SimDuration::ZERO));
+            assert!(f >= prev, "freshness regressed at missed={missed}");
+            prev = f;
+        }
+        assert_eq!(prev, Freshness::Quarantined);
+    }
+
+    #[test]
+    fn silence_horizon_quarantines_without_missed_probes() {
+        let cfg = StalenessConfig::default();
+        assert_eq!(
+            cfg.classify(0, Some(SimDuration::from_secs(8))),
+            Freshness::Fresh
+        );
+        assert_eq!(
+            cfg.classify(0, Some(SimDuration::from_secs(9))),
+            Freshness::Quarantined
+        );
+    }
+
+    #[test]
+    fn never_heard_is_fresh() {
+        let cfg = StalenessConfig::default();
+        assert_eq!(cfg.classify(0, None), Freshness::Fresh);
+    }
+
+    #[test]
+    fn thresholds_partition_the_missed_axis() {
+        let cfg = StalenessConfig::default();
+        assert_eq!(cfg.classify(1, None), Freshness::Fresh);
+        assert_eq!(cfg.classify(2, None), Freshness::Suspect);
+        assert_eq!(cfg.classify(5, None), Freshness::Suspect);
+        assert_eq!(cfg.classify(6, None), Freshness::Quarantined);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Freshness::Fresh.label(), "fresh");
+        assert_eq!(Freshness::Suspect.label(), "suspect");
+        assert_eq!(Freshness::Quarantined.label(), "quarantined");
+    }
+}

@@ -33,6 +33,7 @@ pub mod ascii_map;
 pub mod cli;
 pub mod measure;
 pub mod paper;
+pub mod recovery;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -40,8 +41,9 @@ pub mod stats;
 pub mod trees;
 
 pub use measure::RunMeasurement;
+pub use recovery::{RecoveryAnalysis, RecoverySpec};
 pub use runner::{
-    paper_variants, run_matrix, run_mesh_observed, run_mesh_once, run_testbed_once, summarize,
-    VariantSummary,
+    paper_variants, run_matrix, run_matrix_supervised, run_mesh_observed, run_mesh_once,
+    run_testbed_once, summarize, MatrixReport, RunFailure, VariantSummary,
 };
 pub use scenario::{GroupSpec, MeshScenario, ScenarioLayout, TestbedScenario};

@@ -83,6 +83,44 @@ pub fn run_mesh_observed(
     (m, sim.world_mut().take_trace())
 }
 
+/// Run one mesh-scenario simulation instrumented for recovery measurement:
+/// `plan` injected, metrics buckets one refresh interval wide (so
+/// time-to-recover reads in refresh rounds), the full ODMRP oracle suite
+/// checking every refresh interval (including the no-quarantined-route
+/// oracle when the scenario runs degraded), and a sim-time watchdog that
+/// turns a livelocked run into a classifiable panic instead of a hang.
+///
+/// The optional `trace` sink is attached as-is; pass `None` for the
+/// zero-cost path.
+pub fn run_recovery(
+    scenario: &MeshScenario,
+    variant: Variant,
+    seed: u64,
+    plan: &FaultPlan,
+    trace: Option<Box<dyn mesh_sim::trace::TraceSink>>,
+) -> RunMeasurement {
+    let groups = scenario.layout(seed).groups;
+    let refresh = scenario.odmrp_config(variant).refresh_interval;
+    let mut sim = scenario.build_with_faults(variant, seed, plan);
+    sim.world_mut().set_metrics(refresh);
+    sim.set_invariant_interval(refresh);
+    sim.add_oracle(odmrp::invariants::oracle());
+    // Generous budget: a healthy quick run dispatches well under a million
+    // events per 100 ms of simulated time; only a zero-delay scheduling loop
+    // gets anywhere near this.
+    sim.set_watchdog(mesh_sim::simulator::WatchdogBudget {
+        max_events: 2_000_000,
+        min_progress: SimDuration::from_millis(100),
+    });
+    if let Some(sink) = trace {
+        sim.world_mut().set_trace(sink);
+    }
+    sim.run_until(scenario.run_until());
+    let mut m = RunMeasurement::from_sim(&sim, &groups, seed);
+    m.timeseries = sim.world_mut().take_metrics();
+    m
+}
+
 /// Run one mesh-scenario simulation under the **tree-based** protocol.
 pub fn run_tree_once(scenario: &MeshScenario, variant: Variant, seed: u64) -> RunMeasurement {
     let groups = scenario.layout(seed).groups;
@@ -99,19 +137,122 @@ pub fn run_testbed_once(scenario: &TestbedScenario, variant: Variant, seed: u64)
     RunMeasurement::from_sim(&sim, &groups, seed)
 }
 
-/// Run every `(variant, seed)` pair, parallelized across available cores.
+/// Why one `(variant, seed)` job of a supervised matrix failed.
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// The variant the failing job ran.
+    pub variant: Variant,
+    /// The seed the failing job ran.
+    pub seed: u64,
+    /// Attempts made (1 = no retry succeeded or none configured).
+    pub attempts: u32,
+    /// Whether the last failure was the sim-time watchdog declaring a
+    /// livelock (classified by [`mesh_sim::simulator::WATCHDOG_PANIC_PREFIX`]).
+    pub livelock: bool,
+    /// Panic payload of the last attempt.
+    pub reason: String,
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} seed {} failed after {} attempt(s){}: {}",
+            self.variant,
+            self.seed,
+            self.attempts,
+            if self.livelock { " [livelock]" } else { "" },
+            self.reason
+        )
+    }
+}
+
+/// Outcome of [`run_matrix_supervised`]: one slot per `(variant, seed)` job
+/// in deterministic input order, each either a measurement or a structured
+/// failure — a partial matrix survives individual bad runs.
+#[derive(Debug)]
+pub struct MatrixReport {
+    /// Per-job outcomes, input-ordered (variants outer, seeds inner).
+    pub runs: Vec<Result<RunMeasurement, RunFailure>>,
+}
+
+impl MatrixReport {
+    /// The successful measurements, input-ordered.
+    pub fn successes(&self) -> Vec<&RunMeasurement> {
+        self.runs.iter().filter_map(|r| r.as_ref().ok()).collect()
+    }
+
+    /// The failures, input-ordered.
+    pub fn failures(&self) -> Vec<&RunFailure> {
+        self.runs.iter().filter_map(|r| r.as_ref().err()).collect()
+    }
+
+    /// Whether every job produced a measurement.
+    pub fn is_complete(&self) -> bool {
+        self.runs.iter().all(|r| r.is_ok())
+    }
+
+    /// Unwrap into plain measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics with an aggregated failure summary if any job failed.
+    pub fn into_measurements(self) -> Vec<RunMeasurement> {
+        let failures: Vec<String> = self
+            .runs
+            .iter()
+            .filter_map(|r| r.as_ref().err().map(|f| f.to_string()))
+            .collect();
+        assert!(
+            failures.is_empty(),
+            "{} of {} matrix runs failed:\n  {}",
+            failures.len(),
+            self.runs.len(),
+            failures.join("\n  ")
+        );
+        self.runs
+            .into_iter()
+            .map(|r| r.expect("checked above"))
+            .collect()
+    }
+}
+
+/// Extract a printable panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run every `(variant, seed)` pair, parallelized across available cores,
+/// isolating each job with `catch_unwind` so one panicking run cannot
+/// discard the sweep.
+///
+/// A failing job is retried with the **same seed** up to `retries` extra
+/// times (a deterministic panic fails identically; the retry budget exists
+/// for jobs whose failure depends on sweep composition, and to record
+/// `attempts` evidence that the failure is deterministic). Failures are
+/// returned as structured [`RunFailure`]s in the job's slot; the rest of
+/// the matrix is salvaged. Watchdog livelocks (see
+/// [`mesh_sim::simulator::WatchdogBudget`]) are classified via their stable
+/// panic prefix.
 ///
 /// `run` must be pure: results are collected and re-ordered by input index,
 /// so the output order matches the input order deterministically.
-///
-/// # Panics
-///
-/// Panics if any job fails to produce exactly one result (a worker thread
-/// panicking propagates out of the internal scope first).
-pub fn run_matrix<F>(variants: &[Variant], seeds: &[u64], run: F) -> Vec<RunMeasurement>
+pub fn run_matrix_supervised<F>(
+    variants: &[Variant],
+    seeds: &[u64],
+    retries: u32,
+    run: F,
+) -> MatrixReport
 where
     F: Fn(Variant, u64) -> RunMeasurement + Sync,
 {
+    type Slot = Result<RunMeasurement, RunFailure>;
     let jobs: Vec<(Variant, u64)> = variants
         .iter()
         .flat_map(|&v| seeds.iter().map(move |&s| (v, s)))
@@ -121,12 +262,12 @@ where
         .map(|n| n.get())
         .unwrap_or(4)
         .min(jobs.len().max(1));
-    // Workers send `(index, measurement)` over a channel; the single
-    // collector writes each slot exactly once — no shared mutable vector,
-    // no lock on the hot path, and a missing or duplicated slot is a bug
-    // we catch loudly instead of a silently-discarded `Option`.
+    // Workers send `(index, outcome)` over a channel; the single collector
+    // writes each slot exactly once — no shared mutable vector, no lock on
+    // the hot path, and a missing or duplicated slot is a bug we catch
+    // loudly instead of a silently-discarded `Option`.
     // mesh-lint: allow(R5, "run_matrix is the one sanctioned scatter/gather point")
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, RunMeasurement)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Slot)>();
     // mesh-lint: allow(R5, "workers run independent variant-seed jobs; results are index-keyed")
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -140,13 +281,37 @@ where
                     break;
                 }
                 let (v, s) = jobs[i];
-                let m = run(v, s);
-                tx.send((i, m)).expect("collector outlives workers");
+                let mut outcome: Option<Slot> = None;
+                for attempt in 1..=retries + 1 {
+                    // The closure only borrows `run` (required Sync) and Copy
+                    // job parameters, and a panicking attempt leaves no state
+                    // behind that later attempts observe.
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(v, s))) {
+                        Ok(m) => {
+                            outcome = Some(Ok(m));
+                            break;
+                        }
+                        Err(payload) => {
+                            let reason = panic_reason(payload.as_ref());
+                            let livelock =
+                                reason.starts_with(mesh_sim::simulator::WATCHDOG_PANIC_PREFIX);
+                            outcome = Some(Err(RunFailure {
+                                variant: v,
+                                seed: s,
+                                attempts: attempt,
+                                livelock,
+                                reason,
+                            }));
+                        }
+                    }
+                }
+                let slot = outcome.expect("at least one attempt ran");
+                tx.send((i, slot)).expect("collector outlives workers");
             });
         }
     });
     drop(tx);
-    let mut results: Vec<Option<RunMeasurement>> = jobs.iter().map(|_| None).collect();
+    let mut results: Vec<Option<Slot>> = jobs.iter().map(|_| None).collect();
     for (i, m) in rx {
         let slot = results.get_mut(i).unwrap_or_else(|| {
             panic!("worker produced out-of-range job index {i}");
@@ -154,11 +319,31 @@ where
         assert!(slot.is_none(), "job {i} produced two results");
         *slot = Some(m);
     }
-    results
-        .into_iter()
-        .enumerate()
-        .map(|(i, m)| m.unwrap_or_else(|| panic!("job {i} produced no result")))
-        .collect()
+    MatrixReport {
+        runs: results
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| m.unwrap_or_else(|| panic!("job {i} produced no result")))
+            .collect(),
+    }
+}
+
+/// Run every `(variant, seed)` pair, parallelized across available cores.
+///
+/// `run` must be pure: results are collected and re-ordered by input index,
+/// so the output order matches the input order deterministically.
+///
+/// # Panics
+///
+/// Panics if any job panicked — but only after the **whole** matrix has
+/// run, with an aggregated summary of every failing `(variant, seed)`
+/// (previously a single panicking run discarded the entire sweep). Callers
+/// that want the salvaged partial matrix use [`run_matrix_supervised`].
+pub fn run_matrix<F>(variants: &[Variant], seeds: &[u64], run: F) -> Vec<RunMeasurement>
+where
+    F: Fn(Variant, u64) -> RunMeasurement + Sync,
+{
+    run_matrix_supervised(variants, seeds, 0, run).into_measurements()
 }
 
 /// Aggregate of one variant across topologies, normalized to the baseline.
@@ -300,5 +485,83 @@ mod tests {
         let v = paper_variants();
         assert_eq!(v[0], Variant::Original);
         assert_eq!(v.len(), 6);
+    }
+
+    /// Regression: one panicking run used to propagate out of the worker
+    /// scope and discard the entire sweep. Now the supervised matrix
+    /// salvages every other slot and reports the failure structurally.
+    #[test]
+    fn supervised_matrix_salvages_around_a_panicking_run() {
+        let variants = [
+            Variant::Original,
+            Variant::Metric(mcast_metrics::MetricKind::Etx),
+        ];
+        let seeds = [10u64, 20, 30];
+        let report = run_matrix_supervised(&variants, &seeds, 0, |v, s| {
+            assert!(
+                !(v == Variant::Original && s == 20),
+                "injected failure for seed 20"
+            );
+            meas(v, s, s, 0.01)
+        });
+        assert!(!report.is_complete());
+        assert_eq!(report.successes().len(), 5);
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        let f = failures[0];
+        assert_eq!(f.variant, Variant::Original);
+        assert_eq!(f.seed, 20);
+        assert_eq!(f.attempts, 1);
+        assert!(!f.livelock);
+        assert!(f.reason.contains("injected failure"), "got: {}", f.reason);
+        // The failing slot sits exactly where its measurement would have.
+        assert!(report.runs[1].is_err());
+        assert!(report.runs[0].is_ok() && report.runs[2].is_ok());
+    }
+
+    #[test]
+    fn supervised_matrix_retries_preserve_the_seed() {
+        let calls = std::sync::atomic::AtomicU32::new(0);
+        let report = run_matrix_supervised(&[Variant::Original], &[7u64], 2, |_, s| {
+            assert_eq!(s, 7, "retries must re-run the same seed");
+            calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            panic!("always fails");
+        });
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 3);
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].attempts, 3);
+    }
+
+    #[test]
+    fn supervised_matrix_classifies_watchdog_livelocks() {
+        let report = run_matrix_supervised(&[Variant::Original], &[1u64], 0, |_, _| {
+            panic!(
+                "{}42 events dispatched without progress",
+                mesh_sim::simulator::WATCHDOG_PANIC_PREFIX
+            );
+        });
+        assert!(report.failures()[0].livelock);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 of 6 matrix runs failed")]
+    fn run_matrix_aggregates_failures_after_completing_the_sweep() {
+        let variants = [
+            Variant::Original,
+            Variant::Metric(mcast_metrics::MetricKind::Etx),
+        ];
+        let seeds = [10u64, 20, 30];
+        let done = std::sync::atomic::AtomicU32::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_matrix(&variants, &seeds, |v, s| {
+                assert!(s != 20 || v != Variant::Original, "boom");
+                done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                meas(v, s, s, 0.01)
+            })
+        }));
+        // Every healthy job ran to completion before the aggregate panic.
+        assert_eq!(done.load(std::sync::atomic::Ordering::SeqCst), 5);
+        std::panic::resume_unwind(result.unwrap_err());
     }
 }

@@ -46,6 +46,10 @@ pub struct MeshScenario {
     /// Results are bit-identical either way; this knob exists for equivalence
     /// tests and for benchmarking the index against the naive full scan.
     pub indexed_medium: bool,
+    /// Enable degraded-mode resilience (staleness quarantine, refresh
+    /// backoff, min-hop fallback) in the protocol configs. Default off, so
+    /// baseline sweeps and their replay hashes are untouched.
+    pub degraded: bool,
 }
 
 impl MeshScenario {
@@ -66,6 +70,7 @@ impl MeshScenario {
             alpha: SimDuration::from_millis(20),
             fading: true,
             indexed_medium: true,
+            degraded: false,
         }
     }
 
@@ -235,6 +240,10 @@ impl MeshScenario {
             delta: self.delta,
             alpha: self.alpha,
             estimator: EstimatorConfig::default(),
+            degraded: odmrp::DegradedModeConfig {
+                enabled: self.degraded,
+                ..odmrp::DegradedModeConfig::default()
+            },
             ..maodv::MaodvConfig::default()
         };
         let nodes: Vec<maodv::MaodvNode> = layout
@@ -261,6 +270,10 @@ impl MeshScenario {
             delta: self.delta,
             alpha: self.alpha,
             estimator: EstimatorConfig::default(),
+            degraded: odmrp::DegradedModeConfig {
+                enabled: self.degraded,
+                ..odmrp::DegradedModeConfig::default()
+            },
             ..OdmrpConfig::default()
         }
     }

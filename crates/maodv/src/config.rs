@@ -26,6 +26,8 @@ pub struct MaodvConfig {
     pub max_hops: u8,
     /// Link estimation tuning.
     pub estimator: EstimatorConfig,
+    /// Degraded-mode resilience (shared semantics with ODMRP).
+    pub degraded: odmrp::DegradedModeConfig,
 }
 
 impl Default for MaodvConfig {
@@ -40,6 +42,7 @@ impl Default for MaodvConfig {
             control_jitter: SimDuration::from_millis(4),
             max_hops: 32,
             estimator: EstimatorConfig::default(),
+            degraded: odmrp::DegradedModeConfig::default(),
         }
     }
 }

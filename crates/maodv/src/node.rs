@@ -8,7 +8,9 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
-use mcast_metrics::{AnyMetric, Metric, NeighborTable, PathCost, Prober};
+use mcast_metrics::{
+    AnyMetric, Freshness, LinkObservation, Metric, NeighborTable, PathCost, Prober,
+};
 use mesh_sim::ids::{GroupId, NodeId, TimerId, TxHandle};
 use mesh_sim::protocol::{Protocol, RxMeta, TxOutcome};
 use mesh_sim::time::{SimDuration, SimTime};
@@ -89,6 +91,19 @@ pub struct MaodvNode {
     data_seq: u32,
     refresh_seq: u32,
 
+    /// Per-source refresh-backoff exponent (degraded mode; 0 = nominal).
+    backoff_exp: Vec<u32>,
+    /// Per-source refresh seq of the most recent request round we flooded.
+    last_round: Vec<Option<u32>>,
+    /// Per-source token of the pending `Refresh` timer, so a revival can
+    /// cancel a backed-off timer and refresh immediately.
+    refresh_token: Vec<Option<u64>>,
+    /// Request rounds (ours, as source) whose graft chain reached us.
+    /// Keyed access only.
+    elected_rounds: HashSet<u32>,
+    /// Currently routing on the min-hop fallback (no usable estimates).
+    fallback_active: bool,
+
     stats: NodeStats,
 }
 
@@ -104,6 +119,7 @@ impl MaodvNode {
             .map(|m| Prober::new(m.probe_plan()))
             .filter(|p| !matches!(p.plan(), mcast_metrics::ProbePlan::None));
         let table = NeighborTable::new(cfg.estimator.clone());
+        let n_sources = role.sources.len();
         MaodvNode {
             cfg,
             role,
@@ -122,6 +138,11 @@ impl MaodvNode {
             data_seen_order: VecDeque::new(),
             data_seq: 0,
             refresh_seq: 0,
+            backoff_exp: vec![0; n_sources],
+            last_round: vec![None; n_sources],
+            refresh_token: vec![None; n_sources],
+            elected_rounds: HashSet::new(),
+            fallback_active: false,
             stats: NodeStats::default(),
         }
     }
@@ -146,11 +167,17 @@ impl MaodvNode {
             .count()
     }
 
-    fn arm(&mut self, ctx: &mut Ctx<'_, MaodvMsg>, delay: SimDuration, payload: TimerPayload) {
+    fn arm(
+        &mut self,
+        ctx: &mut Ctx<'_, MaodvMsg>,
+        delay: SimDuration,
+        payload: TimerPayload,
+    ) -> u64 {
         self.timer_token += 1;
         let token = self.timer_token;
         self.timers.insert(token, payload);
         ctx.set_timer(delay, token);
+        token
     }
 
     fn jitter(&self, ctx: &mut Ctx<'_, MaodvMsg>) -> SimDuration {
@@ -159,6 +186,42 @@ impl MaodvNode {
     }
 
     fn send_probe_round(&mut self, ctx: &mut Ctx<'_, MaodvMsg>) {
+        if self.prober.is_none() {
+            return;
+        }
+        if self.cfg.degraded.enabled {
+            // Trace staleness transitions into quarantine.
+            let mut revived = false;
+            for (peer, f) in self.table.sweep_freshness(ctx.now()) {
+                match f {
+                    Freshness::Quarantined => {
+                        self.stats.quarantines += 1;
+                        ctx.trace_decision(Decision::MetricQuarantine { peer });
+                    }
+                    Freshness::Fresh => revived = true,
+                    Freshness::Suspect => {}
+                }
+            }
+            // A neighbor coming back fresh: backed-off sources re-request
+            // immediately instead of waiting out a timer armed during the
+            // outage (same policy as ODMRP's revival reset).
+            if revived {
+                for idx in 0..self.backoff_exp.len() {
+                    if self.backoff_exp[idx] == 0 {
+                        continue;
+                    }
+                    self.backoff_exp[idx] = 0;
+                    self.last_round[idx] = None;
+                    if let Some(token) = self.refresh_token[idx].take() {
+                        self.timers.remove(&token);
+                    }
+                    ctx.trace_decision(Decision::RefreshBackoff { factor: 1 });
+                    let delay = self.jitter(ctx);
+                    let token = self.arm(ctx, delay, TimerPayload::Refresh(idx));
+                    self.refresh_token[idx] = Some(token);
+                }
+            }
+        }
         let Some(prober) = self.prober.as_mut() else {
             return;
         };
@@ -199,6 +262,22 @@ impl MaodvNode {
         if ctx.now() >= spec.stop {
             return;
         }
+        if self.cfg.degraded.enabled {
+            // A previous round with no graft back to us doubles the refresh
+            // interval (bounded); any election resets the cadence.
+            if let Some(prev) = self.last_round[idx] {
+                if self.elected_rounds.remove(&prev) {
+                    self.backoff_exp[idx] = 0;
+                } else {
+                    self.backoff_exp[idx] =
+                        (self.backoff_exp[idx] + 1).min(self.cfg.degraded.max_backoff_exp);
+                    self.stats.refresh_backoffs += 1;
+                    ctx.trace_decision(Decision::RefreshBackoff {
+                        factor: 1u32 << self.backoff_exp[idx],
+                    });
+                }
+            }
+        }
         self.refresh_seq += 1;
         let identity = self.metric.as_ref().map_or(0.0, |m| m.identity().value());
         let rq = RouteRequest {
@@ -219,7 +298,15 @@ impl MaodvNode {
         {
             self.stats.queries_sent += 1;
         }
-        self.arm(ctx, self.cfg.refresh_interval, TimerPayload::Refresh(idx));
+        self.last_round[idx] = Some(self.refresh_seq);
+        let exp = self.backoff_exp[idx];
+        let interval = if exp == 0 {
+            self.cfg.refresh_interval
+        } else {
+            SimDuration::from_nanos(self.cfg.refresh_interval.as_nanos() << exp)
+        };
+        let token = self.arm(ctx, interval, TimerPayload::Refresh(idx));
+        self.refresh_token[idx] = Some(token);
     }
 
     fn handle_request(&mut self, ctx: &mut Ctx<'_, MaodvMsg>, from: NodeId, rq: &RouteRequest) {
@@ -239,7 +326,23 @@ impl MaodvNode {
                 (PathCost::new(rq.hop_count as f64 + 1.0), false)
             }
             Some(metric) => {
-                let link = self.table.link_cost(&metric, from, now);
+                let (obs, fresh) = self.table.classified_observe(from, now);
+                let substitute = self.cfg.degraded.enabled && fresh == Some(Freshness::Quarantined);
+                let obs = if substitute {
+                    self.stats.quarantine_substitutions += 1;
+                    LinkObservation::unknown(self.table.config())
+                } else {
+                    obs
+                };
+                if self.cfg.degraded.enabled {
+                    let fallback = !self.table.has_usable_estimate(now);
+                    if fallback && !self.fallback_active {
+                        self.stats.fallback_activations += 1;
+                        ctx.trace_decision(Decision::FallbackActivated);
+                    }
+                    self.fallback_active = fallback;
+                }
+                let link = metric.link_cost(&obs);
                 let cost = metric.accumulate(PathCost::new(rq.cost), link);
                 let better = self
                     .requests
@@ -395,7 +498,10 @@ impl MaodvNode {
         });
 
         if g.source == self.me {
-            return; // the branch reached the root
+            // The branch reached the root: this round elected tree state,
+            // so the refresh backoff resets.
+            self.elected_rounds.insert(g.seq);
+            return;
         }
         // Extend the branch toward the source once per round.
         if self.grafted.insert((g.source, g.seq)) {
@@ -473,7 +579,8 @@ impl Protocol for MaodvNode {
         for i in 0..self.role.sources.len() {
             let spec = self.role.sources[i];
             let start = spec.start.saturating_since(SimTime::ZERO);
-            self.arm(ctx, start, TimerPayload::Refresh(i));
+            let token = self.arm(ctx, start, TimerPayload::Refresh(i));
+            self.refresh_token[i] = Some(token);
             self.arm(ctx, start, TimerPayload::Cbr(i));
         }
     }
@@ -526,6 +633,44 @@ impl Protocol for MaodvNode {
                     TimerPayload::GraftRetry(graft, attempt + 1),
                 );
             }
+        }
+    }
+
+    fn handle_restart(&mut self, ctx: &mut Ctx<'_, MaodvMsg>) {
+        // Mirror of ODMRP's reboot semantics: all soft state — request
+        // cache, trees, grafts, duplicate cache, link estimates and the
+        // degraded-mode quarantine/backoff state — is lost with the crash;
+        // sequence counters and stats survive.
+        self.timers.clear();
+        self.requests.clear();
+        self.trees.clear();
+        self.grafted.clear();
+        self.delta_scheduled.clear();
+        self.pending_grafts.clear();
+        self.data_seen.clear();
+        self.data_seen_order.clear();
+        self.table = NeighborTable::new(self.cfg.estimator.clone());
+        self.backoff_exp.iter_mut().for_each(|e| *e = 0);
+        self.last_round.iter_mut().for_each(|r| *r = None);
+        self.refresh_token.iter_mut().for_each(|t| *t = None);
+        self.elected_rounds.clear();
+        self.fallback_active = false;
+        self.stats.restarts += 1;
+
+        if let Some(interval) = self.prober.as_ref().and_then(|p| p.plan().interval()) {
+            let phase = interval.mul_f64(ctx.rng().uniform());
+            self.arm(ctx, phase, TimerPayload::Probe);
+        }
+        let now = ctx.now();
+        for i in 0..self.role.sources.len() {
+            let spec = self.role.sources[i];
+            if now >= spec.stop {
+                continue;
+            }
+            let delay = spec.start.saturating_since(now);
+            let token = self.arm(ctx, delay, TimerPayload::Refresh(i));
+            self.refresh_token[i] = Some(token);
+            self.arm(ctx, delay, TimerPayload::Cbr(i));
         }
     }
 }

@@ -93,7 +93,7 @@ pub mod prelude {
     pub use crate::propagation::{FadingModel, PathLossModel, PhyParams};
     pub use crate::protocol::{Protocol, RxMeta, TxOutcome};
     pub use crate::rng::SimRng;
-    pub use crate::simulator::Simulator;
+    pub use crate::simulator::{Simulator, WatchdogBudget};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{Decision, DropReason, JsonlTrace, RingTrace, TraceEvent, TraceSink};
     pub use crate::world::{Ctx, SendError, World, WorldConfig};

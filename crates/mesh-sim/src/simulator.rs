@@ -13,6 +13,26 @@ use crate::world::{Ctx, Upcall, World, WorldConfig};
 /// instances at a checkpoint and returns a message per violation.
 pub type Oracle<P> = Box<dyn FnMut(&World<<P as Protocol>::Msg>, &[P]) -> Vec<String> + Send>;
 
+/// Stable prefix of the panic message raised by the sim-time watchdog, so
+/// supervisors (`run_matrix_supervised`) can classify a livelock apart from
+/// any other panic.
+pub const WATCHDOG_PANIC_PREFIX: &str = "sim-time watchdog: ";
+
+/// Livelock budget for [`Simulator::set_watchdog`].
+///
+/// The watchdog is sim-time based (never wall-clock, per the replay
+/// contract): a run is declared livelocked when more than `max_events`
+/// events are dispatched while simulated time advances by less than
+/// `min_progress`. A healthy protocol schedules bounded work per unit of
+/// simulated time; a zero-delay timer loop or a send/ack storm does not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogBudget {
+    /// Events allowed per `min_progress` of simulated time.
+    pub max_events: u64,
+    /// The simulated-time quantum the budget applies to.
+    pub min_progress: SimDuration,
+}
+
 /// A complete simulation: world + one protocol instance per node.
 ///
 /// # Examples
@@ -44,6 +64,11 @@ pub struct Simulator<P: Protocol> {
     check_interval: Option<SimDuration>,
     next_check: Option<SimTime>,
     oracles: Vec<Oracle<P>>,
+    watchdog: Option<WatchdogBudget>,
+    /// Start of the current watchdog window.
+    wd_anchor: SimTime,
+    /// Events dispatched since `wd_anchor`.
+    wd_events: u64,
 }
 
 impl<P: Protocol> std::fmt::Debug for Simulator<P> {
@@ -81,7 +106,30 @@ impl<P: Protocol> Simulator<P> {
             check_interval: None,
             next_check: None,
             oracles: Vec::new(),
+            watchdog: None,
+            wd_anchor: SimTime::ZERO,
+            wd_events: 0,
         }
+    }
+
+    /// Arm the sim-time watchdog (see [`WatchdogBudget`]). Exceeding the
+    /// budget panics with a message starting with [`WATCHDOG_PANIC_PREFIX`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_progress` is zero or `max_events` is zero.
+    pub fn set_watchdog(&mut self, budget: WatchdogBudget) {
+        assert!(
+            budget.min_progress.as_nanos() > 0,
+            "watchdog quantum must be positive"
+        );
+        assert!(
+            budget.max_events > 0,
+            "watchdog event budget must be positive"
+        );
+        self.watchdog = Some(budget);
+        self.wd_anchor = self.world.now();
+        self.wd_events = 0;
     }
 
     /// Attach a deterministic fault plan (see [`crate::fault`]).
@@ -243,6 +291,23 @@ impl<P: Protocol> Simulator<P> {
                 }
             }
             self.upcall_buf = ups;
+            if let Some(wd) = self.watchdog {
+                let now = self.world.now();
+                if now.saturating_since(self.wd_anchor) >= wd.min_progress {
+                    self.wd_anchor = now;
+                    self.wd_events = 0;
+                } else {
+                    self.wd_events += 1;
+                    assert!(
+                        self.wd_events <= wd.max_events,
+                        "{WATCHDOG_PANIC_PREFIX}{} events dispatched within {:?} \
+                         of simulated time at {:?} — livelocked run",
+                        self.wd_events,
+                        wd.min_progress,
+                        now
+                    );
+                }
+            }
             if let Some(every) = self.check_interval {
                 let due = *self
                     .next_check

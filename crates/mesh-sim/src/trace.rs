@@ -204,6 +204,21 @@ pub enum Decision {
         /// Query round sequence number.
         pkt_seq: u32,
     },
+    /// The staleness state machine quarantined the link estimate for `peer`
+    /// (degraded mode excludes it from metric path costs).
+    MetricQuarantine {
+        /// The neighbor whose estimate was quarantined.
+        peer: NodeId,
+    },
+    /// This node has no usable (non-quarantined) estimate left and fell
+    /// back to minimum-hop path selection.
+    FallbackActivated,
+    /// A refresh round elected no forwarding state; the next refresh is
+    /// delayed by `factor` × the nominal refresh interval.
+    RefreshBackoff {
+        /// Current backoff multiplier (power of two, bounded).
+        factor: u32,
+    },
 }
 
 impl Decision {
@@ -216,6 +231,9 @@ impl Decision {
             Decision::SuppressDuplicate { .. } => "suppress_duplicate",
             Decision::ForwardQuery { .. } => "forward_query",
             Decision::SendReply { .. } => "send_reply",
+            Decision::MetricQuarantine { .. } => "metric_quarantine",
+            Decision::FallbackActivated => "fallback_activated",
+            Decision::RefreshBackoff { .. } => "refresh_backoff",
         }
     }
 }
@@ -400,6 +418,13 @@ impl TraceEvent {
                     | Decision::SendReply { source, pkt_seq } => {
                         let _ = write!(out, ",\"src\":{},\"pseq\":{pkt_seq}", source.as_u32());
                     }
+                    Decision::MetricQuarantine { peer } => {
+                        let _ = write!(out, ",\"peer\":{}", peer.as_u32());
+                    }
+                    Decision::FallbackActivated => {}
+                    Decision::RefreshBackoff { factor } => {
+                        let _ = write!(out, ",\"factor\":{factor}");
+                    }
                 }
             }
         }
@@ -507,6 +532,13 @@ impl TraceEvent {
                     "send_reply" => Decision::SendReply {
                         source: source()?,
                         pkt_seq: pseq()?,
+                    },
+                    "metric_quarantine" => Decision::MetricQuarantine {
+                        peer: fields.node_field("peer")?.ok_or("missing \"peer\"")?,
+                    },
+                    "fallback_activated" => Decision::FallbackActivated,
+                    "refresh_backoff" => Decision::RefreshBackoff {
+                        factor: int(fields.num("factor").ok_or("missing \"factor\"")?, "factor")?,
                     },
                     other => return Err(format!("unknown decision {other:?}")),
                 };
@@ -900,6 +932,17 @@ mod tests {
                     source: NodeId::new(1),
                     pkt_seq: 12,
                 },
+            }),
+            k(TraceEventKind::ProtocolDecision {
+                decision: Decision::MetricQuarantine {
+                    peer: NodeId::new(4),
+                },
+            }),
+            k(TraceEventKind::ProtocolDecision {
+                decision: Decision::FallbackActivated,
+            }),
+            k(TraceEventKind::ProtocolDecision {
+                decision: Decision::RefreshBackoff { factor: 8 },
             }),
         ]
     }

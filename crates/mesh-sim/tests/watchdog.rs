@@ -1,0 +1,104 @@
+//! The sim-time watchdog: livelocked runs become classifiable panics,
+//! healthy runs are untouched (bit-identical schedule hash).
+
+use mesh_sim::prelude::*;
+use mesh_sim::simulator::WATCHDOG_PANIC_PREFIX;
+
+/// A protocol stuck in a zero-delay timer loop: simulated time never
+/// advances, events keep dispatching — the canonical livelock.
+#[derive(Debug, Default)]
+struct ZeroLoop;
+
+impl Protocol for ZeroLoop {
+    type Msg = ();
+    fn start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+    fn handle_message(&mut self, _: &mut Ctx<'_, ()>, _: NodeId, _: &(), _: RxMeta) {}
+    fn handle_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: TimerId, _: u64) {
+        ctx.set_timer(SimDuration::ZERO, 0);
+    }
+}
+
+/// A healthy beacon: periodic broadcasts, time always advances.
+#[derive(Debug, Default)]
+struct Beacon;
+
+impl Protocol for Beacon {
+    type Msg = u32;
+    fn start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        let jitter = SimDuration::from_micros(137 * (ctx.node().index() as u64 + 1));
+        ctx.set_timer(SimDuration::from_millis(200) + jitter, 0);
+    }
+    fn handle_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: &u32, _: RxMeta) {}
+    fn handle_timer(&mut self, ctx: &mut Ctx<'_, u32>, _: TimerId, _: u64) {
+        let _ = ctx.send_broadcast(ctx.node().index() as u32, 64, 0);
+        ctx.set_timer(SimDuration::from_millis(200), 0);
+    }
+}
+
+fn line_positions(n: usize) -> Vec<Pos> {
+    (0..n).map(|i| Pos::new(50.0 * i as f64, 0.0)).collect()
+}
+
+#[test]
+fn watchdog_converts_livelock_into_prefixed_panic() {
+    let mut sim = Simulator::new(
+        line_positions(1),
+        Box::new(PhysicalMedium::default()),
+        WorldConfig::default(),
+        vec![ZeroLoop],
+    );
+    sim.set_watchdog(WatchdogBudget {
+        max_events: 1_000,
+        min_progress: SimDuration::from_millis(1),
+    });
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.run_until(SimTime::from_secs(1));
+    }));
+    let payload = out.expect_err("livelock must trip the watchdog");
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("watchdog panics with a String");
+    assert!(
+        msg.starts_with(WATCHDOG_PANIC_PREFIX),
+        "panic not classifiable: {msg}"
+    );
+    assert!(msg.contains("livelock"), "got: {msg}");
+}
+
+#[test]
+fn watchdog_leaves_healthy_runs_bit_identical() {
+    let run = |watchdog: bool| {
+        let mut sim = Simulator::new(
+            line_positions(5),
+            Box::new(PhysicalMedium::default()),
+            WorldConfig::default(),
+            (0..5).map(|_| Beacon).collect::<Vec<_>>(),
+        );
+        if watchdog {
+            sim.set_watchdog(WatchdogBudget {
+                max_events: 2_000_000,
+                min_progress: SimDuration::from_millis(100),
+            });
+        }
+        sim.run_until(SimTime::from_secs(10));
+        sim.schedule_hash()
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+#[should_panic(expected = "watchdog quantum must be positive")]
+fn watchdog_rejects_zero_quantum() {
+    let mut sim = Simulator::new(
+        line_positions(1),
+        Box::new(PhysicalMedium::default()),
+        WorldConfig::default(),
+        vec![Beacon],
+    );
+    sim.set_watchdog(WatchdogBudget {
+        max_events: 100,
+        min_progress: SimDuration::ZERO,
+    });
+}

@@ -40,6 +40,41 @@ impl std::fmt::Display for Variant {
     }
 }
 
+/// Degraded-mode resilience knobs, shared by ODMRP and MAODV nodes.
+///
+/// Off by default: the baseline protocols reproduce the paper as published,
+/// and enabling the layer changes routing behavior (and therefore replay
+/// hashes). The recovery experiments flip `enabled` per run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedModeConfig {
+    /// Master switch for staleness quarantine, min-hop fallback and refresh
+    /// backoff.
+    pub enabled: bool,
+    /// Bound on the refresh-backoff exponent: after rounds that elect no
+    /// forwarding state the refresh interval grows ×2 per round up to
+    /// `2^max_backoff_exp` × the nominal interval.
+    pub max_backoff_exp: u32,
+}
+
+impl Default for DegradedModeConfig {
+    fn default() -> Self {
+        DegradedModeConfig {
+            enabled: false,
+            max_backoff_exp: 3,
+        }
+    }
+}
+
+impl DegradedModeConfig {
+    /// The enabled configuration with default thresholds.
+    pub fn on() -> Self {
+        DegradedModeConfig {
+            enabled: true,
+            ..DegradedModeConfig::default()
+        }
+    }
+}
+
 /// Per-node protocol parameters (identical across a run).
 #[derive(Debug, Clone, PartialEq)]
 pub struct OdmrpConfig {
@@ -63,6 +98,9 @@ pub struct OdmrpConfig {
     pub max_hops: u8,
     /// Link estimation tuning.
     pub estimator: EstimatorConfig,
+    /// Degraded-mode resilience (staleness quarantine, min-hop fallback,
+    /// refresh backoff). Disabled by default.
+    pub degraded: DegradedModeConfig,
 }
 
 impl Default for OdmrpConfig {
@@ -77,6 +115,7 @@ impl Default for OdmrpConfig {
             control_jitter: SimDuration::from_millis(4),
             max_hops: 32,
             estimator: EstimatorConfig::default(),
+            degraded: DegradedModeConfig::default(),
         }
     }
 }

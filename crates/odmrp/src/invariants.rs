@@ -10,7 +10,11 @@
 //!   `fg_timeout` of the last selection);
 //! * **loop freedom** — following the per-round upstream pointers recorded
 //!   from `JOIN QUERY` processing never revisits a node, for any
-//!   `(source, seq)` round.
+//!   `(source, seq)` round;
+//! * **no quarantined routes** — with degraded mode enabled, no query round
+//!   ever costed its chosen upstream from a quarantined link estimate's
+//!   measured values (the staleness layer must have substituted the
+//!   default observation).
 //!
 //! [`oracle`] packages the checks for
 //! [`mesh_sim::simulator::Simulator::add_oracle`].
@@ -29,6 +33,7 @@ pub fn check(now: SimTime, nodes: &[OdmrpNode]) -> Vec<String> {
     check_neighbor_tables(nodes, &mut out);
     check_forwarding_groups(now, nodes, &mut out);
     check_loop_freedom(nodes, &mut out);
+    check_no_quarantined_routes(nodes, &mut out);
     out
 }
 
@@ -81,6 +86,22 @@ fn check_forwarding_groups(now: SimTime, nodes: &[OdmrpNode], out: &mut Vec<Stri
                         ));
                     }
                 }
+            }
+        }
+    }
+}
+
+fn check_no_quarantined_routes(nodes: &[OdmrpNode], out: &mut Vec<String>) {
+    for (i, node) in nodes.iter().enumerate() {
+        if !node.config().degraded.enabled {
+            continue;
+        }
+        for (key, used_quarantined) in node.query_audits() {
+            if used_quarantined {
+                out.push(format!(
+                    "[no-quarantined-route] node {i} costed its upstream for \
+                     round {key:?} from a quarantined link estimate"
+                ));
             }
         }
     }

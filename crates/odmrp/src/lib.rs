@@ -50,7 +50,7 @@ pub mod messages;
 mod node;
 pub mod stats;
 
-pub use config::{CbrSource, MembershipWindow, NodeRole, OdmrpConfig, Variant};
+pub use config::{CbrSource, DegradedModeConfig, MembershipWindow, NodeRole, OdmrpConfig, Variant};
 pub use messages::OdmrpMsg;
 pub use node::OdmrpNode;
 pub use stats::{Delivered, MulticastApp, NodeStats};

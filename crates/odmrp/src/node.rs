@@ -8,7 +8,9 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
-use mcast_metrics::{AnyMetric, Metric, NeighborTable, PathCost, Prober};
+use mcast_metrics::{
+    AnyMetric, Freshness, LinkObservation, Metric, NeighborTable, PathCost, Prober,
+};
 use mesh_sim::ids::{GroupId, NodeId, TimerId, TxHandle};
 use mesh_sim::protocol::{Protocol, RxMeta, TxOutcome};
 use mesh_sim::time::{SimDuration, SimTime};
@@ -52,6 +54,10 @@ struct QueryState {
     best_forwarded: Option<PathCost>,
     /// A `ForwardQuery` timer is outstanding.
     forward_pending: bool,
+    /// Audit bit: the currently-best upstream's cost was computed from a
+    /// quarantined link estimate's measured values. Degraded mode must keep
+    /// this false everywhere (the no-quarantined-route oracle checks).
+    used_quarantined: bool,
 }
 
 /// An ODMRP protocol instance.
@@ -86,6 +92,19 @@ pub struct OdmrpNode {
     data_seq: u32,
     refresh_seq: u32,
 
+    /// Per-source refresh-backoff exponent (degraded mode; 0 = nominal).
+    backoff_exp: Vec<u32>,
+    /// Per-source refresh seq of the most recent query round we flooded.
+    last_round: Vec<Option<u32>>,
+    /// Per-source token of the pending `Refresh` timer, so a revival can
+    /// cancel a backed-off timer and refresh immediately.
+    refresh_token: Vec<Option<u64>>,
+    /// Refresh rounds (ours, as source) that elected at least one forwarder
+    /// — a `JOIN REPLY` for the round reached us. Keyed access only.
+    elected_rounds: HashSet<u32>,
+    /// Currently routing on the min-hop fallback (no usable estimates).
+    fallback_active: bool,
+
     stats: NodeStats,
 }
 
@@ -101,6 +120,7 @@ impl OdmrpNode {
             .map(|m| Prober::new(m.probe_plan()))
             .filter(|p| !matches!(p.plan(), mcast_metrics::ProbePlan::None));
         let table = NeighborTable::new(cfg.estimator.clone());
+        let n_sources = role.sources.len();
         OdmrpNode {
             cfg,
             role,
@@ -118,6 +138,11 @@ impl OdmrpNode {
             data_seen_order: VecDeque::new(),
             data_seq: 0,
             refresh_seq: 0,
+            backoff_exp: vec![0; n_sources],
+            last_round: vec![None; n_sources],
+            refresh_token: vec![None; n_sources],
+            elected_rounds: HashSet::new(),
+            fallback_active: false,
             stats: NodeStats::default(),
         }
     }
@@ -164,13 +189,35 @@ impl OdmrpNode {
             .collect()
     }
 
+    /// Audit trail for the no-quarantined-route oracle: for every query
+    /// round this node has state for, whether the currently-best upstream's
+    /// cost consumed the measured values of a quarantined estimate. Sorted
+    /// by key.
+    pub fn query_audits(&self) -> Vec<((NodeId, u32), bool)> {
+        self.query_state
+            .iter()
+            .map(|(&k, st)| (k, st.used_quarantined))
+            .collect()
+    }
+
+    /// Current refresh-backoff exponent per source (degraded mode).
+    pub fn backoff_exponents(&self) -> &[u32] {
+        &self.backoff_exp
+    }
+
     // ------------------------------------------------------------------
 
-    fn arm(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>, delay: SimDuration, payload: TimerPayload) {
+    fn arm(
+        &mut self,
+        ctx: &mut Ctx<'_, OdmrpMsg>,
+        delay: SimDuration,
+        payload: TimerPayload,
+    ) -> u64 {
         self.timer_token += 1;
         let token = self.timer_token;
         self.timers.insert(token, payload);
         ctx.set_timer(delay, token);
+        token
     }
 
     fn jitter(&self, ctx: &mut Ctx<'_, OdmrpMsg>) -> SimDuration {
@@ -179,6 +226,44 @@ impl OdmrpNode {
     }
 
     fn send_probe_round(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>) {
+        if self.prober.is_none() {
+            return;
+        }
+        if self.cfg.degraded.enabled {
+            // Re-classify the table on the probe tick and trace transitions
+            // into quarantine.
+            let mut revived = false;
+            for (peer, f) in self.table.sweep_freshness(ctx.now()) {
+                match f {
+                    Freshness::Quarantined => {
+                        self.stats.quarantines += 1;
+                        ctx.trace_decision(Decision::MetricQuarantine { peer });
+                    }
+                    Freshness::Fresh => revived = true,
+                    Freshness::Suspect => {}
+                }
+            }
+            // A neighbor coming back fresh is new routing evidence: a
+            // backed-off source cancels its delayed refresh and floods at
+            // the nominal cadence again, so recovery is never gated on a
+            // backed-off timer armed during the outage.
+            if revived {
+                for idx in 0..self.backoff_exp.len() {
+                    if self.backoff_exp[idx] == 0 {
+                        continue;
+                    }
+                    self.backoff_exp[idx] = 0;
+                    self.last_round[idx] = None;
+                    if let Some(token) = self.refresh_token[idx].take() {
+                        self.timers.remove(&token);
+                    }
+                    ctx.trace_decision(Decision::RefreshBackoff { factor: 1 });
+                    let delay = self.jitter(ctx);
+                    let token = self.arm(ctx, delay, TimerPayload::Refresh(idx));
+                    self.refresh_token[idx] = Some(token);
+                }
+            }
+        }
         let Some(prober) = self.prober.as_mut() else {
             return;
         };
@@ -234,6 +319,23 @@ impl OdmrpNode {
         if ctx.now() >= spec.stop {
             return;
         }
+        if self.cfg.degraded.enabled {
+            // Adapt to the outcome of the previous round: a round that
+            // elected no forwarder doubles the refresh interval (bounded);
+            // any election resets to the nominal cadence.
+            if let Some(prev) = self.last_round[idx] {
+                if self.elected_rounds.remove(&prev) {
+                    self.backoff_exp[idx] = 0;
+                } else {
+                    self.backoff_exp[idx] =
+                        (self.backoff_exp[idx] + 1).min(self.cfg.degraded.max_backoff_exp);
+                    self.stats.refresh_backoffs += 1;
+                    ctx.trace_decision(Decision::RefreshBackoff {
+                        factor: 1u32 << self.backoff_exp[idx],
+                    });
+                }
+            }
+        }
         self.refresh_seq += 1;
         let identity = self.metric.as_ref().map_or(0.0, |m| m.identity().value());
         let q = JoinQuery {
@@ -250,7 +352,15 @@ impl OdmrpNode {
         {
             self.stats.queries_sent += 1;
         }
-        self.arm(ctx, self.cfg.refresh_interval, TimerPayload::Refresh(idx));
+        self.last_round[idx] = Some(self.refresh_seq);
+        let exp = self.backoff_exp[idx];
+        let interval = if exp == 0 {
+            self.cfg.refresh_interval
+        } else {
+            SimDuration::from_nanos(self.cfg.refresh_interval.as_nanos() << exp)
+        };
+        let token = self.arm(ctx, interval, TimerPayload::Refresh(idx));
+        self.refresh_token[idx] = Some(token);
     }
 
     fn handle_query(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>, from: NodeId, q: &JoinQuery) {
@@ -277,6 +387,7 @@ impl OdmrpNode {
                         alpha_deadline: now,
                         best_forwarded: None,
                         forward_pending: true,
+                        used_quarantined: false,
                     },
                 );
                 let j = self.jitter(ctx);
@@ -287,7 +398,29 @@ impl OdmrpNode {
                 }
             }
             Some(metric) => {
-                let link = self.table.link_cost(&metric, from, now);
+                let (obs, fresh) = self.table.classified_observe(from, now);
+                let degraded = self.cfg.degraded.enabled;
+                // Degraded mode never feeds a quarantined estimate's
+                // measured values to the metric: the no-history default is
+                // substituted instead, which costs the link like an
+                // unmeasured one (constant per-link cost = min-hop).
+                let substitute = degraded && fresh == Some(Freshness::Quarantined);
+                let (obs, used_measured) = if substitute {
+                    self.stats.quarantine_substitutions += 1;
+                    (LinkObservation::unknown(self.table.config()), false)
+                } else {
+                    (obs, fresh.is_some())
+                };
+                if degraded {
+                    let fallback = !self.table.has_usable_estimate(now);
+                    if fallback && !self.fallback_active {
+                        self.stats.fallback_activations += 1;
+                        ctx.trace_decision(Decision::FallbackActivated);
+                    }
+                    self.fallback_active = fallback;
+                }
+                let consumed_quarantined = used_measured && fresh == Some(Freshness::Quarantined);
+                let link = metric.link_cost(&obs);
                 let new_cost = metric.accumulate(PathCost::new(q.cost), link);
                 match self.query_state.get_mut(&key) {
                     None => {
@@ -301,6 +434,7 @@ impl OdmrpNode {
                                 alpha_deadline: now + self.cfg.alpha,
                                 best_forwarded: None,
                                 forward_pending: true,
+                                used_quarantined: consumed_quarantined,
                             },
                         );
                         let j = self.jitter(ctx);
@@ -314,6 +448,7 @@ impl OdmrpNode {
                             st.best_cost = new_cost;
                             st.upstream = from;
                             st.hop_count = q.hop_count + 1;
+                            st.used_quarantined = consumed_quarantined;
                             // Forward the improvement if the α window is
                             // still open and no forward is already pending.
                             let improves_forwarded =
@@ -414,6 +549,11 @@ impl OdmrpNode {
             let sel = self.stats.fg_selected.entry(r.group).or_insert(now);
             *sel = (*sel).max(now);
 
+            if e.source == self.me {
+                // The reply chain reached us: this refresh round elected a
+                // forwarding group, so the refresh backoff resets.
+                self.elected_rounds.insert(e.seq);
+            }
             if e.source != self.me && self.forwarded_reply.insert((e.source, e.seq)) {
                 self.send_reply(ctx, e.source, e.seq);
             }
@@ -487,7 +627,8 @@ impl Protocol for OdmrpNode {
         for i in 0..self.role.sources.len() {
             let spec = self.role.sources[i];
             let start = spec.start.saturating_since(SimTime::ZERO);
-            self.arm(ctx, start, TimerPayload::Refresh(i));
+            let token = self.arm(ctx, start, TimerPayload::Refresh(i));
+            self.refresh_token[i] = Some(token);
             self.arm(ctx, start, TimerPayload::Cbr(i));
         }
     }
@@ -546,6 +687,13 @@ impl Protocol for OdmrpNode {
         self.data_seen.clear();
         self.data_seen_order.clear();
         self.table = NeighborTable::new(self.cfg.estimator.clone());
+        // Degraded-mode soft state is flushed with the rest: the fresh
+        // table has no quarantined entries, backoff restarts at nominal.
+        self.backoff_exp.iter_mut().for_each(|e| *e = 0);
+        self.last_round.iter_mut().for_each(|r| *r = None);
+        self.refresh_token.iter_mut().for_each(|t| *t = None);
+        self.elected_rounds.clear();
+        self.fallback_active = false;
         self.stats.restarts += 1;
         self.stats.fg_selected.clear();
 
@@ -562,7 +710,8 @@ impl Protocol for OdmrpNode {
                 continue;
             }
             let delay = spec.start.saturating_since(now);
-            self.arm(ctx, delay, TimerPayload::Refresh(i));
+            let token = self.arm(ctx, delay, TimerPayload::Refresh(i));
+            self.refresh_token[i] = Some(token);
             self.arm(ctx, delay, TimerPayload::Cbr(i));
         }
     }

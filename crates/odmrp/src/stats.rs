@@ -62,6 +62,17 @@ pub struct NodeStats {
     /// group, per group. The forwarding-group soundness oracle checks that a
     /// node only forwards while this is within `fg_timeout` of now.
     pub fg_selected: BTreeMap<GroupId, SimTime>,
+    /// Link estimates the staleness sweep newly quarantined (degraded mode).
+    pub quarantines: u64,
+    /// Query costings where a quarantined estimate was replaced by the
+    /// no-history default observation (degraded mode).
+    pub quarantine_substitutions: u64,
+    /// Times this node lost its last usable estimate and fell back to
+    /// minimum-hop selection (degraded mode).
+    pub fallback_activations: u64,
+    /// Refresh rounds delayed by the no-election exponential backoff
+    /// (degraded mode).
+    pub refresh_backoffs: u64,
 }
 
 /// Implemented by every multicast protocol node in this workspace so the
