@@ -1,48 +1,108 @@
 //! Scalability benchmark for `PhysicalMedium::fan_out`: the naive full scan
-//! vs the spatially-indexed per-link cache, across network sizes and
-//! densities, plus a mobility configuration that invalidates the cache
-//! periodically. Verifies the two paths produce bit-identical `RxPlan`
-//! sequences before timing them, and writes `results/BENCH_fanout.json`.
+//! vs the spatially-indexed cache under its two maintenance policies —
+//! wholesale rebuild on every move (the pre-incremental cost model) and
+//! incremental epoch-based invalidation — across network sizes, densities
+//! and mobility patterns. Verifies all three paths produce bit-identical
+//! `RxPlan` streams before timing them, and writes
+//! `results/BENCH_fanout.json` (then re-reads and validates it: missing
+//! fields or a NaN/inf anywhere fail the run).
 //!
 //! Density matters: at the paper's density (50 nodes / 1000 m square) the
 //! interference floor covers a large fraction of the area, so the index can
 //! only prune so much. The "metro" configurations keep the same node count
 //! over a proportionally larger area (constant nodes-per-kilometre corridor
 //! spacing), where pruning dominates and the speedup grows with N.
+//!
+//! Mobility is where the maintenance policy matters: under wholesale
+//! rebuild, every position change discards all per-transmitter candidate
+//! lists, so with round-robin transmitters every fan-out pays the full
+//! query-sort-filter cost and the "speedup" collapses toward 1×. The
+//! incremental path re-buckets only cell-crossing nodes and re-filters only
+//! the transmitters whose cell neighborhood saw motion, keeping mobile
+//! configurations close to static-index throughput.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use experiments::cli::CliArgs;
-use mesh_sim::geometry::Area;
+use mesh_sim::geometry::{Area, Pos};
 use mesh_sim::ids::NodeId;
-use mesh_sim::medium::{Medium, PhysicalMedium, RxPlan};
+use mesh_sim::medium::{Medium, PhysicalMedium, PositionDelta, RxPlan};
+use mesh_sim::mobility::{Mobility, RandomWaypoint};
 use mesh_sim::propagation::PhyParams;
 use mesh_sim::rng::SimRng;
-use mesh_sim::time::SimTime;
+use mesh_sim::time::{SimDuration, SimTime};
 use mesh_sim::topology;
+
+/// How positions evolve while the benchmark drives fan-outs.
+#[derive(Clone, Copy)]
+enum Motion {
+    /// Nodes never move.
+    Static,
+    /// Every node jitters by ±5 m every `every` frames — the worst case for
+    /// cache maintenance: all nodes move, none very far.
+    Perturb { every: usize },
+    /// Random-waypoint at speeds around `speed_mps`, one 100 ms model tick
+    /// every `every` frames.
+    Waypoint { speed_mps: f64, every: usize },
+}
+
+impl Motion {
+    fn is_mobile(&self) -> bool {
+        !matches!(self, Motion::Static)
+    }
+}
+
+/// The three measured fan-out implementations.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Full O(N) scan per frame, no caching.
+    Naive,
+    /// Spatial index, wholesale cache rebuild on every position change.
+    Rebuild,
+    /// Spatial index, incremental re-bucketing + epoch invalidation.
+    Incremental,
+}
+
+fn medium(mode: Mode) -> PhysicalMedium {
+    let m = PhysicalMedium::new(PhyParams::default());
+    match mode {
+        Mode::Naive => m.with_indexing(false),
+        Mode::Rebuild => m.with_indexing(true).with_incremental(false),
+        Mode::Incremental => m.with_indexing(true).with_incremental(true),
+    }
+}
 
 struct Config {
     name: String,
     nodes: usize,
     side: f64,
-    /// Perturb every position and invalidate the cache every `1/rate` frames
-    /// (0.0 = static).
-    move_every: usize,
+    motion: Motion,
 }
 
 struct Measurement {
     config: Config,
     frames: usize,
     ns_naive: f64,
-    ns_indexed: f64,
+    ns_rebuild: f64,
+    ns_incremental: f64,
 }
 
 impl Measurement {
+    /// Incremental-index speedup over the naive scan. Never NaN/inf.
     fn speedup(&self) -> f64 {
-        // Never emit NaN/inf into the JSON report.
-        if self.ns_indexed > 0.0 {
-            self.ns_naive / self.ns_indexed
+        if self.ns_incremental > 0.0 {
+            self.ns_naive / self.ns_incremental
+        } else {
+            0.0
+        }
+    }
+
+    /// Wholesale-rebuild speedup over the naive scan (the old cost model).
+    /// Never NaN/inf.
+    fn speedup_rebuild(&self) -> f64 {
+        if self.ns_rebuild > 0.0 {
+            self.ns_naive / self.ns_rebuild
         } else {
             0.0
         }
@@ -63,7 +123,7 @@ fn configs(quick: bool) -> Vec<Config> {
             name: format!("paper-n{n}"),
             nodes: n,
             side: 1000.0 * (n as f64 / 50.0).sqrt(),
-            move_every: 0,
+            motion: Motion::Static,
         });
         // Metro density: area side grows linearly with N, so the candidate
         // set stays roughly constant while the full scan grows with N.
@@ -72,52 +132,116 @@ fn configs(quick: bool) -> Vec<Config> {
                 name: format!("metro-n{n}"),
                 nodes: n,
                 side: 1000.0 * (n as f64 / 50.0),
-                move_every: 0,
+                motion: Motion::Static,
             });
         }
     }
-    // Mobility: metro density with a position perturbation (and cache
-    // invalidation) every 64 frames — the worst realistic case for the
-    // cache, which must be rebuilt after every move.
+    // All-node perturbation every 64 frames: the historical mobility cliff,
+    // and the acceptance configuration (mobile-metro-n500 >= 4x).
     let n = if quick { 200 } else { 500 };
     out.push(Config {
         name: format!("mobile-metro-n{n}"),
         nodes: n,
         side: 1000.0 * (n as f64 / 50.0),
-        move_every: 64,
+        motion: Motion::Perturb { every: 64 },
     });
+    // Random-waypoint sweeps: pedestrian / vehicular / highway speeds at
+    // metro density, plus a city-scale N=2000 run.
+    let rwp_sizes: &[(usize, &[f64])] = if quick {
+        &[(200, &[10.0])]
+    } else {
+        &[(500, &[1.5, 10.0, 30.0]), (2000, &[10.0])]
+    };
+    for &(n, speeds) in rwp_sizes {
+        for &v in speeds {
+            out.push(Config {
+                name: format!("rwp-metro-n{n}-v{v}"),
+                nodes: n,
+                side: 1000.0 * (n as f64 / 50.0),
+                motion: Motion::Waypoint {
+                    speed_mps: v,
+                    every: 64,
+                },
+            });
+        }
+    }
     out
 }
 
-fn medium(indexed: bool) -> PhysicalMedium {
-    PhysicalMedium::new(PhyParams::default()).with_indexing(indexed)
-}
-
 /// Drive `frames` fan-out calls (round-robin transmitter) against `m`,
-/// optionally perturbing positions. Returns elapsed nanoseconds, and the
-/// concatenated plans when `record` is set (for the equivalence check).
+/// evolving positions per `motion` and reporting every move through
+/// [`Medium::positions_changed`] — maintenance cost lands inside the timed
+/// region. Returns elapsed nanoseconds, and the concatenated plans when
+/// `record` is set (for the equivalence check).
 fn drive(
     m: &mut PhysicalMedium,
-    positions: &mut [mesh_sim::geometry::Pos],
+    positions: &mut [Pos],
+    area: Area,
     frames: usize,
-    move_every: usize,
+    motion: Motion,
     record: bool,
 ) -> (f64, Vec<RxPlan>) {
-    // Fixed seeds so the naive and indexed passes consume identical fading
-    // and perturbation streams — required for the equivalence check and for
-    // fair timing.
+    // Fixed seeds so all modes consume identical fading and movement
+    // streams — required for the equivalence check and for fair timing.
     let mut rng = SimRng::seed_from(0xFA0);
     let mut move_rng = SimRng::seed_from(0x30B11E);
+    let tick = SimDuration::from_millis(100);
+    let mut clock = SimTime::ZERO;
+    let mut model = match motion {
+        Motion::Waypoint { speed_mps, .. } => {
+            let mut model = RandomWaypoint::new(
+                area,
+                (speed_mps * 0.5).max(0.1),
+                speed_mps * 1.5,
+                SimDuration::ZERO,
+            )
+            .with_tick(tick);
+            // First step only assigns waypoints; do it outside the timing.
+            model.step(clock, positions, &mut move_rng);
+            Some(model)
+        }
+        _ => None,
+    };
+    let mut prev: Vec<Pos> = Vec::with_capacity(positions.len());
+    let mut moves: Vec<PositionDelta> = Vec::new();
     let mut out = Vec::new();
     let mut all = Vec::new();
     let t0 = Instant::now();
     for f in 0..frames {
-        if move_every != 0 && f % move_every == 0 && f != 0 {
-            for p in positions.iter_mut() {
-                p.x += move_rng.uniform_range(-5.0, 5.0);
-                p.y += move_rng.uniform_range(-5.0, 5.0);
+        let move_now = match motion {
+            Motion::Static => false,
+            Motion::Perturb { every } | Motion::Waypoint { every, .. } => {
+                every != 0 && f % every == 0 && f != 0
             }
-            m.invalidate_positions();
+        };
+        if move_now {
+            prev.clear();
+            prev.extend_from_slice(positions);
+            match motion {
+                Motion::Perturb { .. } => {
+                    for p in positions.iter_mut() {
+                        p.x += move_rng.uniform_range(-5.0, 5.0);
+                        p.y += move_rng.uniform_range(-5.0, 5.0);
+                    }
+                }
+                Motion::Waypoint { .. } => {
+                    clock += tick;
+                    let model = model.as_mut().expect("waypoint model built above");
+                    model.step(clock, positions, &mut move_rng);
+                }
+                Motion::Static => unreachable!(),
+            }
+            moves.clear();
+            for (i, (&old, &new)) in prev.iter().zip(positions.iter()).enumerate() {
+                if old != new {
+                    moves.push(PositionDelta {
+                        node: NodeId::new(i as u32),
+                        from: old,
+                        to: new,
+                    });
+                }
+            }
+            m.positions_changed(&moves, positions);
         }
         let tx = NodeId::new((f % positions.len()) as u32);
         out.clear();
@@ -131,60 +255,65 @@ fn drive(
 
 fn measure(config: Config, quick: bool) -> Measurement {
     let mut layout_rng = SimRng::seed_from(0x5EED ^ config.nodes as u64);
-    let positions =
-        topology::random_placement(config.nodes, Area::square(config.side), &mut layout_rng);
+    let area = Area::square(config.side);
+    let positions = topology::random_placement(config.nodes, area, &mut layout_rng);
     // Round-robin over transmitters, with enough frames that each node
     // transmits ~40+ times — a real run sends thousands of frames per node,
     // so the per-transmitter cache fill must be amortized, not dominant.
-    let frames = (config.nodes * 40).max(20_000) / if quick { 10 } else { 1 };
+    // Capped so the N=2000 naive reference stays affordable.
+    let frames = (config.nodes * 40).clamp(20_000, 40_000) / if quick { 10 } else { 1 };
 
-    // Equivalence first: both paths must emit bit-identical RxPlan streams.
-    let (_, plans_naive) = drive(
-        &mut medium(false),
-        &mut positions.clone(),
-        frames.min(2000),
-        config.move_every,
-        true,
-    );
-    let (_, plans_indexed) = drive(
-        &mut medium(true),
-        &mut positions.clone(),
-        frames.min(2000),
-        config.move_every,
-        true,
+    // Equivalence first: all three paths must emit bit-identical RxPlan
+    // streams under identical movement.
+    let run_plans = |mode: Mode| {
+        drive(
+            &mut medium(mode),
+            &mut positions.clone(),
+            area,
+            frames.min(2000),
+            config.motion,
+            true,
+        )
+        .1
+    };
+    let plans_naive = run_plans(Mode::Naive);
+    assert_eq!(
+        plans_naive,
+        run_plans(Mode::Rebuild),
+        "{}: rebuild-indexed fan-out diverged from the naive scan",
+        config.name
     );
     assert_eq!(
-        plans_naive, plans_indexed,
-        "{}: indexed fan-out diverged from the naive scan",
+        plans_naive,
+        run_plans(Mode::Incremental),
+        "{}: incremental fan-out diverged from the naive scan",
         config.name
     );
 
     // Timing: best of three samples per mode, interleaved.
-    let mut ns_naive = f64::INFINITY;
-    let mut ns_indexed = f64::INFINITY;
+    let mut best = [f64::INFINITY; 3];
     for _ in 0..3 {
-        let (t, _) = drive(
-            &mut medium(false),
-            &mut positions.clone(),
-            frames,
-            config.move_every,
-            false,
-        );
-        ns_naive = ns_naive.min(t / frames as f64);
-        let (t, _) = drive(
-            &mut medium(true),
-            &mut positions.clone(),
-            frames,
-            config.move_every,
-            false,
-        );
-        ns_indexed = ns_indexed.min(t / frames as f64);
+        for (slot, mode) in [Mode::Naive, Mode::Rebuild, Mode::Incremental]
+            .into_iter()
+            .enumerate()
+        {
+            let (t, _) = drive(
+                &mut medium(mode),
+                &mut positions.clone(),
+                area,
+                frames,
+                config.motion,
+                false,
+            );
+            best[slot] = best[slot].min(t / frames as f64);
+        }
     }
     Measurement {
         config,
         frames,
-        ns_naive,
-        ns_indexed,
+        ns_naive: best[0],
+        ns_rebuild: best[1],
+        ns_incremental: best[2],
     }
 }
 
@@ -198,15 +327,18 @@ fn json(measurements: &[Measurement]) -> String {
             s,
             "    {{\"name\": \"{}\", \"nodes\": {}, \"area_side_m\": {:.1}, \
              \"mobile\": {}, \"frames\": {}, \"ns_per_frame_naive\": {:.1}, \
-             \"ns_per_frame_indexed\": {:.1}, \"speedup\": {:.2}}}{}",
+             \"ns_per_frame_indexed\": {:.1}, \"ns_per_frame_incremental\": {:.1}, \
+             \"speedup\": {:.2}, \"speedup_rebuild\": {:.2}}}{}",
             m.config.name,
             m.config.nodes,
             m.config.side,
-            m.config.move_every != 0,
+            m.config.motion.is_mobile(),
             m.frames,
             m.ns_naive,
-            m.ns_indexed,
+            m.ns_rebuild,
+            m.ns_incremental,
             m.speedup(),
+            m.speedup_rebuild(),
             sep
         );
     }
@@ -214,20 +346,75 @@ fn json(measurements: &[Measurement]) -> String {
     s
 }
 
+/// Re-read the written report and reject malformed output: every config
+/// line must carry every field, and no numeric value may be NaN/inf.
+fn validate_report(text: &str, expected_configs: usize) -> Result<(), String> {
+    for bad in ["NaN", "nan", "inf"] {
+        if text.contains(bad) {
+            return Err(format!("report contains non-finite value token {bad:?}"));
+        }
+    }
+    let required = [
+        "\"name\":",
+        "\"nodes\":",
+        "\"frames\":",
+        "\"ns_per_frame_naive\":",
+        "\"ns_per_frame_indexed\":",
+        "\"ns_per_frame_incremental\":",
+        "\"speedup\":",
+        "\"speedup_rebuild\":",
+    ];
+    for key in required {
+        let count = text.matches(key).count();
+        if count != expected_configs {
+            return Err(format!(
+                "field {key} appears {count} times, expected {expected_configs}"
+            ));
+        }
+    }
+    // Every speedup value must parse as a finite, non-negative number.
+    for chunk in text.split("\"speedup\": ").skip(1) {
+        let value: String = chunk
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        let v: f64 = value
+            .parse()
+            .map_err(|_| format!("unparseable speedup value {value:?}"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("bad speedup value {v}"));
+        }
+    }
+    if text.matches('{').count() != text.matches('}').count() {
+        return Err("unbalanced braces in report".into());
+    }
+    Ok(())
+}
+
 fn main() {
     let args = CliArgs::from_env();
     let mut measurements = Vec::new();
     for config in configs(args.quick) {
+        if !args.matches(&config.name) {
+            continue;
+        }
         eprintln!("measuring {} ...", config.name);
         let m = measure(config, args.quick);
         eprintln!(
-            "  {}: naive {:.0} ns/frame, indexed {:.0} ns/frame, speedup {:.2}x",
+            "  {}: naive {:.0} ns/frame, rebuild {:.0} ns/frame, \
+             incremental {:.0} ns/frame, speedup {:.2}x (rebuild {:.2}x)",
             m.config.name,
             m.ns_naive,
-            m.ns_indexed,
-            m.speedup()
+            m.ns_rebuild,
+            m.ns_incremental,
+            m.speedup(),
+            m.speedup_rebuild()
         );
         measurements.push(m);
+    }
+    if measurements.is_empty() {
+        eprintln!("no configuration matches the filter");
+        std::process::exit(2);
     }
 
     let out = json(&measurements);
@@ -239,18 +426,34 @@ fn main() {
     println!("{out}");
     println!("wrote {}", path.display());
 
-    // Acceptance checks (skipped under --quick, which drops N=500).
     let mut failed = false;
-    if let Some(m) = measurements.iter().find(|m| m.config.name == "metro-n500") {
+    // Self-validation: the report on disk must be well-formed.
+    let written = std::fs::read_to_string(path).expect("re-read BENCH_fanout.json");
+    if let Err(e) = validate_report(&written, measurements.len()) {
+        eprintln!("FAIL: malformed report: {e}");
+        failed = true;
+    }
+
+    // Acceptance checks (only for configurations actually measured; --quick
+    // and --filter drop some).
+    let find = |name: &str| measurements.iter().find(|m| m.config.name == name);
+    if let Some(m) = find("metro-n500") {
         if m.speedup() < 5.0 {
             eprintln!("FAIL: metro-n500 speedup {:.2}x < 5x", m.speedup());
             failed = true;
         }
     }
-    if let Some(m) = measurements.iter().find(|m| m.config.name == "paper-n50") {
+    if let Some(m) = find("paper-n50") {
         // Small-N regression guard, with slack for timer noise.
         if m.speedup() < 0.8 {
             eprintln!("FAIL: paper-n50 regressed: {:.2}x", m.speedup());
+            failed = true;
+        }
+    }
+    if let Some(m) = find("mobile-metro-n500") {
+        // The mobility cliff: wholesale rebuild managed only ~1.26x here.
+        if m.speedup() < 4.0 {
+            eprintln!("FAIL: mobile-metro-n500 speedup {:.2}x < 4x", m.speedup());
             failed = true;
         }
     }

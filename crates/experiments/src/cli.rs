@@ -6,7 +6,8 @@
 //! * `--topologies N` — number of random topologies (default 10, paper);
 //! * `--runs N` — alias of `--topologies` for testbed repetitions (paper: 5);
 //! * `--seed N` — base seed (default 1);
-//! * `--probe-rate X` — probe-interval scaling factor.
+//! * `--probe-rate X` — probe-interval scaling factor;
+//! * `--filter S` — only run configurations whose name contains `S`.
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +20,8 @@ pub struct CliArgs {
     pub seed: u64,
     /// Probe-rate factor override.
     pub probe_rate: Option<f64>,
+    /// Substring filter on configuration names.
+    pub filter: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -28,6 +31,7 @@ impl Default for CliArgs {
             topologies: None,
             seed: 1,
             probe_rate: None,
+            filter: None,
         }
     }
 }
@@ -61,9 +65,15 @@ impl CliArgs {
                     }
                     out.probe_rate = Some(r);
                 }
+                "--filter" => {
+                    let v = it.next().ok_or("--filter needs a value")?;
+                    out.filter = Some(v);
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--quick] [--topologies N] [--seed N] [--probe-rate X]".into(),
+                        "usage: [--quick] [--topologies N] [--seed N] [--probe-rate X] \
+                         [--filter S]"
+                            .into(),
                     )
                 }
                 other => return Err(format!("unknown argument: {other}")),
@@ -81,6 +91,12 @@ impl CliArgs {
                 std::process::exit(2);
             }
         }
+    }
+
+    /// Whether a configuration named `name` passes the `--filter` (all do
+    /// when no filter was given).
+    pub fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
     }
 
     /// The seeds to run: `topologies` (or `default_n`) seeds starting at
@@ -139,5 +155,16 @@ mod tests {
     fn unknown_flag_errors() {
         assert!(parse(&["--wat"]).is_err());
         assert!(parse(&["--topologies"]).is_err());
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let a = parse(&["--filter", "mobile"]).unwrap();
+        assert_eq!(a.filter.as_deref(), Some("mobile"));
+        assert!(a.matches("mobile-metro-n500"));
+        assert!(!a.matches("paper-n50"));
+        assert!(parse(&["--filter"]).is_err());
+        // No filter: everything matches.
+        assert!(parse(&[]).unwrap().matches("anything"));
     }
 }

@@ -269,3 +269,112 @@ fn drop_histogram_matches_loss_counters() {
         c.fault_rx_dropped
     );
 }
+
+/// Spatial-index maintenance statistics flow into the metrics timeseries on
+/// a mobile, incrementally-indexed run: the per-bucket deltas sum to the
+/// medium's cumulative `index_stats()`, they are visibly non-trivial (the
+/// run re-buckets nodes and answers fan-outs from the cache), the rendered
+/// `timeseries_table` carries them, and — the observer-effect contract —
+/// attaching the recorder leaves `schedule_hash` bit-identical.
+#[test]
+fn index_stats_flow_into_timeseries_without_perturbation() {
+    use experiments::report::timeseries_table;
+    use mesh_sim::geometry::Area;
+    use mesh_sim::mobility::RandomWaypoint;
+    use mesh_sim::prelude::*;
+
+    /// Periodic broadcaster: steady medium traffic while nodes move.
+    #[derive(Debug, Clone)]
+    struct Beacon;
+    impl Protocol for Beacon {
+        type Msg = u32;
+        fn start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            let jitter = SimDuration::from_micros(211 * (ctx.node().index() as u64 + 1));
+            // Faster than the 100 ms mobility tick, so consecutive beacons
+            // from one node land inside a single motion epoch and exercise
+            // the cache-hit path, not just refreshes.
+            ctx.set_timer(SimDuration::from_millis(40) + jitter, 0);
+        }
+        fn handle_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: &u32, _: RxMeta) {}
+        fn handle_timer(&mut self, ctx: &mut Ctx<'_, u32>, _: TimerId, _: u64) {
+            let _ = ctx.send_broadcast(ctx.node().index() as u32, 64, 0);
+            ctx.set_timer(SimDuration::from_millis(40), 0);
+        }
+    }
+
+    let build = |with_metrics: bool| {
+        // An area several candidate-range grid cells wide, so the waypoint
+        // walk actually crosses cell boundaries and re-buckets nodes.
+        let area = Area::square(5000.0);
+        let mut rng = SimRng::seed_from(0x1D_EC5);
+        let positions: Vec<Pos> = (0..40)
+            .map(|_| {
+                Pos::new(
+                    rng.uniform_range(0.0, 5000.0),
+                    rng.uniform_range(0.0, 5000.0),
+                )
+            })
+            .collect();
+        let medium = Box::new(PhysicalMedium::default()); // indexed + incremental
+        let mut sim = Simulator::new(positions, medium, WorldConfig::default(), vec![Beacon; 40]);
+        sim.set_mobility(Box::new(RandomWaypoint::new(
+            area,
+            10.0,
+            40.0,
+            SimDuration::from_millis(200),
+        )));
+        if with_metrics {
+            sim.world_mut().set_metrics(SimDuration::from_secs(2));
+        }
+        sim.run_until(SimTime::from_secs(12));
+        let ts = sim.world_mut().take_metrics();
+        let stats = sim.world().index_stats().expect("indexed medium");
+        (sim.schedule_hash(), ts, stats)
+    };
+
+    let (hash_plain, ts_plain, stats_plain) = build(false);
+    let (hash_metrics, ts, stats) = build(true);
+
+    // Observer effect: recording the timeseries changes nothing.
+    assert_eq!(
+        hash_plain, hash_metrics,
+        "metrics recorder perturbed the run"
+    );
+    assert_eq!(stats_plain, stats);
+    assert!(ts_plain.is_none());
+    let ts = ts.expect("timeseries recorded");
+
+    // The run actually exercised incremental maintenance — all of it:
+    // crossings, epoch stamps, hits, and misses.
+    assert!(
+        stats.rebuckets > 0,
+        "mobility never crossed a cell: {stats:?}"
+    );
+    assert!(stats.epoch_bumps > 0);
+    assert!(
+        stats.cache_hits > 0,
+        "no fan-out reused a cached list: {stats:?}"
+    );
+    assert!(
+        stats.cache_refreshes + stats.cache_rebuilds > 0,
+        "no fan-out rebuilt/refreshed: {stats:?}"
+    );
+    assert_eq!(stats.full_invalidations, 0, "incremental mode fell back");
+
+    // Bucket deltas partition the cumulative stats exactly.
+    let sum =
+        |f: fn(&mesh_sim::metrics::MetricsBucket) -> u64| -> u64 { ts.buckets.iter().map(f).sum() };
+    assert_eq!(sum(|b| b.index_rebuckets), stats.rebuckets);
+    assert_eq!(sum(|b| b.index_epoch_bumps), stats.epoch_bumps);
+    assert_eq!(sum(|b| b.index_cache_hits), stats.cache_hits);
+    assert_eq!(
+        sum(|b| b.index_cache_refreshes + b.index_cache_rebuilds),
+        stats.cache_refreshes + stats.cache_rebuilds
+    );
+
+    // And the rendered table exposes them.
+    let table = timeseries_table(&ts);
+    for col in ["rebucket", "epoch", "ix hit", "ix miss"] {
+        assert!(table.contains(col), "missing column {col}:\n{table}");
+    }
+}

@@ -12,9 +12,52 @@
 use crate::geometry::Pos;
 use crate::ids::NodeId;
 use crate::neighbor_index::NeighborIndex;
-use crate::propagation::PhyParams;
+use crate::propagation::{FadingModel, MeanPowerEval, PhyParams};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+
+/// One node's position change over a mobility tick, as reported by the world
+/// to the medium through [`Medium::positions_changed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionDelta {
+    /// The node that moved.
+    pub node: NodeId,
+    /// Its position before the tick.
+    pub from: Pos,
+    /// Its position after the tick (equals `positions[node]`).
+    pub to: Pos,
+}
+
+impl PositionDelta {
+    /// Straight-line displacement of this move, meters.
+    pub fn displacement_m(&self) -> f64 {
+        self.from.distance_to(self.to)
+    }
+}
+
+/// Maintenance statistics of an incrementally-maintained spatial index
+/// (see [`PhysicalMedium`]). Purely observational: deliberately kept out of
+/// [`crate::counters::Counters`] so indexed and naive runs still compare
+/// equal counter-for-counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    /// Nodes moved between grid cells by `update_position`.
+    pub rebuckets: u64,
+    /// Per-cell epoch slots advanced (membership or motion).
+    pub epoch_bumps: u64,
+    /// Fan-outs answered by replaying a cached candidate list unchanged.
+    pub cache_hits: u64,
+    /// Fan-outs that re-filtered a cached superset (nodes moved within
+    /// cells near the transmitter, so distances changed but membership of
+    /// the cell block did not).
+    pub cache_refreshes: u64,
+    /// Fan-outs that rebuilt a candidate list from a fresh grid query
+    /// (cell membership near the transmitter changed, or first use).
+    pub cache_rebuilds: u64,
+    /// Wholesale cache invalidations (non-incremental mode, or explicit
+    /// [`Medium::invalidate_positions`] calls while indexed).
+    pub full_invalidations: u64,
+}
 
 /// A fault-injected override applied to one directed link (see
 /// [`crate::fault`]). Effects replace each other: setting a second effect on
@@ -69,9 +112,26 @@ pub trait Medium {
 
     /// Notification that node positions have (or may have) changed since the
     /// last `fan_out`. Media that cache anything derived from geometry must
-    /// drop those caches here. The world calls this on every mobility step;
-    /// the default is a no-op for media that don't look at positions.
+    /// drop those caches here; the default is a no-op for media that don't
+    /// look at positions. Callers that know *which* nodes moved should
+    /// prefer [`Medium::positions_changed`].
     fn invalidate_positions(&mut self) {}
+
+    /// Notification that exactly the nodes in `moves` changed position over
+    /// one mobility tick; `positions` is the post-move snapshot. Media that
+    /// maintain geometry caches incrementally override this; the default
+    /// conservatively forwards to [`Medium::invalidate_positions`], so a
+    /// medium that only implements wholesale invalidation stays correct.
+    fn positions_changed(&mut self, moves: &[PositionDelta], positions: &[Pos]) {
+        let _ = (moves, positions);
+        self.invalidate_positions();
+    }
+
+    /// Spatial-index maintenance statistics since construction, if this
+    /// medium keeps an index ([`None`] otherwise, the default).
+    fn index_stats(&self) -> Option<IndexStats> {
+        None
+    }
 
     /// Apply a fault-injected [`LinkEffect`] to the directed link
     /// `from -> to`, replacing any previous effect on it. Media that do not
@@ -91,26 +151,161 @@ pub trait Medium {
 /// quantities precomputed. Membership is exactly the old full-scan predicate
 /// `mean_rx_power_w(d) >= floor_w / 100`, and lists are NodeId-ascending, so
 /// replaying a cached list draws the same RNG sequence as the full scan.
+///
+/// Stores the distance, not the propagation delay: like the naive scan, the
+/// delay is only computed for candidates whose sampled power clears the
+/// floor — a small fraction of the list — instead of for every candidate on
+/// every refresh.
 #[derive(Debug, Clone, Copy)]
 struct Candidate {
     node: NodeId,
     mean_w: f64,
-    delay: SimDuration,
+    dist_m: f64,
 }
 
-/// Geometry caches for [`PhysicalMedium`], valid for one positions snapshot.
+/// The distance-independent inputs of one [`FanOutCache::refilter`] pass,
+/// bundled so both call sites in `plan_with` hand over one value.
+#[derive(Clone, Copy)]
+struct RefilterParams {
+    tx: NodeId,
+    candidate_range_m: f64,
+    floor_w: f64,
+    eval: MeanPowerEval,
+}
+
+/// One bucket-membership change (a node entering or leaving a grid cell),
+/// kept in a short per-cell log so cached supersets can be patched in order
+/// instead of rebuilt from a grid query.
+#[derive(Debug, Clone, Copy)]
+struct MembershipPatch {
+    /// Global order stamp, monotone across all cells; a node crossing cells
+    /// logs its removal before its insertion.
+    seq: u64,
+    node: u32,
+    /// True if the node entered the cell, false if it left.
+    added: bool,
+}
+
+/// Per-cell epoch pair, kept adjacent so the hot block scan in
+/// [`FanOutCache::plan_with`] touches one slot per cell instead of two
+/// parallel arrays.
+#[derive(Debug, Clone, Copy, Default)]
+struct CellEpochs {
+    /// Epoch of the last bucket-membership change (a node entered or left).
+    membership: u64,
+    /// Epoch of the last movement of any node bucketed in the cell.
+    motion: u64,
+}
+
+/// Bounded log of recent [`MembershipPatch`]es for one grid cell, oldest
+/// first. Patching a cached superset is valid only while every patch newer
+/// than the superset is still retained; once the log overflows, older
+/// transmitter entries fall back to a full rebuild.
+#[derive(Debug, Clone)]
+struct CellLog {
+    patches: Vec<MembershipPatch>,
+    /// Every patch with `seq < retained_from` has been dropped.
+    retained_from: u64,
+}
+
+/// Retained patches per cell. Sized so several mobility ticks' worth of
+/// crossings fit between two transmissions of the same node at realistic
+/// densities; overflow costs a rebuild, never correctness.
+const CELL_LOG_CAP: usize = 16;
+
+impl CellLog {
+    fn new() -> Self {
+        CellLog {
+            patches: Vec::new(),
+            retained_from: 1,
+        }
+    }
+
+    fn push(&mut self, p: MembershipPatch) {
+        if self.patches.len() == CELL_LOG_CAP {
+            self.retained_from = self.patches[0].seq + 1;
+            self.patches.remove(0);
+        }
+        self.patches.push(p);
+    }
+}
+
+/// One transmitter's cached fan-out state (see [`FanOutCache`]).
+#[derive(Debug, Clone)]
+struct TxEntry {
+    /// The grid cell the transmitter occupied when `superset` was captured;
+    /// a transmitter that changed cells always rebuilds.
+    home_cell: u32,
+    /// Value of the cache epoch when `superset` was captured: current while
+    /// no cell of the 3×3 block has a newer membership epoch.
+    seen_membership: u64,
+    /// Value of the cache epoch when `list` was filtered: valid while no
+    /// cell of the block has a newer motion epoch.
+    seen_motion: u64,
+    /// Global patch sequence the superset is synchronized to: applying every
+    /// retained block-cell patch with a larger `seq` brings it current.
+    seen_seq: u64,
+    /// Every node bucketed in the 3×3 cell block around `home_cell`,
+    /// NodeId-ascending — a superset of all possible candidates.
+    superset: Vec<u32>,
+    /// `superset` filtered through the exact floor predicate, with
+    /// geometry-derived quantities precomputed.
+    list: Vec<Candidate>,
+}
+
+/// Geometry caches for [`PhysicalMedium`], maintained incrementally across
+/// position changes.
+///
+/// Invalidation is per-cell, not global: every mobility tick advances
+/// `epoch`, and each move stamps that epoch onto the affected cells — onto
+/// the **membership** epoch of the cells a node left/entered (the set of
+/// nodes bucketed there changed) and onto the **motion** epoch of any cell
+/// containing a node that moved at all (distances from nearby transmitters
+/// changed, membership did not). A transmitter's cached state is then aged
+/// against the 3×3 cell block around it:
+///
+/// * block membership newer than the entry → rebuild superset and list from
+///   the grid (the only path that queries and sorts);
+/// * block motion newer → re-filter the cached superset (distance math only,
+///   no query, no sort, no allocation);
+/// * neither → replay the cached list unchanged.
+///
+/// The block covers every node within the candidate radius of the
+/// transmitter (cells are at least that wide), so correctness never depends
+/// on the epochs being precise — only on them never going backwards.
 #[derive(Debug, Clone)]
 struct FanOutCache {
-    /// The snapshot the cache was built against; checked (debug builds) to
-    /// catch positions changing without `invalidate_positions`.
+    /// The positions the grid and entries are maintained against; checked
+    /// (debug builds) to catch positions changing without
+    /// `positions_changed`/`invalidate_positions`.
     positions: Vec<Pos>,
-    /// Search radius covering every node that can pass the floor predicate.
+    /// Search radius covering every node that can pass the floor predicate;
+    /// anything farther is rejected on squared distance alone, skipping the
+    /// expensive path-loss evaluation for most of a cell block.
     candidate_range_m: f64,
     grid: NeighborIndex,
-    /// Lazily-built candidate list per transmitter.
-    per_tx: Vec<Option<Box<[Candidate]>>>,
-    /// Scratch buffer for grid queries.
-    scratch: Vec<u32>,
+    /// Block radius in cells: `rings × grid.cell_size_m()` covers
+    /// `candidate_range_m`, so the `(2·rings+1)²` block around a
+    /// transmitter's cell is a superset of its audible disc.
+    rings: usize,
+    /// Monotone tick counter; cell epochs are stamped from it.
+    epoch: u64,
+    /// Per-cell membership/motion epochs (see [`CellEpochs`]).
+    cell_epochs: Vec<CellEpochs>,
+    /// Per-cell membership patch logs (see [`CellLog`]).
+    cell_logs: Vec<CellLog>,
+    /// Last [`MembershipPatch::seq`] issued (0 before any crossing).
+    last_seq: u64,
+    /// Lazily-built per-transmitter entries.
+    per_tx: Vec<Option<TxEntry>>,
+    /// Scratch for the refilter distance pass: `(node, d_sq)` survivors.
+    near_scratch: Vec<(u32, f64)>,
+    /// Scratch for collecting block-cell patches in sequence order.
+    patch_scratch: Vec<MembershipPatch>,
+    /// Precomputed path-loss evaluator, bit-identical to the medium's
+    /// [`PhyParams::mean_rx_power_w`] (rebuilt with the cache whenever the
+    /// medium's parameters change).
+    eval: MeanPowerEval,
 }
 
 impl FanOutCache {
@@ -119,42 +314,264 @@ impl FanOutCache {
         // bisection slop can't exclude a passing node; the exact per-node
         // predicate decides membership either way.
         let candidate_range_m = phy.range_for_mean_power(floor_w / 100.0) * 1.001 + 1.0;
+        // Full-range cells: finer cells shrink the superset scan but double
+        // the crossing rate (and with it patch/epoch traffic), which costs
+        // more than the scan saves at realistic densities. `rings` is
+        // computed rather than assumed so the invariant
+        // `rings × cell ≥ candidate_range` survives the grid widening its
+        // cells (per-axis cap or degenerate extents).
+        let grid = NeighborIndex::build(positions, candidate_range_m);
+        let mut rings = 1usize;
+        while (rings as f64) * grid.cell_size_m() < candidate_range_m {
+            rings += 1;
+        }
+        let (cols, rows) = grid.grid_dims();
         FanOutCache {
             positions: positions.to_vec(),
             candidate_range_m,
-            grid: NeighborIndex::build(positions, candidate_range_m),
+            grid,
+            rings,
+            epoch: 0,
+            cell_epochs: vec![CellEpochs::default(); cols * rows],
+            cell_logs: vec![CellLog::new(); cols * rows],
+            last_seq: 0,
             per_tx: vec![None; positions.len()],
-            scratch: Vec::new(),
+            near_scratch: Vec::new(),
+            patch_scratch: Vec::new(),
+            eval: phy.mean_power_eval(),
         }
     }
 
-    fn candidates_for(&mut self, tx: NodeId, phy: &PhyParams, floor_w: f64) -> &[Candidate] {
-        let slot = &mut self.per_tx[tx.index()];
-        if slot.is_none() {
-            let src = self.positions[tx.index()];
-            self.scratch.clear();
-            self.grid
-                .candidates_within(src, self.candidate_range_m, &mut self.scratch);
-            // NodeId-ascending so the RNG draw order matches the full scan.
-            self.scratch.sort_unstable();
-            let mut list = Vec::with_capacity(self.scratch.len());
-            for &i in &self.scratch {
-                if i as usize == tx.index() {
-                    continue;
-                }
-                let d = src.distance_to(self.positions[i as usize]);
-                if phy.mean_rx_power_w(d) < floor_w / 100.0 {
-                    continue;
-                }
-                list.push(Candidate {
-                    node: NodeId::new(i),
-                    mean_w: phy.mean_rx_power_w(d),
-                    delay: phy.propagation_delay(d),
-                });
+    /// Absorb one mobility tick's moves, stamping epochs onto the affected
+    /// cells. `stats` is the owning medium's maintenance ledger.
+    fn absorb_moves(&mut self, moves: &[PositionDelta], stats: &mut IndexStats) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut bump = |slot: &mut u64| {
+            if *slot != epoch {
+                *slot = epoch;
+                stats.epoch_bumps += 1;
             }
-            *slot = Some(list.into_boxed_slice());
+        };
+        for mv in moves {
+            let i = mv.node.index();
+            self.positions[i] = mv.to;
+            match self.grid.update_position(i as u32, mv.to) {
+                Some((old, new)) => {
+                    stats.rebuckets += 1;
+                    bump(&mut self.cell_epochs[old].membership);
+                    bump(&mut self.cell_epochs[old].motion);
+                    bump(&mut self.cell_epochs[new].membership);
+                    bump(&mut self.cell_epochs[new].motion);
+                    // Log the crossing, removal first, so cached supersets
+                    // can replay membership changes in order.
+                    self.last_seq += 1;
+                    self.cell_logs[old].push(MembershipPatch {
+                        seq: self.last_seq,
+                        node: i as u32,
+                        added: false,
+                    });
+                    self.last_seq += 1;
+                    self.cell_logs[new].push(MembershipPatch {
+                        seq: self.last_seq,
+                        node: i as u32,
+                        added: true,
+                    });
+                }
+                None => bump(&mut self.cell_epochs[self.grid.node_cell(i as u32)].motion),
+            }
         }
-        slot.as_deref().unwrap()
+    }
+
+    /// Filter `entry.superset` through the exact floor predicate into
+    /// `entry.list`, invoking `visit` on each candidate as it is produced
+    /// (so a refresh feeds the caller in the same single pass that rebuilds
+    /// the list). Membership and order match the full naive scan: the
+    /// superset is NodeId-ascending and the predicate is the same, so the
+    /// visit sequence draws the same RNG stream as the full scan.
+    fn refilter(
+        entry: &mut TxEntry,
+        scratch: &mut Vec<(u32, f64)>,
+        positions: &[Pos],
+        p: RefilterParams,
+        mut visit: impl FnMut(&Candidate),
+    ) {
+        let RefilterParams {
+            tx,
+            candidate_range_m,
+            floor_w,
+            eval,
+        } = p;
+        let src = positions[tx.index()];
+        // Everything passing the floor predicate lies strictly inside the
+        // (padded) candidate range, so nodes beyond it are rejected on
+        // squared distance alone — no path-loss math for the bulk of the
+        // cell block that merely surrounds the audible disc. The distance
+        // pass is branchless (survivors are compacted by a conditional
+        // index bump) so the superset scan pipelines regardless of how
+        // node order interleaves near and far nodes.
+        let range_sq = candidate_range_m * candidate_range_m;
+        let floor = floor_w / 100.0;
+        // Grow-only: every slot up to `k` is overwritten before it is read,
+        // so stale contents beyond `k` never matter and the buffer is not
+        // re-zeroed on each refresh.
+        if scratch.len() < entry.superset.len() {
+            scratch.resize(entry.superset.len(), (0, 0.0));
+        }
+        let mut k = 0usize;
+        // The superset never contains `tx` itself (excluded at rebuild and
+        // patch time), so the pass is a pure distance test.
+        for &i in &entry.superset {
+            let d_sq = src.distance_sq(positions[i as usize]);
+            scratch[k] = (i, d_sq);
+            k += usize::from(d_sq <= range_sq);
+        }
+        entry.list.clear();
+        for &(i, d_sq) in &scratch[..k] {
+            let d = d_sq.sqrt();
+            let mean_w = eval.eval(d);
+            if mean_w < floor {
+                continue;
+            }
+            let c = Candidate {
+                node: NodeId::new(i),
+                mean_w,
+                dist_m: d,
+            };
+            entry.list.push(c);
+            visit(&c);
+        }
+    }
+
+    /// Produce `tx`'s candidates in NodeId order, invoking `visit` once per
+    /// candidate. Serves from the cached list when nothing nearby moved;
+    /// otherwise patches/rebuilds the superset and re-filters, visiting each
+    /// candidate in the same pass that rebuilds the list.
+    fn plan_with(
+        &mut self,
+        tx: NodeId,
+        floor_w: f64,
+        stats: &mut IndexStats,
+        mut visit: impl FnMut(&Candidate),
+    ) {
+        let params = RefilterParams {
+            tx,
+            candidate_range_m: self.candidate_range_m,
+            floor_w,
+            eval: self.eval,
+        };
+        let cell = self.grid.node_cell(tx.index() as u32);
+        let (mut mem_max, mut mot_max) = (0u64, 0u64);
+        self.grid.for_each_block_cell(cell, self.rings, |c| {
+            let e = self.cell_epochs[c];
+            mem_max = mem_max.max(e.membership);
+            mot_max = mot_max.max(e.motion);
+        });
+        let slot = &mut self.per_tx[tx.index()];
+        let stale_superset = match slot {
+            Some(e) => e.home_cell as usize != cell || e.seen_membership < mem_max,
+            None => true,
+        };
+        if stale_superset {
+            // A stale superset is usually a few cell crossings old, not
+            // wrong everywhere: if every block cell still retains all
+            // patches newer than the superset, replaying them (ordered
+            // insert/remove) brings it current without a grid query or a
+            // sort. Only log overflow or a transmitter that itself changed
+            // cells forces the full rebuild.
+            let patchable = match slot {
+                Some(e) if e.home_cell as usize == cell => {
+                    let seen = e.seen_seq;
+                    self.patch_scratch.clear();
+                    let mut ok = true;
+                    let (logs, patches) = (&self.cell_logs, &mut self.patch_scratch);
+                    self.grid.for_each_block_cell(cell, self.rings, |c| {
+                        let log = &logs[c];
+                        ok &= seen + 1 >= log.retained_from;
+                        // Logs are seq-ascending, so the patches newer than
+                        // the entry are exactly the tail past the partition
+                        // point — typically empty or a couple of entries,
+                        // never a scan of the whole retained history.
+                        let start = log.patches.partition_point(|p| p.seq <= seen);
+                        patches.extend_from_slice(&log.patches[start..]);
+                    });
+                    ok
+                }
+                _ => false,
+            };
+            let entry = slot.get_or_insert_with(|| TxEntry {
+                home_cell: 0,
+                seen_membership: 0,
+                seen_motion: 0,
+                seen_seq: 0,
+                superset: Vec::new(),
+                list: Vec::new(),
+            });
+            if patchable {
+                stats.cache_refreshes += 1;
+                self.patch_scratch.sort_unstable_by_key(|p| p.seq);
+                for p in &self.patch_scratch {
+                    // The transmitter is never a member of its own superset;
+                    // its crossings (which kept `home_cell` unchanged, or we
+                    // would be rebuilding) replay as no-ops.
+                    if p.node as usize == tx.index() {
+                        continue;
+                    }
+                    match (p.added, entry.superset.binary_search(&p.node)) {
+                        (true, Err(at)) => entry.superset.insert(at, p.node),
+                        (false, Ok(at)) => {
+                            entry.superset.remove(at);
+                        }
+                        // A patch re-adding a present node (or removing an
+                        // absent one) cannot happen: patches replay the
+                        // grid's own bucket operations in sequence order.
+                        (added, _) => debug_assert!(false, "inconsistent patch added={added}"),
+                    }
+                }
+            } else {
+                stats.cache_rebuilds += 1;
+                entry.home_cell = cell as u32;
+                entry.superset.clear();
+                self.grid
+                    .nodes_in_block(cell, self.rings, &mut entry.superset);
+                // NodeId-ascending so the RNG draw order matches the full
+                // scan; the transmitter itself (always bucketed in its own
+                // block) is excluded so the refilter pass needs no self-test.
+                entry.superset.sort_unstable();
+                if let Ok(at) = entry.superset.binary_search(&(tx.index() as u32)) {
+                    entry.superset.remove(at);
+                }
+            }
+            entry.seen_membership = self.epoch;
+            entry.seen_motion = self.epoch;
+            entry.seen_seq = self.last_seq;
+            Self::refilter(
+                entry,
+                &mut self.near_scratch,
+                &self.positions,
+                params,
+                visit,
+            );
+        } else {
+            let entry = slot.as_mut().expect("entry exists when not stale");
+            if entry.seen_motion < mot_max {
+                stats.cache_refreshes += 1;
+                entry.seen_motion = self.epoch;
+                entry.seen_seq = self.last_seq;
+                Self::refilter(
+                    entry,
+                    &mut self.near_scratch,
+                    &self.positions,
+                    params,
+                    visit,
+                );
+            } else {
+                stats.cache_hits += 1;
+                for c in &entry.list {
+                    visit(c);
+                }
+            }
+        }
     }
 }
 
@@ -178,6 +595,11 @@ pub struct PhysicalMedium {
     /// cannot affect carrier sense or capture in the reception model.
     floor_w: f64,
     indexed: bool,
+    /// Maintain the index across [`Medium::positions_changed`] instead of
+    /// discarding it (on by default; off reproduces the wholesale-rebuild
+    /// cost model for benchmarks).
+    incremental: bool,
+    stats: IndexStats,
     cache: Option<FanOutCache>,
     /// Fault-injected per-link overrides; empty in fault-free runs, and the
     /// fan-out fast-paths on that so clean runs draw the exact same RNG
@@ -193,6 +615,8 @@ impl PhysicalMedium {
             phy,
             floor_w,
             indexed: true,
+            incremental: true,
+            stats: IndexStats::default(),
             cache: None,
             faults: std::collections::HashMap::new(),
         }
@@ -233,6 +657,22 @@ impl PhysicalMedium {
     /// Whether the spatial index is enabled.
     pub fn indexing(&self) -> bool {
         self.indexed
+    }
+
+    /// Enable or disable incremental index maintenance (on by default).
+    /// Disabled, every [`Medium::positions_changed`] discards the whole
+    /// cache — the pre-incremental cost model, kept as the rebuild
+    /// reference in benchmarks and equivalence tests. No effect unless
+    /// indexing is enabled.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self.cache = None;
+        self
+    }
+
+    /// Whether incremental index maintenance is enabled.
+    pub fn incremental(&self) -> bool {
+        self.incremental
     }
 
     fn fan_out_scan(&self, tx: NodeId, positions: &[Pos], rng: &mut SimRng, out: &mut Vec<RxPlan>) {
@@ -293,26 +733,54 @@ impl Medium for PhysicalMedium {
         {
             self.cache = Some(FanOutCache::new(positions, &self.phy, self.floor_w));
         }
-        let cache = self.cache.as_mut().unwrap();
+        let Self {
+            cache,
+            phy,
+            floor_w,
+            faults,
+            stats,
+            ..
+        } = self;
+        let cache = cache.as_mut().unwrap();
         debug_assert_eq!(
             cache.positions, positions,
-            "positions changed without Medium::invalidate_positions()"
+            "positions changed without Medium::positions_changed()"
         );
-        for c in cache.candidates_for(tx, &self.phy, self.floor_w) {
-            let mut power = self.phy.sample_from_mean_w(c.mean_w, rng);
-            if !self.faults.is_empty() {
-                match Self::apply_fault(&self.faults, tx, c.node, power, rng) {
+        let floor_w = *floor_w;
+        // Common tail of both sampling variants below: fault resolution,
+        // floor cut, and plan emission (delay computed lazily, only here).
+        let mut emit = |c: &Candidate, mut power: f64, rng: &mut SimRng| {
+            if !faults.is_empty() {
+                match Self::apply_fault(faults, tx, c.node, power, rng) {
                     Some(p) => power = p,
-                    None => continue,
+                    None => return,
                 }
             }
-            if power < self.floor_w {
-                continue;
+            if power < floor_w {
+                return;
             }
             out.push(RxPlan {
                 node: c.node,
                 power_w: power,
-                delay: c.delay,
+                delay: phy.propagation_delay(c.dist_m),
+            });
+        };
+        // `sample_from_mean_w` re-dispatches on the shadowing and fading
+        // configuration per candidate; hoist the dispatch out of the loop
+        // for the default (Rayleigh, no shadowing), where the sample is
+        // exactly `mean * rayleigh_power_gain()` — the same operation on the
+        // same RNG draw, so the specialization is bit-identical.
+        let plain_rayleigh =
+            phy.shadowing_sigma_db <= 0.0 && matches!(phy.fading, FadingModel::Rayleigh);
+        if plain_rayleigh {
+            cache.plan_with(tx, floor_w, stats, |c| {
+                let power = c.mean_w * rng.rayleigh_power_gain();
+                emit(c, power, rng);
+            });
+        } else {
+            cache.plan_with(tx, floor_w, stats, |c| {
+                let power = phy.sample_from_mean_w(c.mean_w, rng);
+                emit(c, power, rng);
             });
         }
     }
@@ -322,7 +790,31 @@ impl Medium for PhysicalMedium {
     }
 
     fn invalidate_positions(&mut self) {
+        if self.indexed && self.cache.is_some() {
+            self.stats.full_invalidations += 1;
+        }
         self.cache = None;
+    }
+
+    fn positions_changed(&mut self, moves: &[PositionDelta], positions: &[Pos]) {
+        if !self.indexed {
+            return; // the scan path reads positions directly, nothing cached
+        }
+        if !self.incremental {
+            self.invalidate_positions();
+            return;
+        }
+        match self.cache.as_mut() {
+            // Not built yet (or node count changed — not a supported move
+            // set): the next fan_out builds from the current positions.
+            Some(c) if c.positions.len() != positions.len() => self.cache = None,
+            Some(c) => c.absorb_moves(moves, &mut self.stats),
+            None => {}
+        }
+    }
+
+    fn index_stats(&self) -> Option<IndexStats> {
+        self.indexed.then_some(self.stats)
     }
 
     fn set_link_fault(&mut self, from: NodeId, to: NodeId, effect: LinkEffect) {

@@ -12,6 +12,7 @@
 //! `schedule_hash` is identical with and without it.
 
 use crate::counters::Counters;
+use crate::medium::IndexStats;
 use crate::time::{SimDuration, SimTime};
 
 /// Counter deltas over one `[start, end)` time bucket.
@@ -50,6 +51,17 @@ pub struct MetricsBucket {
     pub deliveries: u64,
     /// Sum of end-to-end delays of those deliveries, seconds.
     pub delay_sum_s: f64,
+    /// Spatial-index maintenance: nodes re-bucketed across grid cells
+    /// (0 throughout when the medium keeps no index).
+    pub index_rebuckets: u64,
+    /// Spatial-index maintenance: per-cell epoch slots advanced.
+    pub index_epoch_bumps: u64,
+    /// Fan-outs answered from an unchanged cached candidate list.
+    pub index_cache_hits: u64,
+    /// Fan-outs that re-filtered a cached superset (motion nearby).
+    pub index_cache_refreshes: u64,
+    /// Fan-outs that rebuilt a candidate list from a grid query.
+    pub index_cache_rebuilds: u64,
 }
 
 impl MetricsBucket {
@@ -104,6 +116,9 @@ pub(crate) struct MetricsRecorder {
     open_start: SimTime,
     /// Cumulative counters at `open_start`.
     base: Counters,
+    /// Cumulative index stats at `open_start` (zero when the medium keeps
+    /// no index, which also zeroes every bucket's index fields).
+    base_index: IndexStats,
     /// Deliveries observed in the open bucket.
     open_deliveries: u64,
     open_delay_sum_s: f64,
@@ -125,6 +140,7 @@ impl MetricsRecorder {
             width,
             open_start: start,
             base: Counters::default(),
+            base_index: IndexStats::default(),
             open_deliveries: 0,
             open_delay_sum_s: 0.0,
             buckets: Vec::new(),
@@ -132,13 +148,14 @@ impl MetricsRecorder {
     }
 
     /// Close every bucket whose boundary `now` has reached, snapshotting
-    /// deltas against `counters`. Called once per world step, *before* the
-    /// event at `now` is dispatched, so each bucket contains exactly the
-    /// events with `open_start <= time < end`.
-    pub fn advance(&mut self, now: SimTime, counters: &Counters) {
+    /// deltas against `counters` (and the medium's `index` stats, if any).
+    /// Called once per world step, *before* the event at `now` is
+    /// dispatched, so each bucket contains exactly the events with
+    /// `open_start <= time < end`.
+    pub fn advance(&mut self, now: SimTime, counters: &Counters, index: Option<IndexStats>) {
         while now >= self.open_start + self.width {
             let end = self.open_start + self.width;
-            self.close_bucket(end, counters);
+            self.close_bucket(end, counters, index);
         }
     }
 
@@ -150,11 +167,24 @@ impl MetricsRecorder {
 
     /// Close the final (possibly partial) bucket at `now` and return the
     /// finished timeseries.
-    pub fn finish(mut self, now: SimTime, counters: &Counters) -> TimeSeries {
-        self.advance(now, counters);
-        if now > self.open_start || self.open_deliveries > 0 {
+    pub fn finish(
+        mut self,
+        now: SimTime,
+        counters: &Counters,
+        index: Option<IndexStats>,
+    ) -> TimeSeries {
+        self.advance(now, counters, index);
+        // Close the final partial bucket if it spans any time OR holds any
+        // activity. The activity checks matter when the run ends exactly on
+        // a bucket boundary: events dispatched at that instant (a mobility
+        // tick at the stop time, say) land in a zero-width bucket that
+        // would otherwise be dropped, losing their deltas from the series.
+        let pending = self.open_deliveries > 0
+            || *counters != self.base
+            || index.unwrap_or_default() != self.base_index;
+        if now > self.open_start || pending {
             let end = now.max(self.open_start);
-            self.close_bucket(end, counters);
+            self.close_bucket(end, counters, index);
         }
         TimeSeries {
             bucket_width: self.width,
@@ -162,8 +192,10 @@ impl MetricsRecorder {
         }
     }
 
-    fn close_bucket(&mut self, end: SimTime, c: &Counters) {
+    fn close_bucket(&mut self, end: SimTime, c: &Counters, index: Option<IndexStats>) {
         let b = &self.base;
+        let ix = index.unwrap_or_default();
+        let bx = &self.base_index;
         self.buckets.push(MetricsBucket {
             start: self.open_start,
             end,
@@ -181,9 +213,15 @@ impl MetricsRecorder {
             fault_events: c.fault_events - b.fault_events,
             deliveries: self.open_deliveries,
             delay_sum_s: self.open_delay_sum_s,
+            index_rebuckets: ix.rebuckets - bx.rebuckets,
+            index_epoch_bumps: ix.epoch_bumps - bx.epoch_bumps,
+            index_cache_hits: ix.cache_hits - bx.cache_hits,
+            index_cache_refreshes: ix.cache_refreshes - bx.cache_refreshes,
+            index_cache_rebuilds: ix.cache_rebuilds - bx.cache_rebuilds,
         });
         self.open_start = end;
         self.base = c.clone();
+        self.base_index = ix;
         self.open_deliveries = 0;
         self.open_delay_sum_s = 0.0;
     }
@@ -207,7 +245,7 @@ mod tests {
         c.record_rx_data(0, 100);
         rec.record_delivery(SimDuration::from_millis(20));
         // First event at t=12s closes bucket [0, 10).
-        rec.advance(SimTime::from_secs(12), &c);
+        rec.advance(SimTime::from_secs(12), &c, None);
         assert_eq!(rec.buckets.len(), 1);
         assert_eq!(rec.buckets[0].tx_data_frames, 1);
         assert_eq!(rec.buckets[0].rx_data_bytes, 100);
@@ -215,7 +253,7 @@ mod tests {
 
         // One more event in bucket 1.
         c.record_rx_data(1, 50);
-        let ts = rec.finish(SimTime::from_secs(15), &c);
+        let ts = rec.finish(SimTime::from_secs(15), &c, None);
         assert_eq!(ts.buckets.len(), 2);
         assert_eq!(ts.buckets[1].start, SimTime::from_secs(10));
         assert_eq!(ts.buckets[1].end, SimTime::from_secs(15));
@@ -232,7 +270,7 @@ mod tests {
     fn idle_gaps_produce_empty_buckets() {
         let c = Counters::default();
         let mut rec = MetricsRecorder::new(SimDuration::from_secs(1), SimTime::ZERO);
-        rec.advance(SimTime::from_secs(3), &c);
+        rec.advance(SimTime::from_secs(3), &c, None);
         assert_eq!(rec.buckets.len(), 3);
         assert!(rec.buckets.iter().all(|b| b.tx_data_frames == 0));
     }
@@ -242,8 +280,37 @@ mod tests {
         let b = MetricsBucket::default();
         assert_eq!(b.throughput_bps(), 0.0);
         assert_eq!(b.mean_delay_s(), 0.0);
-        let ts = MetricsRecorder::new(SimDuration::from_secs(1), SimTime::ZERO)
-            .finish(SimTime::ZERO, &Counters::default());
+        let ts = MetricsRecorder::new(SimDuration::from_secs(1), SimTime::ZERO).finish(
+            SimTime::ZERO,
+            &Counters::default(),
+            None,
+        );
+        assert!(ts.buckets.is_empty());
+    }
+
+    #[test]
+    fn activity_exactly_at_a_bucket_boundary_is_not_lost() {
+        // An event dispatched exactly at the stop time falls into a
+        // zero-width final bucket; its deltas must still be reported.
+        let mut c = Counters::default();
+        let mut rec = MetricsRecorder::new(SimDuration::from_secs(10), SimTime::ZERO);
+        rec.advance(SimTime::from_secs(10), &c, None);
+        // Counter and index activity at t = 10 s, exactly on the boundary.
+        c.record_tx_data(0, 100);
+        let ix = IndexStats {
+            rebuckets: 9,
+            ..IndexStats::default()
+        };
+        let ts = rec.finish(SimTime::from_secs(10), &c, Some(ix));
+        assert_eq!(ts.buckets.len(), 2);
+        let last = ts.buckets.last().unwrap();
+        assert_eq!(last.start, last.end, "zero-width final bucket");
+        assert_eq!(last.tx_data_frames, 1);
+        assert_eq!(last.index_rebuckets, 9);
+        assert_eq!(last.throughput_bps(), 0.0, "zero width must not NaN");
+        // A boundary finish with nothing pending still emits no bucket.
+        let rec = MetricsRecorder::new(SimDuration::from_secs(10), SimTime::ZERO);
+        let ts = rec.finish(SimTime::ZERO, &Counters::default(), None);
         assert!(ts.buckets.is_empty());
     }
 
@@ -259,7 +326,7 @@ mod tests {
         let mut rec = MetricsRecorder::new(SimDuration::from_secs(1), SimTime::ZERO);
         rec.record_delivery(SimDuration::from_millis(10));
         rec.record_delivery(SimDuration::from_millis(30));
-        let ts = rec.finish(SimTime::ZERO + SimDuration::from_millis(500), &c);
+        let ts = rec.finish(SimTime::ZERO + SimDuration::from_millis(500), &c, None);
         assert_eq!(ts.buckets.len(), 1);
         assert!((ts.buckets[0].mean_delay_s() - 0.02).abs() < 1e-12);
     }

@@ -1,14 +1,25 @@
-//! Uniform-grid spatial index over node positions.
+//! Uniform-grid spatial index over node positions, with incremental
+//! re-bucketing.
 //!
 //! [`NeighborIndex`] buckets nodes into square cells so that range queries
 //! ("every node within `r` meters of here") touch only the cells overlapping
 //! the query square instead of scanning all N nodes. The medium uses it to
-//! rebuild its per-transmitter candidate caches in O(K) per transmitter
+//! build its per-transmitter candidate caches in O(K) per transmitter
 //! (K = nodes in range) rather than O(N).
 //!
-//! The index is a snapshot: it does not observe position changes. Rebuild it
-//! (or the caches derived from it) whenever positions move — the simulator
-//! signals this via [`crate::medium::Medium::invalidate_positions`].
+//! The index observes position changes through [`NeighborIndex::update_position`]:
+//! a node that moved is re-bucketed only if its position crossed a grid-cell
+//! boundary, in O(bucket) instead of the O(N) of a full rebuild. Intra-cell
+//! ordering is stable (node ids ascending), so candidate enumeration order —
+//! and everything derived from it, like the RNG draw order of the medium —
+//! is identical to a from-scratch build over the same grid frame
+//! ([`NeighborIndex::rebuilt`] checks exactly that in tests).
+//!
+//! The grid *frame* (origin, cell size, dimensions) is fixed at build time
+//! from the initial bounding box. Nodes that later wander outside the frame
+//! are clamped into the border cells — queries stay conservative (the same
+//! clamping applies to query corners), only less selective. A workload whose
+//! population migrates far off the original frame should rebuild the index.
 
 use crate::geometry::Pos;
 
@@ -18,29 +29,31 @@ use crate::geometry::Pos;
 const MAX_CELLS_PER_AXIS: usize = 256;
 
 /// A uniform grid over a set of node positions supporting conservative
-/// range queries.
+/// range queries and incremental position updates.
 ///
 /// Queries return a **superset** of the nodes within the radius (everything
 /// in the cells overlapping the query square); callers apply their exact
 /// predicate per node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NeighborIndex {
     origin: Pos,
     /// Cell side length in meters.
     cell_m: f64,
     cols: usize,
     rows: usize,
-    /// CSR layout: `starts[c]..starts[c + 1]` indexes `nodes` for cell `c`.
-    starts: Vec<u32>,
-    /// Node indices grouped by cell, ascending within each cell.
-    nodes: Vec<u32>,
+    /// Node indices per cell, ascending within each cell.
+    cells: Vec<Vec<u32>>,
+    /// Inverse mapping: the cell each node is currently bucketed in.
+    node_cell: Vec<u32>,
 }
 
 impl NeighborIndex {
     /// Build an index with cells of (at least) `cell_m` meters per side.
     ///
     /// `cell_m` is normally the query radius the caller intends to use, so a
-    /// query touches at most 3×3 = 9 cells.
+    /// query touches at most 3×3 = 9 cells — and the 3×3 block around a
+    /// node's own cell ([`NeighborIndex::nodes_in_block`]) covers every node
+    /// within `cell_m` of it.
     ///
     /// # Panics
     ///
@@ -70,46 +83,115 @@ impl NeighborIndex {
         // Widen cells if the axis cap kicked in, so coverage stays complete.
         let cell_m = cell_m.max(span_x / cols as f64).max(span_y / rows as f64);
 
-        let origin = Pos::new(min_x, min_y);
         let mut index = NeighborIndex {
-            origin,
+            origin: Pos::new(min_x, min_y),
             cell_m,
             cols,
             rows,
-            starts: vec![0; cols * rows + 1],
-            nodes: vec![0; positions.len()],
+            cells: vec![Vec::new(); cols * rows],
+            node_cell: Vec::with_capacity(positions.len()),
         };
-        // Counting sort into CSR: count per cell, prefix-sum, then fill.
-        // Filling in ascending node order keeps each cell's list ascending.
-        for &p in positions {
-            let c = index.cell_of(p);
-            index.starts[c + 1] += 1;
-        }
-        for c in 0..cols * rows {
-            index.starts[c + 1] += index.starts[c];
-        }
-        let mut cursor: Vec<u32> = index.starts[..cols * rows].to_vec();
-        for (i, &p) in positions.iter().enumerate() {
-            let c = index.cell_of(p);
-            index.nodes[cursor[c] as usize] = i as u32;
-            cursor[c] += 1;
-        }
+        index.fill(positions);
         index
+    }
+
+    /// Rebuild this index's contents from `positions` **in the same grid
+    /// frame** (origin, cell size, dimensions). This is the reference the
+    /// incremental path must match bucket-for-bucket: applying
+    /// [`NeighborIndex::update_position`] for every moved node must leave
+    /// the index equal to `rebuilt(&new_positions)`.
+    pub fn rebuilt(&self, positions: &[Pos]) -> NeighborIndex {
+        let mut index = NeighborIndex {
+            origin: self.origin,
+            cell_m: self.cell_m,
+            cols: self.cols,
+            rows: self.rows,
+            cells: vec![Vec::new(); self.cols * self.rows],
+            node_cell: Vec::with_capacity(positions.len()),
+        };
+        index.fill(positions);
+        index
+    }
+
+    /// Bucket every position into the (already sized) grid. Pushing in
+    /// ascending node order keeps each cell's list ascending.
+    fn fill(&mut self, positions: &[Pos]) {
+        for (i, &p) in positions.iter().enumerate() {
+            assert!(p.x.is_finite() && p.y.is_finite(), "non-finite position");
+            let c = self.cell_of(p);
+            self.cells[c].push(i as u32);
+            self.node_cell.push(c as u32);
+        }
+    }
+
+    /// Re-bucket `node` after it moved to `new_pos`. Returns
+    /// `Some((old_cell, new_cell))` if the position crossed a cell boundary
+    /// (the node was moved between buckets, keeping both sorted), `None` if
+    /// it stayed in its cell (the index is untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_pos` is non-finite or `node` is not indexed.
+    pub fn update_position(&mut self, node: u32, new_pos: Pos) -> Option<(usize, usize)> {
+        assert!(
+            new_pos.x.is_finite() && new_pos.y.is_finite(),
+            "non-finite position"
+        );
+        let old = self.node_cell[node as usize] as usize;
+        let new = self.cell_of(new_pos);
+        if old == new {
+            return None;
+        }
+        let bucket = &mut self.cells[old];
+        let i = bucket
+            .binary_search(&node)
+            .expect("node present in its bucket");
+        bucket.remove(i);
+        let bucket = &mut self.cells[new];
+        let i = bucket
+            .binary_search(&node)
+            .expect_err("node cannot already be in the target bucket");
+        bucket.insert(i, node);
+        self.node_cell[node as usize] = new as u32;
+        Some((old, new))
     }
 
     /// Number of indexed nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.node_cell.len()
     }
 
     /// Whether the index holds no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.node_cell.is_empty()
     }
 
     /// Grid dimensions `(cols, rows)`; exposed for diagnostics.
     pub fn grid_dims(&self) -> (usize, usize) {
         (self.cols, self.rows)
+    }
+
+    /// Actual cell side in meters (at least the `cell_m` passed to
+    /// [`NeighborIndex::build`]; wider when the per-axis cell cap widened
+    /// them). Callers size their block radius from this: a block of `rings`
+    /// rings covers `rings × cell_size_m` meters around the center cell.
+    pub fn cell_size_m(&self) -> f64 {
+        self.cell_m
+    }
+
+    /// The cell index `position` falls in (clamped into the grid frame).
+    pub fn cell_index(&self, p: Pos) -> usize {
+        self.cell_of(p)
+    }
+
+    /// The cell `node` is currently bucketed in.
+    pub fn node_cell(&self, node: u32) -> usize {
+        self.node_cell[node as usize] as usize
+    }
+
+    /// The nodes bucketed in `cell`, ascending.
+    pub fn nodes_in_cell(&self, cell: usize) -> &[u32] {
+        &self.cells[cell]
     }
 
     fn cell_coords(&self, p: Pos) -> (usize, usize) {
@@ -123,6 +205,31 @@ impl NeighborIndex {
         cy * self.cols + cx
     }
 
+    /// Visit every cell of the `(2·rings+1)²` block centered on `cell`
+    /// (clamped at the grid border). The clamped cell mapping moves by at
+    /// most one cell index per [`NeighborIndex::cell_size_m`] meters of
+    /// displacement, so whenever `rings × cell_size_m` is at least the query
+    /// radius, this block covers every node within that radius of any point
+    /// inside `cell` — including clamped out-of-frame positions. It is the
+    /// conservative cell neighborhood the medium's epoch checks and cached
+    /// candidate supersets are defined over.
+    pub fn for_each_block_cell(&self, cell: usize, rings: usize, mut f: impl FnMut(usize)) {
+        let (cx, cy) = (cell % self.cols, cell / self.cols);
+        for y in cy.saturating_sub(rings)..=(cy + rings).min(self.rows - 1) {
+            for x in cx.saturating_sub(rings)..=(cx + rings).min(self.cols - 1) {
+                f(y * self.cols + x);
+            }
+        }
+    }
+
+    /// Append to `out` every node bucketed in the `(2·rings+1)²` block
+    /// centered on `cell` (see [`NeighborIndex::for_each_block_cell`]).
+    /// Within a cell nodes come out ascending, but cells are visited
+    /// row-major, so the overall order is not sorted.
+    pub fn nodes_in_block(&self, cell: usize, rings: usize, out: &mut Vec<u32>) {
+        self.for_each_block_cell(cell, rings, |c| out.extend_from_slice(&self.cells[c]));
+    }
+
     /// Append to `out` every node in a cell overlapping the square of
     /// half-side `radius_m` around `center` — a superset of the nodes within
     /// `radius_m` meters. Within a cell nodes come out ascending, but cells
@@ -134,9 +241,7 @@ impl NeighborIndex {
         let (cx1, cy1) = self.cell_coords(hi);
         for cy in cy0..=cy1 {
             for cx in cx0..=cx1 {
-                let c = cy * self.cols + cx;
-                let (s, e) = (self.starts[c] as usize, self.starts[c + 1] as usize);
-                out.extend_from_slice(&self.nodes[s..e]);
+                out.extend_from_slice(&self.cells[cy * self.cols + cx]);
             }
         }
     }
@@ -252,5 +357,69 @@ mod tests {
         let mut out = Vec::new();
         idx.candidates_within(Pos::new(2.0, 2.0), 50.0, &mut out);
         assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn incremental_updates_match_frame_rebuild() {
+        let mut rng = SimRng::seed_from(0x1DC);
+        let n = 60;
+        let mut positions: Vec<Pos> = (0..n)
+            .map(|_| {
+                Pos::new(
+                    rng.uniform_range(0.0, 2000.0),
+                    rng.uniform_range(0.0, 2000.0),
+                )
+            })
+            .collect();
+        let mut idx = NeighborIndex::build(&positions, 250.0);
+        for _ in 0..200 {
+            let i = rng.uniform_u32(n as u32) as usize;
+            positions[i] = Pos::new(
+                positions[i].x + rng.uniform_range(-400.0, 400.0),
+                positions[i].y + rng.uniform_range(-400.0, 400.0),
+            );
+            idx.update_position(i as u32, positions[i]);
+            assert_eq!(idx, idx.rebuilt(&positions));
+        }
+    }
+
+    #[test]
+    fn block_covers_radius_around_any_cell_member() {
+        let mut rng = SimRng::seed_from(0xB10C);
+        let positions: Vec<Pos> = (0..80)
+            .map(|_| {
+                Pos::new(
+                    rng.uniform_range(-300.0, 1700.0),
+                    rng.uniform_range(0.0, 1300.0),
+                )
+            })
+            .collect();
+        let r = 180.0;
+        let idx = NeighborIndex::build(&positions, r);
+        for (i, &p) in positions.iter().enumerate() {
+            let mut block = Vec::new();
+            idx.nodes_in_block(idx.node_cell(i as u32), 1, &mut block);
+            for e in brute_force(&positions, p, r) {
+                assert!(
+                    block.contains(&e),
+                    "node {e} within {r} m of node {i} missing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_position_reports_crossings_only() {
+        let positions = vec![Pos::new(50.0, 50.0), Pos::new(150.0, 50.0)];
+        let mut idx = NeighborIndex::build(&positions, 100.0);
+        // Intra-cell wiggle: no re-bucket.
+        assert_eq!(idx.update_position(0, Pos::new(60.0, 60.0)), None);
+        // Boundary crossing: re-bucketed, both cells reported.
+        let crossed = idx.update_position(0, Pos::new(150.0, 50.0));
+        let (old, new) = crossed.expect("crossed a cell boundary");
+        assert_ne!(old, new);
+        assert_eq!(idx.node_cell(0), idx.node_cell(1));
+        assert_eq!(idx.nodes_in_cell(new), &[0, 1]);
+        assert!(idx.nodes_in_cell(old).is_empty());
     }
 }

@@ -231,6 +231,134 @@ impl PhyParams {
     pub fn propagation_delay(&self, d: f64) -> crate::time::SimDuration {
         crate::time::SimDuration::from_secs_f64(d / SPEED_OF_LIGHT)
     }
+
+    /// Build a [`MeanPowerEval`] for these parameters.
+    pub fn mean_power_eval(&self) -> MeanPowerEval {
+        MeanPowerEval::new(self)
+    }
+}
+
+/// Precomputed evaluator for [`PhyParams::mean_rx_power_w`].
+///
+/// `mean_rx_power_w` recomputes the wavelength and the two-ray crossover
+/// distance — a division each — on every call, which dominates its cost when
+/// a spatial index filters tens of candidates per frame. This evaluator
+/// hoists every distance-independent subexpression at construction while
+/// performing the remaining per-call floating-point operations in *exactly*
+/// the order `mean_rx_power_w` performs them, so for every non-negative
+/// distance `eval(d)` returns the bit-identical `f64` (asserted by unit
+/// tests across all path-loss models). Cached evaluators must be rebuilt if
+/// the [`PhyParams`] they were derived from change.
+#[derive(Debug, Clone, Copy)]
+pub struct MeanPowerEval {
+    /// Wavelength, the clamp floor for tiny distances.
+    lambda: f64,
+    model: EvalModel,
+}
+
+/// Per-model precomputed constants of [`MeanPowerEval`].
+#[derive(Debug, Clone, Copy)]
+enum EvalModel {
+    /// Friis everywhere: `num / (C16PI2·d·d·L)`.
+    FreeSpace { num: f64, loss: f64 },
+    /// Friis below `dc`, `num4 / (d⁴·L)` beyond.
+    TwoRay {
+        num: f64,
+        num4: f64,
+        dc: f64,
+        loss: f64,
+    },
+    /// Friis below `d0`, `at_d0·(d0/d)^exponent` beyond.
+    LogDistance {
+        num: f64,
+        loss: f64,
+        d0: f64,
+        at_d0: f64,
+        exponent: f64,
+    },
+}
+
+/// `16π²`, folded with the same operation order `mean_rx_power_w` uses
+/// (`16.0 * PI * PI`), so the constant is bit-identical.
+const C16PI2: f64 = 16.0 * std::f64::consts::PI * std::f64::consts::PI;
+
+impl MeanPowerEval {
+    /// Precompute the evaluator for `phy`.
+    pub fn new(phy: &PhyParams) -> Self {
+        let lambda = phy.wavelength_m();
+        // Same association order as the `friis` closure's numerator:
+        // ((((tx·g_tx)·g_rx)·λ)·λ).
+        let num = phy.tx_power_w * phy.tx_gain * phy.rx_gain * lambda * lambda;
+        let loss = phy.system_loss;
+        let model = match phy.path_loss {
+            PathLossModel::FreeSpace => EvalModel::FreeSpace { num, loss },
+            PathLossModel::TwoRayGround => {
+                let h2 = phy.antenna_height_m * phy.antenna_height_m;
+                EvalModel::TwoRay {
+                    num,
+                    // ((((tx·g_tx)·g_rx)·h²)·h²), as in the far-field branch.
+                    num4: phy.tx_power_w * phy.tx_gain * phy.rx_gain * h2 * h2,
+                    dc: phy.crossover_distance_m(),
+                    loss,
+                }
+            }
+            PathLossModel::LogDistance {
+                exponent,
+                reference_m,
+            } => {
+                let d0 = reference_m.max(lambda);
+                EvalModel::LogDistance {
+                    num,
+                    loss,
+                    d0,
+                    at_d0: num / (C16PI2 * d0 * d0 * loss),
+                    exponent,
+                }
+            }
+        };
+        MeanPowerEval { lambda, model }
+    }
+
+    /// Mean received power at distance `d` meters; bit-identical to
+    /// [`PhyParams::mean_rx_power_w`] of the source parameters.
+    ///
+    /// `d` must be non-negative (callers pass `sqrt` outputs); unlike
+    /// `mean_rx_power_w` this is only checked in debug builds.
+    #[inline]
+    pub fn eval(&self, d: f64) -> f64 {
+        debug_assert!(d >= 0.0, "distance must be non-negative");
+        let d = d.max(self.lambda);
+        // Denominators keep `mean_rx_power_w`'s association order:
+        // Friis `(((C16PI2·d)·d)·L)`, far-field `((((d·d)·d)·d)·L)`.
+        match self.model {
+            EvalModel::FreeSpace { num, loss } => num / (C16PI2 * d * d * loss),
+            EvalModel::TwoRay {
+                num,
+                num4,
+                dc,
+                loss,
+            } => {
+                if d <= dc {
+                    num / (C16PI2 * d * d * loss)
+                } else {
+                    num4 / (d * d * d * d * loss)
+                }
+            }
+            EvalModel::LogDistance {
+                num,
+                loss,
+                d0,
+                at_d0,
+                exponent,
+            } => {
+                if d <= d0 {
+                    num / (C16PI2 * d * d * loss)
+                } else {
+                    at_d0 * (d0 / d).powf(exponent)
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -398,6 +526,52 @@ mod tests {
         let d = p.propagation_delay(300.0);
         // 300 m at light speed ≈ 1 microsecond.
         assert!((d.as_secs_f64() - 1.0e-6).abs() < 2e-8);
+    }
+
+    #[test]
+    fn mean_power_eval_bit_identical() {
+        // The evaluator's whole contract is bitwise equality, so compare
+        // `to_bits`, not approximate values, over a dense sweep that crosses
+        // every regime boundary (wavelength clamp, crossover, reference).
+        let models = [
+            PathLossModel::FreeSpace,
+            PathLossModel::TwoRayGround,
+            PathLossModel::LogDistance {
+                exponent: 3.5,
+                reference_m: 10.0,
+            },
+        ];
+        for model in models {
+            let p = PhyParams {
+                path_loss: model,
+                system_loss: 1.3,
+                ..PhyParams::default()
+            };
+            let eval = p.mean_power_eval();
+            let dc = p.crossover_distance_m();
+            let mut sweep: Vec<f64> = (0..2000).map(|i| i as f64 * 1.7).collect();
+            sweep.extend([
+                0.0,
+                1e-9,
+                p.wavelength_m(),
+                p.wavelength_m() * 1.0000001,
+                dc - 1e-9,
+                dc,
+                dc + 1e-9,
+                9.999,
+                10.0,
+                10.001,
+                1739.25,
+                99_999.0,
+            ]);
+            for d in sweep {
+                assert_eq!(
+                    eval.eval(d).to_bits(),
+                    p.mean_rx_power_w(d).to_bits(),
+                    "model {model:?}, d={d}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::frame::{Frame, FrameBody, FrameSlab};
 use crate::geometry::Pos;
 use crate::ids::{FrameId, NodeId, TimerId, TxHandle};
 use crate::mac::{CtrlResponse, Mac, MacParams, MacState, OutFrame};
-use crate::medium::{LinkEffect, Medium, RxPlan};
+use crate::medium::{IndexStats, LinkEffect, Medium, PositionDelta, RxPlan};
 use crate::metrics::{MetricsRecorder, TimeSeries};
 use crate::mobility::Mobility;
 use crate::protocol::{RxMeta, TxOutcome};
@@ -112,6 +112,11 @@ pub struct World<M> {
     trace: Option<Box<dyn TraceSink>>,
     metrics: Option<MetricsRecorder>,
     mobility: Option<Box<dyn Mobility>>,
+    /// Positions snapshot from just before the last mobility step, used to
+    /// diff which nodes actually moved (reused across ticks).
+    prev_positions: Vec<Pos>,
+    /// Per-tick move list handed to [`Medium::positions_changed`].
+    moves_buf: Vec<PositionDelta>,
     /// Crashed (fault-injected) nodes; a down node neither sends nor hears.
     pub(crate) down: Vec<bool>,
     /// Nodes whose in-flight transmission outlived a crash: its `TxEnd`
@@ -181,6 +186,8 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             trace: None,
             metrics: None,
             mobility: None,
+            prev_positions: Vec::new(),
+            moves_buf: Vec::new(),
             down: vec![false; n],
             tx_orphaned: vec![false; n],
             fault_plan: None,
@@ -253,9 +260,16 @@ impl<M: Clone + std::fmt::Debug> World<M> {
     /// Stop recording and return the finished timeseries, if one was
     /// attached; the final partial bucket is closed at the current time.
     pub fn take_metrics(&mut self) -> Option<TimeSeries> {
+        let index = self.medium.index_stats();
         self.metrics
             .take()
-            .map(|rec| rec.finish(self.now, &self.counters))
+            .map(|rec| rec.finish(self.now, &self.counters, index))
+    }
+
+    /// Spatial-index maintenance statistics from the medium, if it keeps an
+    /// index (see [`Medium::index_stats`]).
+    pub fn index_stats(&self) -> Option<IndexStats> {
+        self.medium.index_stats()
     }
 
     /// Hand `event` to the attached sink. Call sites guard on
@@ -415,7 +429,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         // every bucket holds exactly the events inside its time span. Reads
         // counters, mutates nothing else: zero-perturbation.
         if let Some(m) = self.metrics.as_mut() {
-            m.advance(self.now, &self.counters);
+            m.advance(self.now, &self.counters, self.medium.index_stats());
         }
         self.counters.events += 1;
         match ev.kind {
@@ -442,12 +456,28 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             }
             EventKind::MobilityTick => {
                 if let Some(model) = self.mobility.as_mut() {
+                    self.prev_positions.clear();
+                    self.prev_positions.extend_from_slice(&self.positions);
                     if let Some(next) = model.step(self.now, &mut self.positions, &mut self.rng) {
                         self.queue.push(next, EventKind::MobilityTick);
                     }
-                    // Geometry caches in the medium are now stale either way:
-                    // the model may have moved nodes even on its final tick.
-                    self.medium.invalidate_positions();
+                    // Report exactly which nodes moved (the model may move
+                    // nodes even on its final tick); media that cache
+                    // geometry invalidate just what the moves touched.
+                    self.moves_buf.clear();
+                    for (i, (&old, &new)) in
+                        self.prev_positions.iter().zip(&self.positions).enumerate()
+                    {
+                        if old != new {
+                            self.moves_buf.push(PositionDelta {
+                                node: NodeId::new(i as u32),
+                                from: old,
+                                to: new,
+                            });
+                        }
+                    }
+                    self.medium
+                        .positions_changed(&self.moves_buf, &self.positions);
                 }
             }
             EventKind::Fault { idx } => self.apply_fault(idx, upcalls),

@@ -5,7 +5,7 @@
 
 use mesh_sim::geometry::{Area, Pos};
 use mesh_sim::ids::NodeId;
-use mesh_sim::medium::{LinkTableMedium, Medium, PhysicalMedium, RxPlan};
+use mesh_sim::medium::{LinkTableMedium, Medium, PhysicalMedium, PositionDelta, RxPlan};
 use mesh_sim::mobility::RandomWaypoint;
 use mesh_sim::prelude::*;
 use mesh_sim::rng::SimRng;
@@ -59,6 +59,67 @@ proptest! {
             }
             naive.invalidate_positions();
             indexed.invalidate_positions();
+        }
+    }
+
+    /// The three maintenance modes — naive O(N) scan, wholesale-rebuild
+    /// index, and incrementally-patched index — stay bit-identical while a
+    /// random-waypoint walk feeds per-tick [`Medium::positions_changed`]
+    /// deltas: identical plan sequences, identical RNG consumption, for
+    /// every transmitter on every tick. Resting nodes are deliberately left
+    /// out of the move list so partial deltas (the incremental fast path)
+    /// are exercised, not just full-population ticks.
+    #[test]
+    fn incremental_matches_rebuild_and_naive(
+        n in 2usize..50,
+        seed in any::<u64>(),
+        side in 200.0f64..3000.0,
+        speed in 0.5f64..40.0,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let area = Area::square(side);
+        let mut positions = topology::random_placement(n, area, &mut rng);
+        let mut waypoints = positions.clone();
+        let mut naive = PhysicalMedium::default().with_indexing(false);
+        let mut rebuild = PhysicalMedium::default().with_incremental(false);
+        let mut incremental = PhysicalMedium::default();
+        for tick in 0..6u64 {
+            for tx in 0..n {
+                let mut rng_n = SimRng::seed_from(seed ^ (tick << 8) ^ tx as u64);
+                let mut rng_r = rng_n.clone();
+                let mut rng_i = rng_n.clone();
+                let p_n = plans(&mut naive, tx, &positions, &mut rng_n);
+                let p_r = plans(&mut rebuild, tx, &positions, &mut rng_r);
+                let p_i = plans(&mut incremental, tx, &positions, &mut rng_i);
+                prop_assert_eq!(&p_n, &p_r, "rebuild diverged at tick {} tx {}", tick, tx);
+                prop_assert_eq!(&p_n, &p_i, "incremental diverged at tick {} tx {}", tick, tx);
+                let probe = rng_n.next_u64();
+                prop_assert_eq!(probe, rng_r.next_u64());
+                prop_assert_eq!(probe, rng_i.next_u64());
+            }
+            // One random-waypoint tick: walk toward the waypoint at `speed`,
+            // re-aiming on arrival; some nodes rest and are not reported.
+            let mut moves = Vec::new();
+            for i in 0..n {
+                if rng.chance(0.2) {
+                    continue;
+                }
+                let (p, w) = (positions[i], waypoints[i]);
+                let (dx, dy) = (w.x - p.x, w.y - p.y);
+                let dist = (dx * dx + dy * dy).sqrt();
+                let to = if dist <= speed {
+                    waypoints[i] =
+                        Pos::new(rng.uniform_range(0.0, side), rng.uniform_range(0.0, side));
+                    w
+                } else {
+                    Pos::new(p.x + dx / dist * speed, p.y + dy / dist * speed)
+                };
+                positions[i] = to;
+                moves.push(PositionDelta { node: NodeId::new(i as u32), from: p, to });
+            }
+            naive.positions_changed(&moves, &positions);
+            rebuild.positions_changed(&moves, &positions);
+            incremental.positions_changed(&moves, &positions);
         }
     }
 
@@ -148,11 +209,15 @@ impl Protocol for Beacon {
     }
 }
 
-fn mobile_run(indexed: bool) -> (Vec<u64>, mesh_sim::counters::Counters) {
+fn mobile_run(indexed: bool, incremental: bool) -> (Vec<u64>, mesh_sim::counters::Counters, u64) {
     let mut rng = SimRng::seed_from(0xB0B);
     let area = Area::square(600.0);
     let positions = topology::random_placement(25, area, &mut rng);
-    let medium = Box::new(PhysicalMedium::default().with_indexing(indexed));
+    let medium = Box::new(
+        PhysicalMedium::default()
+            .with_indexing(indexed)
+            .with_incremental(incremental),
+    );
     let protos = (0..25).map(|_| Beacon::default()).collect();
     let mut sim = Simulator::new(positions, medium, WorldConfig::default(), protos);
     sim.set_mobility(Box::new(RandomWaypoint::new(
@@ -163,19 +228,27 @@ fn mobile_run(indexed: bool) -> (Vec<u64>, mesh_sim::counters::Counters) {
     )));
     sim.run_until(SimTime::from_secs(20));
     let heard = sim.protocols().iter().map(|p| p.heard).collect();
-    (heard, sim.counters().clone())
+    let hash = sim.schedule_hash();
+    (heard, sim.counters().clone(), hash)
 }
 
-/// Under random-waypoint mobility the indexed medium must still match the
-/// naive scan exactly: identical per-node delivery counts and counters.
+/// Under random-waypoint mobility all three maintenance modes must match
+/// exactly: identical per-node delivery counts, counters, and — the
+/// strongest fingerprint the simulator has — `schedule_hash`, which folds
+/// every scheduled event of the run.
 #[test]
-fn mobility_indexed_matches_naive() {
-    let (heard_naive, counters_naive) = mobile_run(false);
-    let (heard_indexed, counters_indexed) = mobile_run(true);
+fn mobility_three_modes_bit_identical() {
+    let (heard_naive, counters_naive, hash_naive) = mobile_run(false, true);
+    let (heard_rebuild, counters_rebuild, hash_rebuild) = mobile_run(true, false);
+    let (heard_incr, counters_incr, hash_incr) = mobile_run(true, true);
     assert!(
         heard_naive.iter().sum::<u64>() > 0,
         "beacons should be heard — otherwise the test is vacuous"
     );
-    assert_eq!(heard_naive, heard_indexed);
-    assert_eq!(counters_naive, counters_indexed);
+    assert_eq!(heard_naive, heard_rebuild);
+    assert_eq!(counters_naive, counters_rebuild);
+    assert_eq!(hash_naive, hash_rebuild);
+    assert_eq!(heard_naive, heard_incr);
+    assert_eq!(counters_naive, counters_incr);
+    assert_eq!(hash_naive, hash_incr);
 }

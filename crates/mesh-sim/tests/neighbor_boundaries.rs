@@ -173,3 +173,135 @@ fn indexed_medium_matches_scan_under_mobility_invalidation() {
     );
     assert!(with_index.planned_rx_data > 0, "nothing was ever received");
 }
+
+// ---------------------------------------------------------------------------
+// Incremental re-bucketing (`update_position`) edge cases. The contract in
+// every one of them is the same: after any sequence of updates the index must
+// equal `rebuilt(&positions)` — a fresh fill of the same grid frame — so the
+// incremental path can never drift from the from-scratch reference.
+
+#[test]
+fn rebucket_onto_exact_cell_edge_matches_fresh_build() {
+    // 100 m cells anchored at x = 0. A node landing exactly on x = 100.0
+    // (the tie between cells 0 and 1) must bucket the same way a fresh
+    // build buckets it.
+    let mut positions = vec![Pos::new(50.0, 50.0), Pos::new(250.0, 50.0)];
+    let mut idx = NeighborIndex::build(&positions, 100.0);
+    positions[0] = Pos::new(100.0, 50.0);
+    idx.update_position(0, positions[0]);
+    assert_eq!(idx, idx.rebuilt(&positions));
+    // And again landing on a corner (both axes tied at once).
+    positions[0] = Pos::new(100.0, 100.0);
+    idx.update_position(0, positions[0]);
+    assert_eq!(idx, idx.rebuilt(&positions));
+}
+
+#[test]
+fn zero_displacement_never_rebuckets() {
+    let positions = vec![Pos::new(10.0, 10.0), Pos::new(110.0, 10.0)];
+    let mut idx = NeighborIndex::build(&positions, 100.0);
+    let before = idx.clone();
+    // Moving to exactly where the node already is must report no crossing
+    // and leave the index bit-identical — including for a node sitting
+    // exactly on a cell edge.
+    assert_eq!(idx.update_position(0, positions[0]), None);
+    assert_eq!(idx.update_position(1, positions[1]), None);
+    assert_eq!(idx, before);
+    assert_eq!(idx, idx.rebuilt(&positions));
+}
+
+#[test]
+fn displacement_of_exactly_one_cell_width_crosses_once() {
+    let mut positions = vec![Pos::new(50.0, 50.0), Pos::new(350.0, 50.0)];
+    let mut idx = NeighborIndex::build(&positions, 100.0);
+    let from_cell = idx.node_cell(0);
+    // A displacement of exactly one cell width keeps the intra-cell offset
+    // and must land exactly one column over.
+    positions[0] = Pos::new(150.0, 50.0);
+    let (old, new) = idx
+        .update_position(0, positions[0])
+        .expect("one-cell-width move must cross");
+    assert_eq!(old, from_cell);
+    assert_eq!(new, from_cell + 1);
+    assert_eq!(idx, idx.rebuilt(&positions));
+}
+
+#[test]
+fn coincident_nodes_move_independently() {
+    // Five nodes stacked on one spot; moving some of them away (one onto an
+    // edge, one onto the same cell, one across) must keep every bucket
+    // sorted and equal to the fresh build, with the unmoved stack intact.
+    let mut positions = vec![Pos::new(150.0, 150.0); 5];
+    positions.push(Pos::new(450.0, 150.0));
+    let mut idx = NeighborIndex::build(&positions, 100.0);
+    positions[1] = Pos::new(250.0, 150.0); // crossing
+    idx.update_position(1, positions[1]);
+    positions[3] = Pos::new(100.0, 150.0); // onto the low edge of cell 1
+    idx.update_position(3, positions[3]);
+    positions[2] = Pos::new(160.0, 160.0); // intra-cell
+    assert_eq!(idx.update_position(2, positions[2]), None);
+    assert_eq!(idx, idx.rebuilt(&positions));
+    // The two untouched stacked nodes still share their original cell.
+    assert_eq!(idx.node_cell(0), idx.node_cell(4));
+}
+
+#[test]
+fn out_of_frame_moves_clamp_into_border_cells() {
+    // The grid frame is fixed at build time; nodes that wander past the
+    // origin or the far corner are clamped into the border cells, exactly
+    // as a fresh fill of the same frame clamps them.
+    let mut positions = vec![
+        Pos::new(0.0, 0.0),
+        Pos::new(200.0, 200.0),
+        Pos::new(400.0, 400.0),
+    ];
+    let mut idx = NeighborIndex::build(&positions, 100.0);
+    let far_corner = idx.node_cell(2);
+    positions[0] = Pos::new(-250.0, -1.0); // past the negative origin
+    idx.update_position(0, positions[0]);
+    positions[2] = Pos::new(1e6, 1e6); // far past the high corner
+    idx.update_position(2, positions[2]);
+    assert_eq!(idx, idx.rebuilt(&positions));
+    assert_eq!(idx.node_cell(0), 0, "clamped into the origin cell");
+    assert_eq!(idx.node_cell(2), far_corner, "clamped into the corner cell");
+    // Re-entering the frame un-clamps.
+    positions[0] = Pos::new(350.0, 50.0);
+    idx.update_position(0, positions[0]);
+    assert_eq!(idx, idx.rebuilt(&positions));
+}
+
+#[test]
+fn random_rebucket_walk_matches_fresh_build_and_stays_a_superset() {
+    // A randomized mobility walk — wiggles, cell-width hops, edge landings
+    // and out-of-frame excursions — checking after every tick that the
+    // incrementally-maintained index equals the from-scratch rebuild and
+    // still answers superset queries correctly.
+    let mut rng = SimRng::seed_from(0x5EED_CAFE);
+    let mut positions: Vec<Pos> = (0..40)
+        .map(|_| Pos::new(rng.uniform_range(0.0, 900.0), rng.uniform_range(0.0, 900.0)))
+        .collect();
+    let mut idx = NeighborIndex::build(&positions, 150.0);
+    for tick in 0..60 {
+        for (i, slot) in positions.iter_mut().enumerate() {
+            if rng.chance(0.3) {
+                continue; // resting node: not updated
+            }
+            let p = *slot;
+            let to = match tick % 4 {
+                0 => Pos::new(p.x + rng.uniform_range(-20.0, 20.0), p.y),
+                1 => Pos::new(p.x, (p.x / 150.0).floor() * 150.0), // edge landing
+                2 => Pos::new(p.x + 150.0, p.y - 150.0),           // exact cell hops
+                _ => Pos::new(
+                    rng.uniform_range(-300.0, 1200.0), // may leave the frame
+                    rng.uniform_range(-300.0, 1200.0),
+                ),
+            };
+            *slot = to;
+            idx.update_position(i as u32, to);
+        }
+        assert_eq!(idx, idx.rebuilt(&positions), "diverged at tick {tick}");
+        let center = positions[(tick * 7) % positions.len()];
+        assert_superset(&idx, &positions, center, 150.0);
+        assert_superset(&idx, &positions, center, 300.0);
+    }
+}
