@@ -1,0 +1,361 @@
+//! `sweep` — compile a declarative scenario file and run its sweep matrix
+//! under supervision.
+//!
+//! ```text
+//! sweep scenarios/city-churn.toml [--quick] [--limit N] [--out DIR]
+//!       [--retries N] [--dry-run]
+//! ```
+//!
+//! The file's `[sweep.axes]` cartesian grid is expanded into
+//! `configs × variants × seeds` jobs and run through the supervised
+//! scatter/gather runner (panic isolation, same-seed retries, watchdog
+//! livelock classification). Every finished run is appended to
+//! `<out>/<name>.jsonl` *as it completes* — a killed sweep still leaves a
+//! parseable record — and per-configuration comparison tables land in
+//! `<out>/<name>-summary.md` and on stdout.
+//!
+//! Sweeps are capped: the job count must not exceed the file's `limit` (or
+//! `--limit`, which overrides it); with no cap declared anywhere, anything
+//! above [`DEFAULT_CAP`] jobs is refused. `--quick` shrinks the matrix to a
+//! CI-sized smoke run (≤ 2 values per axis, 2 variants, 1 seed, 20 s data
+//! window) and suffixes output names with `-quick`.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use experiments::runner::{run_jobs_supervised, RunFailure};
+use experiments::scenario_compiler::{
+    compile, expand, job_count, quicken, variant_name, CompiledScenario, SweepJob,
+};
+use experiments::stats::{render_table, Summary};
+use experiments::RunMeasurement;
+use odmrp::Variant;
+
+/// Largest sweep allowed when neither the file nor the flags declare a cap.
+const DEFAULT_CAP: usize = 32;
+
+struct Args {
+    file: String,
+    quick: bool,
+    limit: Option<usize>,
+    out: String,
+    retries: Option<u32>,
+    dry_run: bool,
+}
+
+fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Args, String> {
+    let mut file = None;
+    let mut quick = false;
+    let mut limit = None;
+    let mut out = "results".to_string();
+    let mut retries = None;
+    let mut dry_run = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--dry-run" => dry_run = true,
+            "--limit" => {
+                let v = it.next().ok_or("--limit needs a value")?;
+                limit = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad value for --limit: {v}"))?,
+                );
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a value")?;
+                retries = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad value for --retries: {v}"))?,
+                );
+            }
+            "--out" => {
+                out = it.next().ok_or("--out needs a value")?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: sweep <scenario.toml> [--quick] [--limit N] [--out DIR] \
+                     [--retries N] [--dry-run]"
+                        .into(),
+                )
+            }
+            other if other.starts_with('-') => return Err(format!("unknown argument: {other}")),
+            other => {
+                if file.replace(other.to_string()).is_some() {
+                    return Err("exactly one scenario file expected".into());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        file: file.ok_or("usage: sweep <scenario.toml> [--quick] [--limit N] [--out DIR]")?,
+        quick,
+        limit,
+        out,
+        retries,
+        dry_run,
+    })
+}
+
+/// Minimal JSON string escaping for the JSONL stream.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One JSONL line per finished run; `ok` discriminates the two shapes.
+fn jsonl_line(job: &SweepJob, result: &Result<RunMeasurement, RunFailure>) -> String {
+    let head = format!(
+        "{{\"config\":{},\"label\":{},\"variant\":{},\"seed\":{}",
+        job.config,
+        json_str(&job.label),
+        json_str(variant_name(job.variant)),
+        job.seed
+    );
+    match result {
+        Ok(m) => format!(
+            "{head},\"ok\":true,\"pdr\":{:?},\"sent\":{},\"expected\":{},\"delivered\":{},\
+             \"mean_delay_s\":{:?},\"probe_overhead_pct\":{:?},\"schedule_hash\":{}}}",
+            m.pdr(),
+            m.sent,
+            m.expected,
+            m.delivered,
+            m.mean_delay_s,
+            m.probe_overhead_pct,
+            m.schedule_hash
+        ),
+        Err(f) => format!(
+            "{head},\"ok\":false,\"attempts\":{},\"livelock\":{},\"reason\":{}}}",
+            f.attempts,
+            f.livelock,
+            json_str(&f.reason)
+        ),
+    }
+}
+
+fn mean_ci(s: &Summary) -> String {
+    format!("{:.3} ± {:.3}", s.mean, s.ci95_half_width())
+}
+
+/// Render the per-configuration comparison tables plus a failure appendix.
+fn summary_markdown(
+    name: &str,
+    jobs: &[SweepJob],
+    runs: &[Result<RunMeasurement, RunFailure>],
+) -> String {
+    let mut md = String::new();
+    md.push_str(&format!("# sweep `{name}`\n\n"));
+    let ok = runs.iter().filter(|r| r.is_ok()).count();
+    md.push_str(&format!(
+        "{ok}/{} runs succeeded ({} salvaged as failures).\n",
+        runs.len(),
+        runs.len() - ok
+    ));
+
+    let n_configs = jobs.iter().map(|j| j.config).max().map_or(0, |c| c + 1);
+    for config in 0..n_configs {
+        let label = jobs
+            .iter()
+            .find(|j| j.config == config)
+            .map(|j| j.label.as_str())
+            .unwrap_or("");
+        let title = if label.is_empty() {
+            "base scenario"
+        } else {
+            label
+        };
+        md.push_str(&format!("\n## config {config}: {title}\n\n"));
+
+        // Variants in first-seen job order for this config.
+        let mut variants: Vec<Variant> = Vec::new();
+        for j in jobs.iter().filter(|j| j.config == config) {
+            if !variants.contains(&j.variant) {
+                variants.push(j.variant);
+            }
+        }
+        let mut rows = Vec::new();
+        for &variant in &variants {
+            let idx: Vec<usize> = (0..jobs.len())
+                .filter(|&i| jobs[i].config == config && jobs[i].variant == variant)
+                .collect();
+            let good: Vec<&RunMeasurement> =
+                idx.iter().filter_map(|&i| runs[i].as_ref().ok()).collect();
+            let pdr = Summary::of(good.iter().map(|m| m.pdr()));
+            let delay = Summary::of(good.iter().map(|m| m.mean_delay_s));
+            let overhead = Summary::of(good.iter().map(|m| m.probe_overhead_pct));
+            rows.push(vec![
+                variant_name(variant).to_string(),
+                format!("{}/{}", good.len(), idx.len()),
+                mean_ci(&pdr),
+                format!("{:.4}", delay.mean),
+                format!("{:.2}", overhead.mean),
+            ]);
+        }
+        md.push_str("```\n");
+        md.push_str(&render_table(
+            &[
+                "variant",
+                "runs",
+                "PDR (mean ± 95% CI)",
+                "delay s",
+                "probe %",
+            ],
+            &rows,
+        ));
+        md.push_str("```\n");
+    }
+
+    let failures: Vec<(usize, &RunFailure)> = runs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.as_ref().err().map(|f| (i, f)))
+        .collect();
+    if !failures.is_empty() {
+        md.push_str("\n## failures\n\n");
+        for (i, f) in failures {
+            md.push_str(&format!(
+                "- job {i} (config {}, {} seed {}): {} after {} attempt(s){}\n",
+                jobs[i].config,
+                variant_name(f.variant),
+                f.seed,
+                f.reason.lines().next().unwrap_or("panic"),
+                f.attempts,
+                if f.livelock { " [livelock]" } else { "" }
+            ));
+        }
+    }
+    md
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let src = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let mut compiled: CompiledScenario =
+        compile(&src).map_err(|e| format!("{}: {e}", args.file))?;
+    if args.quick {
+        quicken(&mut compiled);
+    }
+    if let Some(r) = args.retries {
+        compiled.sweep.retries = r;
+    }
+    if let Some(l) = args.limit {
+        compiled.sweep.limit = Some(l);
+    }
+
+    let count = job_count(&compiled.sweep);
+    let cap = compiled.sweep.limit.unwrap_or(DEFAULT_CAP);
+    if count > cap {
+        return Err(format!(
+            "sweep expands to {count} runs, above the cap of {cap} — raise it with --limit \
+             (or a `limit` key in [sweep])"
+        ));
+    }
+    let jobs = expand(&compiled)?;
+
+    let name = if args.quick {
+        format!("{}-quick", compiled.scenario.name)
+    } else {
+        compiled.scenario.name.clone()
+    };
+    eprintln!(
+        "sweep `{name}`: {} jobs ({} configs x {} variants x {} seeds), retries {}",
+        jobs.len(),
+        jobs.iter().map(|j| j.config).max().map_or(0, |c| c + 1),
+        compiled.sweep.variants.len(),
+        compiled.sweep.seeds,
+        compiled.sweep.retries,
+    );
+    if args.dry_run {
+        for (i, j) in jobs.iter().enumerate() {
+            println!(
+                "{i:4}  config {}  {}  {} seed {}",
+                j.config,
+                if j.label.is_empty() { "-" } else { &j.label },
+                variant_name(j.variant),
+                j.seed
+            );
+        }
+        return Ok(());
+    }
+
+    std::fs::create_dir_all(&args.out).map_err(|e| format!("cannot create {}: {e}", args.out))?;
+    let jsonl_path = format!("{}/{name}.jsonl", args.out);
+    let mut jsonl = std::io::BufWriter::new(
+        std::fs::File::create(&jsonl_path)
+            .map_err(|e| format!("cannot create {jsonl_path}: {e}"))?,
+    );
+
+    let pairs: Vec<(Variant, u64)> = jobs.iter().map(|j| (j.variant, j.seed)).collect();
+    let started = std::time::Instant::now();
+    let total = jobs.len();
+    let mut done = 0usize;
+    let report = run_jobs_supervised(
+        &pairs,
+        compiled.sweep.retries,
+        |i, v, s| jobs[i].scenario.run_supervised(v, s),
+        |i, result| {
+            let line = jsonl_line(&jobs[i], result);
+            writeln!(jsonl, "{line}").expect("write JSONL line");
+            jsonl.flush().expect("flush JSONL");
+            done += 1;
+            match result {
+                Ok(m) => eprintln!(
+                    "[{done}/{total}] ok   config {} {} seed {}: pdr {:.3}",
+                    jobs[i].config,
+                    variant_name(jobs[i].variant),
+                    jobs[i].seed,
+                    m.pdr()
+                ),
+                Err(f) => eprintln!(
+                    "[{done}/{total}] FAIL config {} {} seed {}: {}{}",
+                    jobs[i].config,
+                    variant_name(jobs[i].variant),
+                    jobs[i].seed,
+                    f.reason.lines().next().unwrap_or("panic"),
+                    if f.livelock { " [livelock]" } else { "" }
+                ),
+            }
+        },
+    );
+    eprintln!(
+        "sweep `{name}`: {} runs in {:.1}s, JSONL at {jsonl_path}",
+        report.runs.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    let md = summary_markdown(&name, &jobs, &report.runs);
+    let md_path = format!("{}/{name}-summary.md", args.out);
+    std::fs::write(&md_path, &md).map_err(|e| format!("cannot write {md_path}: {e}"))?;
+    println!("{md}");
+    eprintln!("summary at {md_path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

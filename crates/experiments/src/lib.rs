@@ -37,13 +37,15 @@ pub mod recovery;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod scenario_compiler;
 pub mod stats;
 pub mod trees;
 
 pub use measure::RunMeasurement;
 pub use recovery::{RecoveryAnalysis, RecoverySpec};
 pub use runner::{
-    paper_variants, run_matrix, run_matrix_supervised, run_mesh_observed, run_mesh_once,
-    run_testbed_once, summarize, MatrixReport, RunFailure, VariantSummary,
+    paper_variants, run_jobs_supervised, run_matrix, run_matrix_supervised, run_mesh_observed,
+    run_mesh_once, run_testbed_once, summarize, MatrixReport, RunFailure, VariantSummary,
 };
 pub use scenario::{GroupSpec, MeshScenario, ScenarioLayout, TestbedScenario};
+pub use scenario_compiler::WorkloadScenario;

@@ -80,6 +80,19 @@ impl RunMeasurement {
                     }
                 }
             }
+            // Churning receivers: expected opportunities were precomputed at
+            // layout time as the source departures inside each membership
+            // window (delivery credit is gated on membership at arrival
+            // time, so a leave stops counting immediately).
+            for (c, exp) in &g.churners {
+                expected += exp;
+                for s in &g.sources {
+                    if let Some(d) = nodes[c.index()].node_stats().delivered.get(&(g.group, *s)) {
+                        delivered += d.count;
+                        delay_sum += d.delay_sum_s;
+                    }
+                }
+            }
         }
         let mean_delay_s = if delivered > 0 {
             delay_sum / delivered as f64

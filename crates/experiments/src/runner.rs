@@ -252,11 +252,35 @@ pub fn run_matrix_supervised<F>(
 where
     F: Fn(Variant, u64) -> RunMeasurement + Sync,
 {
-    type Slot = Result<RunMeasurement, RunFailure>;
     let jobs: Vec<(Variant, u64)> = variants
         .iter()
         .flat_map(|&v| seeds.iter().map(move |&s| (v, s)))
         .collect();
+    run_jobs_supervised(&jobs, retries, |_, v, s| run(v, s), |_, _| {})
+}
+
+/// The supervised scatter/gather core: run an explicit list of
+/// `(variant, seed)` jobs — which, unlike [`run_matrix_supervised`]'s
+/// cartesian matrix, may each mean a *different scenario* (the sweep
+/// harness keys its per-job configs by index) — with the same panic
+/// isolation, same-seed retries and watchdog-livelock classification.
+///
+/// `run` receives the job index alongside the variant and seed so callers
+/// can look up per-job context. `on_result` is invoked on the calling
+/// thread **in completion order** as each job finishes — the streaming hook
+/// the sweep binary uses to append JSONL while hundreds of runs are still
+/// in flight. The returned report is input-ordered regardless.
+pub fn run_jobs_supervised<F, O>(
+    jobs: &[(Variant, u64)],
+    retries: u32,
+    run: F,
+    mut on_result: O,
+) -> MatrixReport
+where
+    F: Fn(usize, Variant, u64) -> RunMeasurement + Sync,
+    O: FnMut(usize, &Result<RunMeasurement, RunFailure>),
+{
+    type Slot = Result<RunMeasurement, RunFailure>;
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -268,11 +292,11 @@ where
     // loudly instead of a silently-discarded `Option`.
     // mesh-lint: allow(R5, "run_matrix is the one sanctioned scatter/gather point")
     let (tx, rx) = std::sync::mpsc::channel::<(usize, Slot)>();
+    let mut results: Vec<Option<Slot>> = jobs.iter().map(|_| None).collect();
     // mesh-lint: allow(R5, "workers run independent variant-seed jobs; results are index-keyed")
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
-            let jobs = &jobs;
             let next = &next;
             let run = &run;
             scope.spawn(move || loop {
@@ -286,7 +310,7 @@ where
                     // The closure only borrows `run` (required Sync) and Copy
                     // job parameters, and a panicking attempt leaves no state
                     // behind that later attempts observe.
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(v, s))) {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(i, v, s))) {
                         Ok(m) => {
                             outcome = Some(Ok(m));
                             break;
@@ -309,16 +333,19 @@ where
                 tx.send((i, slot)).expect("collector outlives workers");
             });
         }
+        // Collect inside the scope so `on_result` streams while workers are
+        // still producing; dropping the original sender first lets the loop
+        // end when the last worker hangs up.
+        drop(tx);
+        for (i, m) in rx {
+            on_result(i, &m);
+            let slot = results.get_mut(i).unwrap_or_else(|| {
+                panic!("worker produced out-of-range job index {i}");
+            });
+            assert!(slot.is_none(), "job {i} produced two results");
+            *slot = Some(m);
+        }
     });
-    drop(tx);
-    let mut results: Vec<Option<Slot>> = jobs.iter().map(|_| None).collect();
-    for (i, m) in rx {
-        let slot = results.get_mut(i).unwrap_or_else(|| {
-            panic!("worker produced out-of-range job index {i}");
-        });
-        assert!(slot.is_none(), "job {i} produced two results");
-        *slot = Some(m);
-    }
     MatrixReport {
         runs: results
             .into_iter()
@@ -542,6 +569,40 @@ mod tests {
             );
         });
         assert!(report.failures()[0].livelock);
+    }
+
+    #[test]
+    fn jobs_supervised_streams_every_result_and_orders_the_report() {
+        // Heterogeneous job list: same variant, distinct seeds, and the
+        // runner must hand the job index through so per-job context works.
+        let jobs = vec![
+            (Variant::Original, 11u64),
+            (Variant::Original, 22),
+            (Variant::Metric(mcast_metrics::MetricKind::Spp), 33),
+        ];
+        let mut streamed = Vec::new();
+        let report = run_jobs_supervised(
+            &jobs,
+            0,
+            |i, v, s| {
+                assert_eq!(jobs[i], (v, s), "index must identify the job");
+                meas(v, s, s, 0.01)
+            },
+            |i, r| {
+                assert!(r.is_ok());
+                streamed.push(i);
+            },
+        );
+        // Every job streamed exactly once, whatever the completion order.
+        streamed.sort_unstable();
+        assert_eq!(streamed, vec![0, 1, 2]);
+        // The report is input-ordered.
+        let seeds: Vec<u64> = report
+            .runs
+            .iter()
+            .map(|r| r.as_ref().unwrap().seed)
+            .collect();
+        assert_eq!(seeds, vec![11, 22, 33]);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use odmrp::{CbrSource, NodeRole, OdmrpConfig, OdmrpNode, Variant};
 use testbed::TestbedMedium;
 
 /// The 50-node random-mesh scenario of §4.1.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeshScenario {
     /// Number of nodes (paper: 50).
     pub nodes: usize,
@@ -113,6 +113,14 @@ impl MeshScenario {
     /// members are a pure function of the seed, so every variant runs on the
     /// identical layout.
     pub fn layout(&self, seed: u64) -> ScenarioLayout {
+        self.layout_with_spare(seed).0
+    }
+
+    /// Like [`layout`](Self::layout), additionally returning the shuffled
+    /// node ids that received no role — churn-enabled workloads (see
+    /// `scenario_compiler`) draw their windowed receivers from these so the
+    /// base layout stays bit-identical with churn off.
+    pub fn layout_with_spare(&self, seed: u64) -> (ScenarioLayout, Vec<usize>) {
         let mut rng = SimRng::seed_from(seed ^ 0xC0FF_EE00);
         let positions = topology::random_connected(
             self.nodes,
@@ -121,51 +129,30 @@ impl MeshScenario {
             &mut rng,
             10_000,
         );
-        // Draw sources and members for each group without replacement.
-        let needed = self.groups * (self.members_per_group + self.sources_per_group);
-        assert!(
-            needed <= self.nodes,
-            "scenario needs {needed} distinct roles but has {} nodes",
-            self.nodes
-        );
-        let mut ids: Vec<usize> = (0..self.nodes).collect();
-        // Fisher-Yates shuffle driven by the scenario RNG.
-        for i in (1..ids.len()).rev() {
-            let j = rng.uniform_u32(i as u32 + 1) as usize;
-            ids.swap(i, j);
-        }
-        let mut roles = vec![NodeRole::forwarder(); self.nodes];
-        let mut take = ids.into_iter();
-        let mut groups = Vec::new();
-        for g in 0..self.groups {
-            let gid = GroupId(g as u32);
-            let mut sources = Vec::new();
-            let mut members = Vec::new();
-            for _ in 0..self.sources_per_group {
-                let id = take.next().expect("enough nodes");
-                roles[id].sources.push(CbrSource::paper_default(
-                    gid,
-                    self.data_start,
-                    self.data_stop,
-                ));
-                sources.push(NodeId::new(id as u32));
-            }
-            for _ in 0..self.members_per_group {
-                let id = take.next().expect("enough nodes");
-                roles[id].member_of.push(gid);
-                members.push(NodeId::new(id as u32));
-            }
-            groups.push(GroupSpec {
-                group: gid,
-                sources,
-                members,
-            });
-        }
-        ScenarioLayout {
+        draw_layout(
             positions,
-            roles,
-            groups,
-        }
+            &mut rng,
+            self.groups,
+            self.members_per_group,
+            self.sources_per_group,
+            self.data_start,
+            self.data_stop,
+        )
+    }
+
+    /// The paper's physical medium for this scenario (fading + two-ray
+    /// ground, spatial indexing per `indexed_medium`).
+    pub(crate) fn phy_medium(&self) -> Box<PhysicalMedium> {
+        let phy = PhyParams {
+            fading: if self.fading {
+                FadingModel::Rayleigh
+            } else {
+                FadingModel::None
+            },
+            path_loss: PathLossModel::TwoRayGround,
+            ..PhyParams::default()
+        };
+        Box::new(PhysicalMedium::new(phy).with_indexing(self.indexed_medium))
     }
 
     /// Draw a random but fully deterministic fault plan for topology `seed`:
@@ -207,33 +194,14 @@ impl MeshScenario {
     /// Build a ready-to-run simulator for `variant` on topology `seed`.
     pub fn build(&self, variant: Variant, seed: u64) -> Simulator<OdmrpNode> {
         let layout = self.layout(seed);
-        let phy = PhyParams {
-            fading: if self.fading {
-                FadingModel::Rayleigh
-            } else {
-                FadingModel::None
-            },
-            path_loss: PathLossModel::TwoRayGround,
-            ..PhyParams::default()
-        };
-        let medium = Box::new(PhysicalMedium::new(phy).with_indexing(self.indexed_medium));
-        build_simulator(layout, medium, self.odmrp_config(variant), seed)
+        build_simulator(layout, self.phy_medium(), self.odmrp_config(variant), seed)
     }
 
     /// Build a simulator running the **tree-based** protocol (`maodv`) for
     /// `variant` on topology `seed` — the §4.3 comparison point.
     pub fn build_tree(&self, variant: Variant, seed: u64) -> Simulator<maodv::MaodvNode> {
         let layout = self.layout(seed);
-        let phy = PhyParams {
-            fading: if self.fading {
-                FadingModel::Rayleigh
-            } else {
-                FadingModel::None
-            },
-            path_loss: PathLossModel::TwoRayGround,
-            ..PhyParams::default()
-        };
-        let medium = Box::new(PhysicalMedium::new(phy).with_indexing(self.indexed_medium));
+        let medium = self.phy_medium();
         let cfg = maodv::MaodvConfig {
             variant,
             probe_rate: self.probe_rate,
@@ -341,6 +309,7 @@ impl TestbedScenario {
                 group: gid,
                 sources: vec![sid],
                 members: mlist,
+                churners: Vec::new(),
             });
         }
         ScenarioLayout {
@@ -385,11 +354,83 @@ pub struct GroupSpec {
     pub group: GroupId,
     /// Source node(s).
     pub sources: Vec<NodeId>,
-    /// Member (receiver) nodes.
+    /// Member (receiver) nodes (whole-run membership).
     pub members: Vec<NodeId>,
+    /// Churning receivers: `(node, expected packets)` pairs where the
+    /// expectation counts the source departures inside the node's
+    /// membership window. Empty for non-churn scenarios, so measurement is
+    /// unchanged there.
+    pub churners: Vec<(NodeId, u64)>,
 }
 
-fn build_simulator(
+/// Draw sources and members for each group without replacement over a
+/// Fisher-Yates shuffle of the node ids, continuing `rng`'s stream (the one
+/// that placed the nodes). Returns the layout plus the shuffled ids that
+/// received no role — one semantics for every topology family and for the
+/// churn overlay, which consumes the spare ids.
+///
+/// # Panics
+///
+/// Panics if the groups need more distinct roles than there are nodes.
+pub(crate) fn draw_layout(
+    positions: Vec<mesh_sim::geometry::Pos>,
+    rng: &mut SimRng,
+    n_groups: usize,
+    members_per_group: usize,
+    sources_per_group: usize,
+    data_start: SimTime,
+    data_stop: SimTime,
+) -> (ScenarioLayout, Vec<usize>) {
+    let nodes = positions.len();
+    let needed = n_groups * (members_per_group + sources_per_group);
+    assert!(
+        needed <= nodes,
+        "scenario needs {needed} distinct roles but has {nodes} nodes"
+    );
+    let mut ids: Vec<usize> = (0..nodes).collect();
+    // Fisher-Yates shuffle driven by the scenario RNG.
+    for i in (1..ids.len()).rev() {
+        let j = rng.uniform_u32(i as u32 + 1) as usize;
+        ids.swap(i, j);
+    }
+    let mut roles = vec![NodeRole::forwarder(); nodes];
+    let mut take = ids.into_iter();
+    let mut groups = Vec::new();
+    for g in 0..n_groups {
+        let gid = GroupId(g as u32);
+        let mut sources = Vec::new();
+        let mut members = Vec::new();
+        for _ in 0..sources_per_group {
+            let id = take.next().expect("enough nodes");
+            roles[id]
+                .sources
+                .push(CbrSource::paper_default(gid, data_start, data_stop));
+            sources.push(NodeId::new(id as u32));
+        }
+        for _ in 0..members_per_group {
+            let id = take.next().expect("enough nodes");
+            roles[id].member_of.push(gid);
+            members.push(NodeId::new(id as u32));
+        }
+        groups.push(GroupSpec {
+            group: gid,
+            sources,
+            members,
+            churners: Vec::new(),
+        });
+    }
+    let spare: Vec<usize> = take.collect();
+    (
+        ScenarioLayout {
+            positions,
+            roles,
+            groups,
+        },
+        spare,
+    )
+}
+
+pub(crate) fn build_simulator(
     layout: ScenarioLayout,
     medium: Box<dyn Medium>,
     cfg: OdmrpConfig,

@@ -1,0 +1,30 @@
+//! Declarative scenario compiler: TOML files → runnable workloads.
+//!
+//! The pipeline is `toml::parse` (dependency-free TOML-subset parser with
+//! line-numbered errors) → `compile::compile` (strict semantic checking
+//! into a [`workload::WorkloadScenario`] + [`compile::SweepSpec`]) →
+//! `sweep::expand` (cartesian axis expansion into supervised jobs).
+//! `serialize::to_toml` closes the loop: compiled scenarios serialize back
+//! to canonical TOML that re-compiles to an equal struct.
+//!
+//! The compiler is an alternate *front-end*, not a second semantics: it
+//! targets the same [`workload::WorkloadScenario`] backend hand-written
+//! Rust scenarios use, and everything a scenario produces (layouts, fault
+//! plans, simulators) is a pure function of the struct plus `(variant,
+//! seed)` — so equal structs run bit-identically, which the
+//! compile-equivalence test suite asserts via `schedule_hash`.
+
+pub mod compile;
+pub mod serialize;
+pub mod sweep;
+pub mod toml;
+pub mod workload;
+
+pub use compile::{compile, parse_variant, variant_name, CompiledScenario, SweepSpec};
+pub use serialize::to_toml;
+pub use sweep::{expand, job_count, quicken, SweepJob};
+pub use toml::TomlError;
+pub use workload::{
+    grid_side, metro_side, ChurnSpec, ChurnWindow, FaultSpec, FaultWindow, MobilitySpec,
+    TopologyFamily, TrafficMix, WorkloadScenario,
+};

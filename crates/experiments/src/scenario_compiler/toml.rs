@@ -1,0 +1,630 @@
+//! A dependency-free TOML-subset parser for scenario files.
+//!
+//! Follows the `mesh-lint` `config.rs` precedent: the grammar covers exactly
+//! what scenario files need — `#` comments, `[section]` and `[[section]]`
+//! headers (dotted names allowed), and `key = value` pairs where a value is
+//! a quoted string, integer, float, boolean, or a single-line array of
+//! those — and everything else is a hard error carrying the 1-based line
+//! number. No `HashMap` anywhere: tables and entries keep file order in
+//! `Vec`s, so iteration is deterministic by construction.
+
+use std::fmt;
+
+/// A parse/validation error with the 1-based source line it points at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl TomlError {
+    /// Construct an error at `line`.
+    pub fn at(line: usize, msg: impl Into<String>) -> Self {
+        TomlError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+/// A scalar or array value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `"quoted"` string.
+    Str(String),
+    /// Integer literal (underscore separators allowed).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `[v, v, ...]` — scalars only, one line.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// A short name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+}
+
+/// One `key = value` pair with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The key (quotes stripped if the file quoted it).
+    pub key: String,
+    /// The parsed value.
+    pub value: Value,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Entry {
+    fn type_err(&self, wanted: &str) -> TomlError {
+        TomlError::at(
+            self.line,
+            format!(
+                "key `{}` expects a {wanted}, got a {}",
+                self.key,
+                self.value.type_name()
+            ),
+        )
+    }
+
+    /// The value as a string.
+    pub fn str(&self) -> Result<&str, TomlError> {
+        match &self.value {
+            Value::Str(s) => Ok(s),
+            _ => Err(self.type_err("string")),
+        }
+    }
+
+    /// The value as an i64 (integers only).
+    pub fn int(&self) -> Result<i64, TomlError> {
+        match self.value {
+            Value::Int(i) => Ok(i),
+            _ => Err(self.type_err("integer")),
+        }
+    }
+
+    /// The value as a non-negative count.
+    pub fn usize(&self) -> Result<usize, TomlError> {
+        let i = self.int()?;
+        usize::try_from(i).map_err(|_| {
+            TomlError::at(
+                self.line,
+                format!("key `{}` must be >= 0, got {i}", self.key),
+            )
+        })
+    }
+
+    /// The value as an f64 (integer literals widen).
+    pub fn float(&self) -> Result<f64, TomlError> {
+        match self.value {
+            Value::Float(f) => Ok(f),
+            Value::Int(i) => Ok(i as f64),
+            _ => Err(self.type_err("number")),
+        }
+    }
+
+    /// The value as a bool.
+    pub fn bool(&self) -> Result<bool, TomlError> {
+        match self.value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(self.type_err("boolean")),
+        }
+    }
+
+    /// The value as an array of strings.
+    pub fn str_array(&self) -> Result<Vec<String>, TomlError> {
+        match &self.value {
+            Value::Array(vs) => vs
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => Ok(s.clone()),
+                    other => Err(TomlError::at(
+                        self.line,
+                        format!(
+                            "key `{}` expects an array of strings, found a {}",
+                            self.key,
+                            other.type_name()
+                        ),
+                    )),
+                })
+                .collect(),
+            _ => Err(self.type_err("array of strings")),
+        }
+    }
+
+    /// The value as an array of numbers (integers widen).
+    pub fn float_array(&self) -> Result<Vec<f64>, TomlError> {
+        match &self.value {
+            Value::Array(vs) => vs
+                .iter()
+                .map(|v| match v {
+                    Value::Float(f) => Ok(*f),
+                    Value::Int(i) => Ok(*i as f64),
+                    other => Err(TomlError::at(
+                        self.line,
+                        format!(
+                            "key `{}` expects an array of numbers, found a {}",
+                            self.key,
+                            other.type_name()
+                        ),
+                    )),
+                })
+                .collect(),
+            _ => Err(self.type_err("array of numbers")),
+        }
+    }
+}
+
+/// One `[name]` or `[[name]]` table: ordered entries, source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Dotted section name (`""` for the root table).
+    pub name: String,
+    /// 1-based line of the header (0 for the root table).
+    pub line: usize,
+    /// Whether the header was `[[name]]`.
+    pub is_array: bool,
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Table {
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+
+    /// Require a key, erroring at the table header when absent.
+    pub fn require(&self, key: &str) -> Result<&Entry, TomlError> {
+        self.get(key).ok_or_else(|| {
+            TomlError::at(
+                self.line.max(1),
+                format!("section [{}] is missing required key `{}`", self.name, key),
+            )
+        })
+    }
+
+    /// Error on any entry whose key is not in `allowed` — the strict
+    /// unknown-key contract.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), TomlError> {
+        for e in &self.entries {
+            if !allowed.iter().any(|a| *a == e.key) {
+                return Err(TomlError::at(
+                    e.line,
+                    format!(
+                        "unknown key `{}` in section [{}] (allowed: {})",
+                        e.key,
+                        if self.name.is_empty() {
+                            "<root>"
+                        } else {
+                            &self.name
+                        },
+                        allowed.join(", ")
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A parsed document: the root table followed by sections in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Doc {
+    /// Tables in file order; index 0 is the root table when it has entries.
+    pub tables: Vec<Table>,
+}
+
+impl Doc {
+    /// The first (non-array) table with this dotted name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name && !t.is_array)
+    }
+
+    /// Every `[[name]]` table with this dotted name, in file order.
+    pub fn array_tables(&self, name: &str) -> Vec<&Table> {
+        self.tables
+            .iter()
+            .filter(|t| t.name == name && t.is_array)
+            .collect()
+    }
+
+    /// Error on any section whose name is not in `allowed` (the root table
+    /// is validated separately by the caller).
+    pub fn reject_unknown_sections(&self, allowed: &[&str]) -> Result<(), TomlError> {
+        for t in &self.tables {
+            if t.name.is_empty() {
+                continue;
+            }
+            if !allowed.iter().any(|a| *a == t.name) {
+                return Err(TomlError::at(
+                    t.line,
+                    format!(
+                        "unknown section [{}] (known sections: {})",
+                        t.name,
+                        allowed.join(", ")
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse a document from source text.
+pub fn parse(src: &str) -> Result<Doc, TomlError> {
+    let mut doc = Doc::default();
+    let mut current = Table {
+        name: String::new(),
+        line: 0,
+        is_array: false,
+        entries: Vec::new(),
+    };
+    for (idx, raw) in src.lines().enumerate() {
+        let no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(name) = rest.strip_suffix("]]") else {
+                return Err(TomlError::at(no, "unterminated [[section]] header"));
+            };
+            let name = check_section_name(name.trim(), no)?;
+            doc.tables.push(std::mem::replace(
+                &mut current,
+                Table {
+                    name,
+                    line: no,
+                    is_array: true,
+                    entries: Vec::new(),
+                },
+            ));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(TomlError::at(no, "unterminated [section] header"));
+            };
+            let name = check_section_name(name.trim(), no)?;
+            if doc.tables.iter().any(|t| t.name == name && !t.is_array)
+                || (current.name == name && !current.is_array)
+            {
+                return Err(TomlError::at(no, format!("duplicate section [{name}]")));
+            }
+            doc.tables.push(std::mem::replace(
+                &mut current,
+                Table {
+                    name,
+                    line: no,
+                    is_array: false,
+                    entries: Vec::new(),
+                },
+            ));
+            continue;
+        }
+        let Some((key, value)) = split_key_value(line) else {
+            return Err(TomlError::at(
+                no,
+                format!("expected `key = value`, got `{line}`"),
+            ));
+        };
+        let key = parse_key(key.trim(), no)?;
+        if current.get(&key).is_some() {
+            return Err(TomlError::at(
+                no,
+                format!("duplicate key `{key}` in section [{}]", current.name),
+            ));
+        }
+        let value = parse_value(value.trim(), no)?;
+        current.entries.push(Entry {
+            key,
+            value,
+            line: no,
+        });
+    }
+    doc.tables.push(current);
+    // Drop empty placeholder tables (but keep empty *declared* sections so
+    // `[sweep]` with no keys still exists).
+    doc.tables.retain(|t| t.line > 0 || !t.entries.is_empty());
+    Ok(doc)
+}
+
+/// Split at the first `=` that is outside a string. (Keys may be quoted.)
+fn split_key_value(line: &str) -> Option<(&str, &str)> {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '=' if !in_str => return Some((&line[..i], &line[i + 1..])),
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    None
+}
+
+fn check_section_name(name: &str, no: usize) -> Result<String, TomlError> {
+    if name.is_empty() {
+        return Err(TomlError::at(no, "empty section name"));
+    }
+    let ok = name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'));
+    if !ok || name.starts_with('.') || name.ends_with('.') {
+        return Err(TomlError::at(no, format!("invalid section name `{name}`")));
+    }
+    Ok(name.to_string())
+}
+
+/// A key: bare (`alnum _ - .`) or a quoted string.
+fn parse_key(key: &str, no: usize) -> Result<String, TomlError> {
+    if let Some(inner) = key.strip_prefix('"') {
+        let Some(inner) = inner.strip_suffix('"') else {
+            return Err(TomlError::at(
+                no,
+                format!("unterminated quoted key `{key}`"),
+            ));
+        };
+        if inner.is_empty() {
+            return Err(TomlError::at(no, "empty key"));
+        }
+        return Ok(inner.to_string());
+    }
+    if key.is_empty() {
+        return Err(TomlError::at(no, "empty key"));
+    }
+    let ok = key
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'));
+    if !ok {
+        return Err(TomlError::at(no, format!("invalid key `{key}`")));
+    }
+    Ok(key.to_string())
+}
+
+/// Parse a scalar or single-line array.
+fn parse_value(v: &str, no: usize) -> Result<Value, TomlError> {
+    if v.is_empty() {
+        return Err(TomlError::at(no, "missing value after `=`"));
+    }
+    if let Some(inner) = v.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err(TomlError::at(
+                no,
+                "unterminated array (arrays must close on one line)",
+            ));
+        };
+        let mut out = Vec::new();
+        for part in split_array_items(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // tolerate a trailing comma
+            }
+            out.push(parse_scalar(part, no)?);
+        }
+        return Ok(Value::Array(out));
+    }
+    parse_scalar(v, no)
+}
+
+/// Split array items at commas outside strings.
+fn split_array_items(inner: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    items.push(&inner[start..]);
+    items
+}
+
+fn parse_scalar(v: &str, no: usize) -> Result<Value, TomlError> {
+    if let Some(inner) = v.strip_prefix('"') {
+        let Some(inner) = inner.strip_suffix('"') else {
+            return Err(TomlError::at(no, format!("unterminated string `{v}`")));
+        };
+        return Ok(Value::Str(unescape(inner, no)?));
+    }
+    match v {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let cleaned: String = v.chars().filter(|&c| c != '_').collect();
+    if cleaned.contains('.') || cleaned.contains('e') || cleaned.contains('E') {
+        if let Ok(f) = cleaned.parse::<f64>() {
+            if f.is_finite() {
+                return Ok(Value::Float(f));
+            }
+            return Err(TomlError::at(no, format!("non-finite float `{v}`")));
+        }
+    } else if let Ok(i) = cleaned.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    Err(TomlError::at(no, format!("unrecognized value `{v}`")))
+}
+
+fn unescape(s: &str, no: usize) -> Result<String, TomlError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            other => {
+                return Err(TomlError::at(
+                    no,
+                    format!(
+                        "unsupported escape `\\{}`",
+                        other.map(String::from).unwrap_or_default()
+                    ),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Drop a trailing `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (idx, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_arrays() {
+        let doc = parse(
+            r#"
+            name = "demo"        # root table
+            [topology]
+            nodes = 50
+            area_side = 1_000.0
+            [groups]
+            count = 2
+            [[churn.window]]
+            node = 7
+            join = 40.5
+            [[churn.window]]
+            node = 9
+            join = 50
+            [sweep.axes]
+            "topology.nodes" = [50, 100]
+            labels = ["a", "b"]
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.table("").unwrap().get("name").unwrap().str().unwrap(),
+            "demo"
+        );
+        let topo = doc.table("topology").unwrap();
+        assert_eq!(topo.get("nodes").unwrap().int().unwrap(), 50);
+        assert_eq!(topo.get("area_side").unwrap().float().unwrap(), 1000.0);
+        let windows = doc.array_tables("churn.window");
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[1].get("node").unwrap().int().unwrap(), 9);
+        let axes = doc.table("sweep.axes").unwrap();
+        assert_eq!(
+            axes.get("topology.nodes").unwrap().float_array().unwrap(),
+            vec![50.0, 100.0]
+        );
+        assert_eq!(
+            axes.get("labels").unwrap().str_array().unwrap(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("a = 1\nb = ???\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("unrecognized value"), "{}", err.msg);
+
+        let err = parse("\n\n[open\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("unterminated"), "{}", err.msg);
+
+        let err = parse("x = 1\nx = 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("duplicate key"), "{}", err.msg);
+
+        let err = parse("[s]\n[s]\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("duplicate section"), "{}", err.msg);
+    }
+
+    #[test]
+    fn strings_escape_and_protect_delimiters() {
+        let doc = parse("s = \"a # not comment, = ok\"\nt = \"tab\\there\"\n").unwrap();
+        let root = doc.table("").unwrap();
+        assert_eq!(
+            root.get("s").unwrap().str().unwrap(),
+            "a # not comment, = ok"
+        );
+        assert_eq!(root.get("t").unwrap().str().unwrap(), "tab\there");
+    }
+
+    #[test]
+    fn unknown_key_rejection_names_the_offender() {
+        let doc = parse("[topology]\nnodes = 5\nwat = 1\n").unwrap();
+        let err = doc
+            .table("topology")
+            .unwrap()
+            .reject_unknown(&["nodes"])
+            .unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("unknown key `wat`"), "{}", err.msg);
+    }
+
+    #[test]
+    fn typed_getters_report_mismatches() {
+        let doc = parse("[t]\nn = \"x\"\n").unwrap();
+        let err = doc.table("t").unwrap().get("n").unwrap().int().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("expects a integer"), "{}", err.msg);
+    }
+
+    #[test]
+    fn negative_counts_rejected() {
+        let doc = parse("[t]\nn = -3\n").unwrap();
+        assert!(doc.table("t").unwrap().get("n").unwrap().usize().is_err());
+    }
+
+    #[test]
+    fn empty_declared_sections_survive() {
+        let doc = parse("[sweep]\n").unwrap();
+        assert!(doc.table("sweep").is_some());
+    }
+}

@@ -199,7 +199,17 @@ impl NodeRole {
     }
 
     /// A member of `group` only during `[join, leave)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leave <= join` — an empty or inverted window silently
+    /// produces a node that never receives, turning every PDR measurement
+    /// on it vacuous, so it is rejected at construction.
     pub fn member_during(group: GroupId, join: SimTime, leave: SimTime) -> Self {
+        assert!(
+            leave > join,
+            "membership window for {group} must have leave ({leave}) after join ({join})"
+        );
         NodeRole {
             windows: vec![MembershipWindow { group, join, leave }],
             ..NodeRole::default()
@@ -215,7 +225,16 @@ impl NodeRole {
     }
 
     /// A source for `group` with the paper's CBR workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stop <= start` — a source with an empty traffic window
+    /// originates nothing, which makes delivery ratios 0/0 downstream.
     pub fn source(group: GroupId, start: SimTime, stop: SimTime) -> Self {
+        assert!(
+            stop > start,
+            "CBR window for {group} must have stop ({stop}) after start ({start})"
+        );
         NodeRole {
             sources: vec![CbrSource::paper_default(group, start, stop)],
             ..NodeRole::default()
@@ -255,6 +274,26 @@ mod tests {
         assert_eq!(m.member_of, vec![GroupId(2)]);
         assert!(m.sources.is_empty());
         assert_eq!(NodeRole::forwarder(), NodeRole::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "leave")]
+    fn member_during_rejects_inverted_window() {
+        let _ = NodeRole::member_during(GroupId(0), SimTime::from_secs(20), SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "leave")]
+    fn member_during_rejects_empty_window() {
+        let t = SimTime::from_secs(10);
+        let _ = NodeRole::member_during(GroupId(0), t, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "stop")]
+    fn source_rejects_empty_traffic_window() {
+        let t = SimTime::from_secs(30);
+        let _ = NodeRole::source(GroupId(0), t, t);
     }
 
     #[test]
