@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! sweep scenarios/city-churn.toml [--quick] [--limit N] [--out DIR]
-//!       [--retries N] [--dry-run]
+//!       [--retries N] [--dry-run] [--check]
 //! ```
 //!
 //! The file's `[sweep.axes]` cartesian grid is expanded into
@@ -25,14 +25,12 @@ use std::process::ExitCode;
 
 use experiments::runner::{run_jobs_supervised, RunFailure};
 use experiments::scenario_compiler::{
-    compile, expand, job_count, quicken, variant_name, CompiledScenario, SweepJob,
+    check, compile, expand, job_count, quicken, variant_name, CompiledScenario, SweepJob,
+    DEFAULT_CAP,
 };
 use experiments::stats::{render_table, Summary};
 use experiments::RunMeasurement;
 use odmrp::Variant;
-
-/// Largest sweep allowed when neither the file nor the flags declare a cap.
-const DEFAULT_CAP: usize = 32;
 
 struct Args {
     file: String,
@@ -41,6 +39,7 @@ struct Args {
     out: String,
     retries: Option<u32>,
     dry_run: bool,
+    check: bool,
 }
 
 fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Args, String> {
@@ -50,10 +49,12 @@ fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Args, String> {
     let mut out = "results".to_string();
     let mut retries = None;
     let mut dry_run = false;
+    let mut check_only = false;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--dry-run" => dry_run = true,
+            "--check" => check_only = true,
             "--limit" => {
                 let v = it.next().ok_or("--limit needs a value")?;
                 limit = Some(
@@ -74,7 +75,7 @@ fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: sweep <scenario.toml> [--quick] [--limit N] [--out DIR] \
-                     [--retries N] [--dry-run]"
+                     [--retries N] [--dry-run] [--check]"
                         .into(),
                 )
             }
@@ -93,6 +94,7 @@ fn parse_args<I: Iterator<Item = String>>(mut it: I) -> Result<Args, String> {
         out,
         retries,
         dry_run,
+        check: check_only,
     })
 }
 
@@ -242,6 +244,16 @@ fn summary_markdown(
 fn run(args: &Args) -> Result<(), String> {
     let src = std::fs::read_to_string(&args.file)
         .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    if args.check {
+        // The same static audit mesh-lint's R9 drives: compile, cap
+        // validation, full expansion — nothing runs.
+        let report = check(&src).map_err(|e| format!("{}: {e}", args.file))?;
+        println!(
+            "{}: ok — {} jobs over {} config(s), cap {}",
+            report.name, report.jobs, report.configs, report.cap
+        );
+        return Ok(());
+    }
     let mut compiled: CompiledScenario =
         compile(&src).map_err(|e| format!("{}: {e}", args.file))?;
     if args.quick {
@@ -301,14 +313,19 @@ fn run(args: &Args) -> Result<(), String> {
     let started = std::time::Instant::now();
     let total = jobs.len();
     let mut done = 0usize;
+    // An append failure (disk full, file yanked) must not panic the whole
+    // sweep from inside the progress callback: record the first error, stop
+    // writing, and surface it once the in-flight jobs have drained.
+    let mut jsonl_err: Option<std::io::Error> = None;
     let report = run_jobs_supervised(
         &pairs,
         compiled.sweep.retries,
         |i, v, s| jobs[i].scenario.run_supervised(v, s),
         |i, result| {
-            let line = jsonl_line(&jobs[i], result);
-            writeln!(jsonl, "{line}").expect("write JSONL line");
-            jsonl.flush().expect("flush JSONL");
+            if jsonl_err.is_none() {
+                let line = jsonl_line(&jobs[i], result);
+                jsonl_err = writeln!(jsonl, "{line}").and_then(|()| jsonl.flush()).err();
+            }
             done += 1;
             match result {
                 Ok(m) => eprintln!(
@@ -329,6 +346,12 @@ fn run(args: &Args) -> Result<(), String> {
             }
         },
     );
+    if let Some(e) = jsonl_err {
+        return Err(format!(
+            "cannot append to {jsonl_path}: {e} (the sweep kept running; later results \
+             were not recorded)"
+        ));
+    }
     eprintln!(
         "sweep `{name}`: {} runs in {:.1}s, JSONL at {jsonl_path}",
         report.runs.len(),

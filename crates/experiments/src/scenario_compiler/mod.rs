@@ -22,7 +22,7 @@ pub mod workload;
 
 pub use compile::{compile, parse_variant, variant_name, CompiledScenario, SweepSpec};
 pub use serialize::to_toml;
-pub use sweep::{expand, job_count, quicken, SweepJob};
+pub use sweep::{check, expand, job_count, quicken, CheckReport, SweepJob, DEFAULT_CAP};
 pub use toml::TomlError;
 pub use workload::{
     grid_side, metro_side, ChurnSpec, ChurnWindow, FaultSpec, FaultWindow, MobilitySpec,

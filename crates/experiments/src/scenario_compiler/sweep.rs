@@ -11,6 +11,7 @@
 use odmrp::Variant;
 
 use crate::scenario_compiler::compile::{CompiledScenario, SweepSpec, SUPPORTED_AXES};
+use crate::scenario_compiler::toml::TomlError;
 use crate::scenario_compiler::workload::{
     grid_side, metro_side, FaultSpec, TopologyFamily, TrafficMix, WorkloadScenario,
 };
@@ -207,6 +208,52 @@ pub fn job_count(spec: &SweepSpec) -> usize {
         .product::<usize>()
         .max(1);
     configs * spec.variants.len() * spec.seeds as usize
+}
+
+/// Default expansion cap when neither the file's `limit` key nor a caller
+/// override (the sweep binary's `--limit`) declares one.
+pub const DEFAULT_CAP: usize = 32;
+
+/// What a static check of a scenario file established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Scenario name from the file.
+    pub name: String,
+    /// Total jobs the sweep expands to.
+    pub jobs: usize,
+    /// Distinct axis configurations.
+    pub configs: usize,
+    /// The effective expansion cap the job count was validated against.
+    pub cap: usize,
+}
+
+/// Statically validate scenario source: compile it, enforce the expansion
+/// cap, and expand the full job list — without running anything. This is
+/// the entry point mesh-lint's R9 scenario audit drives, so schema drift in
+/// committed `scenarios/*.toml` fails `--deny` before any sweep runs.
+///
+/// Expansion and cap errors arise from axis values rather than a single
+/// TOML construct, so they carry line 0.
+pub fn check(src: &str) -> Result<CheckReport, TomlError> {
+    let compiled = crate::scenario_compiler::compile(src)?;
+    let count = job_count(&compiled.sweep);
+    let cap = compiled.sweep.limit.unwrap_or(DEFAULT_CAP);
+    if count > cap {
+        return Err(TomlError::at(
+            0,
+            format!(
+                "sweep expands to {count} runs, above the cap of {cap} — declare a higher \
+                 `limit` in [sweep]"
+            ),
+        ));
+    }
+    let jobs = expand(&compiled).map_err(|msg| TomlError::at(0, msg))?;
+    Ok(CheckReport {
+        name: compiled.scenario.name.clone(),
+        jobs: jobs.len(),
+        configs: jobs.iter().map(|j| j.config).max().map_or(0, |c| c + 1),
+        cap,
+    })
 }
 
 /// Shrink a sweep for smoke runs: at most 2 values per axis, 2 variants

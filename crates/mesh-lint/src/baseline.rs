@@ -1,0 +1,279 @@
+//! Baseline ("ratchet") support: a committed `mesh-lint-baseline.json`
+//! records findings a past PR knowingly deferred, so `--deny` fails only on
+//! *new* findings — and, symmetrically, on *stale* baseline entries whose
+//! finding no longer fires. The symmetry is the ratchet: fixing a deferred
+//! site forces the same PR to shrink the baseline, so the file can never
+//! drift above reality, and CI can diff it to see debt move in one
+//! direction only.
+//!
+//! The file format is exactly the tool's own `--json` output (an array of
+//! `{path, line, rule, family, message}` objects), so
+//! `mesh-lint --all-rules --json > mesh-lint-baseline.json` (or
+//! `--write-baseline`) regenerates it. The parser below accepts just that
+//! shape — hand-rolled, like every other parser in this crate, to stay
+//! dependency-free.
+
+use crate::FileFinding;
+
+/// One baseline entry. Matching is on `(path, rule, line)`: messages may
+/// be reworded across versions, but a finding that moves lines was touched
+/// and must be re-justified or fixed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub path: String,
+    pub rule: String,
+    pub line: u32,
+}
+
+/// Outcome of diffing current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Findings not covered by the baseline — these fail `--deny`.
+    pub new: Vec<FileFinding>,
+    /// Baseline entries that no longer fire — these *also* fail `--deny`
+    /// (the baseline must shrink in the same PR as the fix it records).
+    pub stale: Vec<Entry>,
+    /// Findings matched by a baseline entry (reported, never fatal).
+    pub known: usize,
+}
+
+/// Diff `findings` against `baseline`. Duplicate `(path, rule, line)`
+/// triples are matched one-for-one (multiset semantics), so two findings
+/// on one line need two baseline entries.
+pub fn diff(findings: &[FileFinding], baseline: &[Entry]) -> Diff {
+    let mut unmatched: Vec<&Entry> = baseline.iter().collect();
+    let mut out = Diff::default();
+    for f in findings {
+        let hit = unmatched
+            .iter()
+            .position(|e| e.path == f.path && e.rule == f.finding.rule && e.line == f.finding.line);
+        match hit {
+            Some(i) => {
+                unmatched.swap_remove(i);
+                out.known += 1;
+            }
+            None => out.new.push(f.clone()),
+        }
+    }
+    out.stale = unmatched.into_iter().cloned().collect();
+    out.stale
+        .sort_by(|a, b| (&a.path, &a.rule, a.line).cmp(&(&b.path, &b.rule, b.line)));
+    out
+}
+
+/// Parse a baseline file. Accepts the tool's own `--json` output shape:
+/// an array of flat objects with string and integer values; unknown keys
+/// are ignored so the format can grow.
+pub fn parse(src: &str) -> Result<Vec<Entry>, String> {
+    let mut p = Parser {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.eat(b'[')?;
+    let mut out = Vec::new();
+    p.ws();
+    if p.peek() == Some(b']') {
+        return Ok(out);
+    }
+    loop {
+        out.push(p.object()?);
+        p.ws();
+        match p.next()? {
+            b',' => p.ws(),
+            b']' => break,
+            c => return Err(p.err(format!("expected `,` or `]`, got `{}`", c as char))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: String) -> String {
+        let line = 1 + self.b[..self.i.min(self.b.len())]
+            .iter()
+            .filter(|&&c| c == b'\n')
+            .count();
+        format!("baseline line {line}: {msg}")
+    }
+
+    fn ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Result<u8, String> {
+        let c = self
+            .peek()
+            .ok_or_else(|| self.err("unexpected end of file".into()))?;
+        self.i += 1;
+        Ok(c)
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        let c = self.next()?;
+        if c != want {
+            return Err(self.err(format!("expected `{}`, got `{}`", want as char, c as char)));
+        }
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.next()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let c = self.next()?;
+                            v = v * 16
+                                + (c as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| self.err("bad \\u escape".into()))?;
+                        }
+                        out.push(char::from_u32(v).unwrap_or('\u{fffd}'));
+                    }
+                    c => return Err(self.err(format!("bad escape `\\{}`", c as char))),
+                },
+                c => out.push(c as char),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Entry, String> {
+        self.ws();
+        self.eat(b'{')?;
+        let (mut path, mut rule, mut line) = (None, None, None);
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            match key.as_str() {
+                "path" => path = Some(self.string()?),
+                "rule" => rule = Some(self.string()?),
+                "line" => {
+                    let mut n = 0u32;
+                    let mut any = false;
+                    while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        n = n
+                            .saturating_mul(10)
+                            .saturating_add((self.next()? - b'0') as u32);
+                        any = true;
+                    }
+                    if !any {
+                        return Err(self.err("`line` must be an integer".into()));
+                    }
+                    line = Some(n);
+                }
+                _ => {
+                    // Unknown key: skip a string or bare scalar value.
+                    if self.peek() == Some(b'"') {
+                        self.string()?;
+                    } else {
+                        while self.peek().is_some_and(|c| !matches!(c, b',' | b'}')) {
+                            self.i += 1;
+                        }
+                    }
+                }
+            }
+            self.ws();
+            match self.next()? {
+                b',' => continue,
+                b'}' => break,
+                c => return Err(self.err(format!("expected `,` or `}}`, got `{}`", c as char))),
+            }
+        }
+        match (path, rule, line) {
+            (Some(path), Some(rule), Some(line)) => Ok(Entry { path, rule, line }),
+            _ => Err(self.err("entry needs `path`, `rule` and `line`".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    fn finding(path: &str, rule: &str, line: u32) -> FileFinding {
+        FileFinding {
+            path: path.into(),
+            finding: Finding {
+                rule: rule.into(),
+                line,
+                message: "m".into(),
+            },
+        }
+    }
+
+    fn entry(path: &str, rule: &str, line: u32) -> Entry {
+        Entry {
+            path: path.into(),
+            rule: rule.into(),
+            line,
+        }
+    }
+
+    #[test]
+    fn parses_own_json_output() {
+        let findings = vec![finding("a.rs", "R6", 3), finding("b\"q.rs", "R7", 12)];
+        let parsed = parse(&crate::to_json(&findings)).unwrap();
+        assert_eq!(
+            parsed,
+            vec![entry("a.rs", "R6", 3), entry("b\"q.rs", "R7", 12)]
+        );
+        assert_eq!(parse("[]").unwrap(), vec![]);
+        assert_eq!(parse(" [ ] \n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("{}").is_err());
+        assert!(parse("[{\"path\": \"a.rs\"}]").is_err(), "missing keys");
+        assert!(parse("[{\"path\": \"a.rs\", \"rule\": \"R6\", \"line\": \"x\"}]").is_err());
+    }
+
+    #[test]
+    fn diff_splits_new_known_stale() {
+        let findings = vec![
+            finding("a.rs", "R6", 3),
+            finding("a.rs", "R6", 9),
+            finding("c.rs", "R7", 1),
+        ];
+        let base = vec![entry("a.rs", "R6", 3), entry("gone.rs", "R2", 7)];
+        let d = diff(&findings, &base);
+        assert_eq!(d.known, 1);
+        assert_eq!(d.new.len(), 2);
+        assert_eq!(d.stale, vec![entry("gone.rs", "R2", 7)]);
+    }
+
+    #[test]
+    fn diff_is_multiset() {
+        // Two identical findings need two baseline entries.
+        let findings = vec![finding("a.rs", "R6", 3), finding("a.rs", "R6", 3)];
+        let one = vec![entry("a.rs", "R6", 3)];
+        let d = diff(&findings, &one);
+        assert_eq!((d.known, d.new.len(), d.stale.len()), (1, 1, 0));
+    }
+}

@@ -24,7 +24,7 @@ pub struct Config {
     /// Path substrings excluded from workspace discovery (still scanned when
     /// named explicitly on the command line, e.g. the bad-fixture set).
     pub skip_paths: Vec<String>,
-    /// Per-rule scopes, keyed by rule id (`R1`..`R5`).
+    /// Per-rule scopes, keyed by rule id (`R1`..`R9`).
     pub rules: BTreeMap<String, RuleScope>,
 }
 
@@ -37,10 +37,12 @@ impl Config {
     /// Whether `rule` applies to the file at workspace-relative `path`,
     /// given the crate directory name it belongs to.
     ///
-    /// `all_rules` (the CLI's `--all-rules`) ignores crate confinement and
-    /// allowlists — used to exercise every rule on the fixture set.
-    pub fn applies(&self, rule: &str, path: &str, crate_dir: &str, all_rules: bool) -> bool {
-        if all_rules {
+    /// `unscoped` (the CLI's `--unscoped`) ignores crate confinement and
+    /// allowlists — used to exercise every rule on the fixture set. Note
+    /// this is distinct from `--all-rules`, which enables the extended
+    /// families R6–R9 but still honours this scoping.
+    pub fn applies(&self, rule: &str, path: &str, crate_dir: &str, unscoped: bool) -> bool {
+        if unscoped {
             return true;
         }
         let scope = self.scope(rule);

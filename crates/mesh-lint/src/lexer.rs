@@ -111,11 +111,23 @@ pub fn lex(src: &str) -> Lexed {
                     i += 1;
                 }
                 let text: String = b[start..i].iter().collect();
-                // Raw / byte / C string prefixes: `r"`, `r#"`, `b"`, `br#"`,
-                // `c"`, `cr#"` — the "identifier" is actually a literal.
-                let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "c" | "cr" | "rb");
-                if is_str_prefix && i < b.len() && (b[i] == '"' || b[i] == '#') {
+                // String-literal prefixes — the "identifier" is actually the
+                // start of a literal. Two distinct families:
+                //   raw  (`r"`, `r#"`, `br#"`, `cr#"`): no escapes, closed by
+                //        a quote followed by the opening number of `#`s;
+                //   byte/C (`b"`, `c"`): ordinary escaped strings with a
+                //        one-letter prefix — `b"\""` must honour the escape,
+                //        or the scan desyncs and rules fire inside literals.
+                let is_raw_prefix = matches!(text.as_str(), "r" | "br" | "cr");
+                let is_escaped_prefix = matches!(text.as_str(), "b" | "c");
+                if is_raw_prefix && i < b.len() && (b[i] == '"' || b[i] == '#') {
                     i = skip_raw_string(&b, i, &mut line);
+                    out.tokens.push(Token {
+                        text: "\"\"".into(),
+                        line,
+                    });
+                } else if is_escaped_prefix && i < b.len() && b[i] == '"' {
+                    i = skip_string(&b, i, &mut line);
                     out.tokens.push(Token {
                         text: "\"\"".into(),
                         line,
@@ -245,6 +257,37 @@ mod tests {
         assert!(!t
             .iter()
             .any(|x| x == "SystemTime" || x == "mpsc" || x == "spawn"));
+    }
+
+    #[test]
+    fn byte_strings_honour_escapes() {
+        // `b"..."` is an *escaped* string: the `\"` must not terminate it.
+        // A desync here would let `thread_rng` leak out as a code token.
+        let t = texts(r#"let b = b"a\"thread_rng\"b"; after();"#);
+        assert!(!t.iter().any(|x| x == "thread_rng"), "desynced: {t:?}");
+        assert!(t.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn raw_byte_strings_with_hashes() {
+        let t = texts(r###"let b = br#"mpsc "quoted" spawn"#; tail();"###);
+        assert!(!t.iter().any(|x| x == "mpsc" || x == "spawn"));
+        assert!(t.contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn nested_hash_raw_strings() {
+        // `r##"…"#…"##` — a quote + fewer-than-opening hashes must not close.
+        let src = "let s = r##\"inner \"# SystemTime \"## ; done();";
+        let t = texts(src);
+        assert!(!t.iter().any(|x| x == "SystemTime"), "desynced: {t:?}");
+        assert!(t.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn byte_char_literals_do_not_eat_the_line() {
+        let t = texts("let x = b'a'; let y = b'\\''; rest();");
+        assert!(t.contains(&"rest".to_string()));
     }
 
     #[test]

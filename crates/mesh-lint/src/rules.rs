@@ -12,11 +12,35 @@ use crate::lexer::{lex, Token};
 /// One violation (or suppression misuse) in one file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id: `R1`..`R5`, or `SUPPRESS` for malformed suppressions.
+    /// Rule id: `R1`..`R9`, or `SUPPRESS` for malformed suppressions.
     pub rule: String,
     /// 1-based line.
     pub line: u32,
     pub message: String,
+}
+
+/// The rule family a rule id belongs to (surfaced in `--json` output so
+/// downstream tooling can group/ratchet per family).
+pub fn family_of(rule: &str) -> &'static str {
+    match rule {
+        "R1" | "R2" | "R3" | "R4" | "R5" => "determinism",
+        "R6" => "panic-freedom",
+        "R7" => "unit-safety",
+        "R8" => "hot-path",
+        "R9" => "scenario-audit",
+        _ => "suppression",
+    }
+}
+
+/// How one lint run is configured (beyond the config file).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintOpts {
+    /// Run every rule family (R6–R8 per file, R9 scenario audit in the
+    /// CLI), not just the original determinism family R1–R5.
+    pub all_families: bool,
+    /// Ignore crate confinement and `allow_paths` — the fixture self-test
+    /// mode, where known-bad files must trip every rule wherever they sit.
+    pub unscoped: bool,
 }
 
 /// A parsed suppression comment.
@@ -52,33 +76,49 @@ const CMP_SINKS: &[&str] = &[
 
 /// Lint one file's source. `path` is workspace-relative (diagnostics and
 /// allowlists), `crate_dir` the `crates/<dir>` name (`wmm` for the umbrella
-/// crate). `all_rules` disables scoping (fixture self-test mode).
+/// crate).
+///
+/// This is the multi-pass pipeline: lex once, build the
+/// [`crate::scopes::ScopeMap`] token-tree pass once, then run every
+/// applicable rule family over the shared token stream.
 pub fn lint_source(
     path: &str,
     crate_dir: &str,
     src: &str,
     cfg: &Config,
-    all_rules: bool,
+    opts: LintOpts,
 ) -> Vec<Finding> {
     let lexed = lex(src);
     let tokens = &lexed.tokens;
     let (sups, mut findings) = parse_suppressions(&lexed.comments);
 
     let mut raw: Vec<Finding> = Vec::new();
-    if cfg.applies("R1", path, crate_dir, all_rules) {
+    if cfg.applies("R1", path, crate_dir, opts.unscoped) {
         rule_r1_hash_iteration(tokens, &mut raw);
     }
-    if cfg.applies("R2", path, crate_dir, all_rules) {
+    if cfg.applies("R2", path, crate_dir, opts.unscoped) {
         rule_r2_wall_clock(tokens, &mut raw);
     }
-    if cfg.applies("R3", path, crate_dir, all_rules) {
+    if cfg.applies("R3", path, crate_dir, opts.unscoped) {
         rule_r3_ambient_randomness(tokens, &mut raw);
     }
-    if cfg.applies("R4", path, crate_dir, all_rules) {
+    if cfg.applies("R4", path, crate_dir, opts.unscoped) {
         rule_r4_partial_cmp(tokens, &mut raw);
     }
-    if cfg.applies("R5", path, crate_dir, all_rules) {
+    if cfg.applies("R5", path, crate_dir, opts.unscoped) {
         rule_r5_threading(tokens, &mut raw);
+    }
+    if opts.all_families {
+        let scopes = crate::scopes::build(&lexed);
+        if cfg.applies("R6", path, crate_dir, opts.unscoped) {
+            crate::extended::rule_r6_panic_freedom(tokens, &scopes, &mut raw);
+        }
+        if cfg.applies("R7", path, crate_dir, opts.unscoped) {
+            crate::extended::rule_r7_unit_safety(tokens, &scopes, &mut raw);
+        }
+        if cfg.applies("R8", path, crate_dir, opts.unscoped) {
+            crate::extended::rule_r8_hot_alloc(tokens, &scopes, &mut raw);
+        }
     }
 
     raw.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
@@ -111,8 +151,10 @@ fn parse_suppressions(comments: &[(u32, String)]) -> (Vec<Suppression>, Vec<Find
             continue;
         };
         let body = body.trim_start();
-        let inner = body.strip_prefix('(').and_then(|s| s.split(')').next());
-        let Some(inner) = inner else {
+        // The reason string may itself contain `)` (it often names calls
+        // like `cells.len()`), so the closing paren is located *after* the
+        // reason's closing quote rather than by a naive split.
+        let Some(inner) = body.strip_prefix('(') else {
             findings.push(Finding {
                 rule: "SUPPRESS".into(),
                 line,
@@ -120,10 +162,28 @@ fn parse_suppressions(comments: &[(u32, String)]) -> (Vec<Suppression>, Vec<Find
             });
             continue;
         };
-        let mut parts = inner.splitn(2, ',');
-        let rule = parts.next().unwrap_or("").trim().to_string();
-        let reason = parts.next().map(str::trim).unwrap_or("");
-        let has_reason = reason.len() > 2 && reason.starts_with('"') && reason.ends_with('"');
+        let (rule, reason_rest) = match inner.split_once(',') {
+            Some((r, rest)) => (r, Some(rest)),
+            None => match inner.split_once(')') {
+                Some((r, _)) => (r, None),
+                None => {
+                    findings.push(Finding {
+                        rule: "SUPPRESS".into(),
+                        line,
+                        message: "malformed suppression: expected `allow(RULE, \"reason\")`".into(),
+                    });
+                    continue;
+                }
+            },
+        };
+        let rule = rule.trim().to_string();
+        let has_reason = reason_rest
+            .map(str::trim_start)
+            .and_then(|s| s.strip_prefix('"'))
+            .and_then(|s| s.split_once('"'))
+            .is_some_and(|(reason, tail)| {
+                !reason.trim().is_empty() && tail.trim_start().starts_with(')')
+            });
         if !has_reason {
             findings.push(Finding {
                 rule: "SUPPRESS".into(),
@@ -143,7 +203,9 @@ fn parse_suppressions(comments: &[(u32, String)]) -> (Vec<Suppression>, Vec<Find
     (sups, findings)
 }
 
-fn t(tokens: &[Token], i: isize) -> &str {
+/// Token text at index `i` (`""` when out of range). Shared by every rule
+/// family; negative indices simplify look-behind at token 0.
+pub(crate) fn t(tokens: &[Token], i: isize) -> &str {
     if i < 0 {
         return "";
     }
@@ -153,7 +215,7 @@ fn t(tokens: &[Token], i: isize) -> &str {
         .unwrap_or("")
 }
 
-fn is_ident(s: &str) -> bool {
+pub(crate) fn is_ident(s: &str) -> bool {
     s.chars()
         .next()
         .is_some_and(|c| c.is_alphabetic() || c == '_')
@@ -461,7 +523,7 @@ mod tests {
             "test",
             src,
             &Config::default(),
-            false,
+            LintOpts::default(),
         )
     }
 
@@ -550,6 +612,15 @@ mod tests {
                    // mesh-lint: allow(R2, \"bench wrapper measures wall time on purpose\")\n\
                    let t = Instant::now();\n\
                    let u = Instant::now(); // mesh-lint: allow(R2, \"same-line form\")\n\
+                   }\n";
+        assert!(rules(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_reason_may_contain_parens() {
+        let src = "fn f() {\n\
+                   // mesh-lint: allow(R2, \"calibrates against cells.len() (cheap)\")\n\
+                   let t = Instant::now();\n\
                    }\n";
         assert!(rules(src).is_empty());
     }

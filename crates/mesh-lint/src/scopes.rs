@@ -1,0 +1,558 @@
+//! The token-tree pass: a second, structural look at the lexed token stream
+//! that the newer rule families (R6–R8) consume.
+//!
+//! [`crate::lexer`] guarantees token *boundaries*; this pass adds just enough
+//! *structure* on top — brace nesting, attribute attachment, `#[cfg(test)]`
+//! / `#[test]` awareness, in-file `fn` signatures, and `// mesh-lint: hot`
+//! region markers — while staying dependency-free (no `syn`; the workspace
+//! builds offline). It is deliberately a scope map, not an AST: rules still
+//! match token patterns, they just ask the map "is this token test-only
+//! code?" or "is this line inside a hot region?" first.
+
+use crate::lexer::{Lexed, Token};
+use crate::rules::Finding;
+
+/// A unit suffix class recognised by R7. `unit` is the concrete suffix
+/// (`ms`), `class` the dimension it measures (`time`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unit {
+    pub unit: &'static str,
+    pub class: &'static str,
+}
+
+/// The workspace suffix convention: power in `_dbm`/`_mw`/`_w`, time in
+/// `_s`/`_ms`/`_slots`, distance in `_m`/`_km`. (`_us` is deliberately
+/// absent: the workspace never uses microseconds and `_us` collides with
+/// English plurals/pronouns.)
+const UNITS: &[(&str, &str)] = &[
+    ("dbm", "power"),
+    ("mw", "power"),
+    ("w", "power"),
+    ("ms", "time"),
+    ("s", "time"),
+    ("slots", "time"),
+    ("km", "distance"),
+    ("m", "distance"),
+];
+
+/// The unit suffix of an identifier, if any: a trailing `_<unit>` with a
+/// non-empty stem (`power_w` → watts; a bare `_s` closure binder does not
+/// count).
+pub fn unit_suffix(ident: &str) -> Option<Unit> {
+    for &(unit, class) in UNITS {
+        if let Some(stem) = ident.strip_suffix(unit) {
+            if let Some(stem) = stem.strip_suffix('_') {
+                if !stem.is_empty() && stem.chars().any(|c| c.is_alphanumeric()) {
+                    return Some(Unit { unit, class });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// One in-file `fn` signature, for R7's call-site parameter check.
+#[derive(Debug, Clone)]
+pub struct FnSig {
+    pub name: String,
+    /// Unit suffix of each declared parameter, in order. The `self`
+    /// receiver (if any) is dropped so the list lines up with call-site
+    /// argument positions for both free and method calls.
+    pub params: Vec<Option<Unit>>,
+}
+
+/// A `// mesh-lint: hot(<label>)` … `// mesh-lint: end-hot` region.
+#[derive(Debug, Clone)]
+pub struct HotRegion {
+    pub label: String,
+    /// 1-based inclusive line span (marker lines themselves included —
+    /// markers are comments, so no code token is misattributed).
+    pub start_line: u32,
+    pub end_line: u32,
+}
+
+/// Structural facts about one file's token stream.
+#[derive(Debug, Default)]
+pub struct ScopeMap {
+    /// Per-token: inside test-only code (`#[cfg(test)]` mod / `#[test]` fn)?
+    test: Vec<bool>,
+    /// In-file `fn` signatures. Names declared more than once with
+    /// *different* unit shapes are dropped as ambiguous.
+    pub fns: Vec<FnSig>,
+    /// Hot regions in file order.
+    pub hot: Vec<HotRegion>,
+    /// Malformed hot markers (unterminated / unopened / nested), reported
+    /// as R8 findings so a half-annotated region cannot silently disable
+    /// the allocation check.
+    pub marker_errors: Vec<Finding>,
+}
+
+impl ScopeMap {
+    /// Whether token `i` sits in test-only code.
+    pub fn is_test(&self, i: usize) -> bool {
+        self.test.get(i).copied().unwrap_or(false)
+    }
+
+    /// Hot region covering `line`, if any.
+    pub fn hot_region_at(&self, line: u32) -> Option<&HotRegion> {
+        self.hot
+            .iter()
+            .find(|r| r.start_line <= line && line <= r.end_line)
+    }
+
+    /// Signature for `name`, if unambiguously declared in this file.
+    pub fn fn_sig(&self, name: &str) -> Option<&FnSig> {
+        self.fns.iter().find(|f| f.name == name)
+    }
+}
+
+/// Build the scope map for a lexed file.
+pub fn build(lexed: &Lexed) -> ScopeMap {
+    let tokens = &lexed.tokens;
+    let mut map = ScopeMap {
+        test: vec![false; tokens.len()],
+        ..ScopeMap::default()
+    };
+    mark_test_scopes(tokens, &mut map.test);
+    collect_fn_sigs(tokens, &mut map);
+    collect_hot_regions(&lexed.comments, &mut map);
+    map
+}
+
+/// Does the attribute token span `#[ … ]` mark test-only code? True for
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`, `#[bench]`,
+/// `#[should_panic]` — any attribute whose tokens mention `test`, `bench`
+/// or `should_panic` as an identifier (string literals lex as `""`, so
+/// `#[doc = "test"]` cannot confuse this).
+fn attr_is_test(tokens: &[Token], start: usize, end: usize) -> bool {
+    tokens[start..end]
+        .iter()
+        .any(|t| matches!(t.text.as_str(), "test" | "bench" | "should_panic"))
+}
+
+/// Mark every token inside a `#[cfg(test)] mod` / `#[test] fn` body (and
+/// anything nested in one) as test code.
+fn mark_test_scopes(tokens: &[Token], test: &mut [bool]) {
+    // Brace stack: `true` entries are test scopes. A pending test attribute
+    // attaches to the next `{` at the depth it was seen, and is cancelled by
+    // a `;` (attribute on a braceless item) at that depth.
+    let mut stack: Vec<bool> = Vec::new();
+    let mut pending_test = false;
+    let mut pending_depth = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let in_test = stack.iter().any(|&t| t);
+        if in_test {
+            test[i] = true;
+        }
+        match tokens[i].text.as_str() {
+            "#" if tokens.get(i + 1).is_some_and(|t| t.text == "[") => {
+                // Consume the whole attribute so its own brackets/braces
+                // (e.g. `#[cfg(test)]`) do not disturb the stack.
+                let mut depth = 0usize;
+                let mut j = i + 1;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if attr_is_test(tokens, i, j + 1) {
+                    pending_test = true;
+                    pending_depth = stack.len();
+                }
+                if in_test {
+                    for t in test.iter_mut().take((j + 1).min(tokens.len())).skip(i) {
+                        *t = true;
+                    }
+                }
+                i = j + 1;
+                continue;
+            }
+            "{" => {
+                let attaches = pending_test && stack.len() == pending_depth;
+                stack.push(attaches);
+                if attaches {
+                    pending_test = false;
+                }
+            }
+            "}" => {
+                stack.pop();
+            }
+            ";" if stack.len() == pending_depth => {
+                pending_test = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Rust keywords an identifier-shaped token can be; excluded from
+/// call-site / index-base matching.
+pub fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}
+
+/// Collect `fn name(params…)` signatures. Parameter names are matched as
+/// `ident :` entries at paren depth 1; patterns that are not plain
+/// identifiers keep their position with `None` so arity still lines up.
+fn collect_fn_sigs(tokens: &[Token], map: &mut ScopeMap) {
+    let mut ambiguous: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text != "fn" {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            break;
+        };
+        let name = name_tok.text.clone();
+        // Skip generics to the opening paren: `fn f<T: Ord>(…)`.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "(" if angle <= 0 => break,
+                "{" | ";" => break, // not a declaration we can read
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].text != "(" {
+            i += 1;
+            continue;
+        }
+        let (params, end) = parse_params(tokens, j);
+        match map.fns.iter().position(|f| f.name == name) {
+            Some(at) if map.fns[at].params != params => {
+                // Same name, different unit shape: drop as ambiguous.
+                map.fns.remove(at);
+                ambiguous.push(name);
+            }
+            Some(_) => {}
+            None if !ambiguous.contains(&name) => map.fns.push(FnSig { name, params }),
+            None => {}
+        }
+        i = end;
+    }
+}
+
+/// Parse a parameter list starting at the `(` token; returns the per-slot
+/// unit suffixes (receiver dropped) and the index past the closing `)`.
+fn parse_params(tokens: &[Token], open: usize) -> (Vec<Option<Unit>>, usize) {
+    let mut params: Vec<Option<Unit>> = Vec::new();
+    let mut depth = 0i32;
+    let mut entry_start = open + 1;
+    let mut i = open;
+    let mut end = tokens.len();
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    push_param(tokens, entry_start, i, &mut params);
+                    end = i + 1;
+                    break;
+                }
+            }
+            "," if depth == 1 => {
+                push_param(tokens, entry_start, i, &mut params);
+                entry_start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (params, end)
+}
+
+/// Append one parameter entry spanning `tokens[start..stop]`, dropping a
+/// `self` receiver and reducing everything else to its unit suffix.
+fn push_param(tokens: &[Token], start: usize, stop: usize, params: &mut Vec<Option<Unit>>) {
+    let mut idx = start;
+    while idx < stop && matches!(tokens[idx].text.as_str(), "&" | "mut" | "ref" | "'") {
+        idx += 1;
+    }
+    // Skip lifetime idents after `&'a`.
+    if idx < stop && idx > start && tokens[idx - 1].text == "'" {
+        idx += 1;
+    }
+    if idx >= stop {
+        return; // empty entry (trailing comma / `()`)
+    }
+    if tokens[idx].text == "self" {
+        return; // receiver: call sites pass it before the dot
+    }
+    let is_named = tokens.get(idx + 1).is_some_and(|t| t.text == ":");
+    if is_named && !is_keyword(&tokens[idx].text) {
+        params.push(unit_suffix(&tokens[idx].text));
+    } else {
+        params.push(None); // pattern or unreadable entry: keep the slot
+    }
+}
+
+/// Parse `// mesh-lint: hot(<label>)` / `// mesh-lint: end-hot` markers
+/// into regions; structural misuse becomes an R8 finding.
+/// The marker body if `text` is a marker comment. The directive must
+/// *begin* the comment (right after the opener) — prose that merely
+/// mentions the syntax, like this crate's own documentation, never opens a
+/// region. This is stricter than suppression parsing on purpose: a stray
+/// region marker has file-wide blast radius.
+fn marker_body(text: &str) -> Option<&str> {
+    let body = text
+        .strip_prefix("//!")
+        .or_else(|| text.strip_prefix("///"))
+        .or_else(|| text.strip_prefix("//"))
+        .or_else(|| text.strip_prefix("/*"))
+        .unwrap_or(text);
+    body.trim_start().strip_prefix("mesh-lint:")
+}
+
+fn collect_hot_regions(comments: &[(u32, String)], map: &mut ScopeMap) {
+    let mut open: Option<(u32, String)> = None;
+    for &(line, ref text) in comments {
+        let Some(rest) = marker_body(text) else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        if let Some(body) = rest.strip_prefix("end-hot") {
+            if !body.starts_with(|c: char| c.is_alphanumeric() || c == '-' || c == '_') {
+                match open.take() {
+                    Some((start, label)) => map.hot.push(HotRegion {
+                        label,
+                        start_line: start,
+                        end_line: line,
+                    }),
+                    None => map.marker_errors.push(Finding {
+                        rule: "R8".into(),
+                        line,
+                        message: "`mesh-lint: end-hot` without a matching `mesh-lint: hot(…)`"
+                            .into(),
+                    }),
+                }
+            }
+            continue;
+        }
+        if let Some(body) = rest.strip_prefix("hot") {
+            let body = body.trim_start();
+            let label = body
+                .strip_prefix('(')
+                .and_then(|s| s.split(')').next())
+                .map(|s| s.trim().trim_matches('"').to_string());
+            let Some(label) = label else {
+                // `hot` without a label/parens: prose, or a typo — only the
+                // explicit `hot(<label>)` form opens a region.
+                continue;
+            };
+            if let Some((start, prev)) = open.replace((line, label)) {
+                map.marker_errors.push(Finding {
+                    rule: "R8".into(),
+                    line,
+                    message: format!(
+                        "`mesh-lint: hot(…)` opened inside hot region `{prev}` \
+                         (started line {start}); close it with `mesh-lint: end-hot` first"
+                    ),
+                });
+                // Keep the outer region open so its span is still enforced.
+                open = Some((start, prev));
+            }
+        }
+    }
+    if let Some((start, label)) = open {
+        map.marker_errors.push(Finding {
+            rule: "R8".into(),
+            line: start,
+            message: format!("hot region `{label}` is never closed; add `// mesh-lint: end-hot`"),
+        });
+        // Enforce to end-of-file rather than silently dropping the region.
+        map.hot.push(HotRegion {
+            label,
+            start_line: start,
+            end_line: u32::MAX,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn map(src: &str) -> (ScopeMap, crate::lexer::Lexed) {
+        let lexed = lex(src);
+        let m = build(&lexed);
+        (m, lexed)
+    }
+
+    /// Indices of tokens with the given text.
+    fn find(lexed: &crate::lexer::Lexed, text: &str) -> Vec<usize> {
+        lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == text)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_bodies_are_test_code() {
+        let src = "fn real() { live(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { inner(); }\n\
+                   }\n\
+                   fn also_real() { tail(); }\n";
+        let (m, lexed) = map(src);
+        assert!(!m.is_test(find(&lexed, "live")[0]));
+        assert!(m.is_test(find(&lexed, "inner")[0]));
+        assert!(!m.is_test(find(&lexed, "tail")[0]));
+    }
+
+    #[test]
+    fn test_fn_outside_mod_is_test_code() {
+        let src = "#[test]\nfn t() { probe(); }\nfn real() { live(); }\n";
+        let (m, lexed) = map(src);
+        assert!(m.is_test(find(&lexed, "probe")[0]));
+        assert!(!m.is_test(find(&lexed, "live")[0]));
+    }
+
+    #[test]
+    fn attr_on_braceless_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn real() { live(); }\n";
+        let (m, lexed) = map(src);
+        assert!(!m.is_test(find(&lexed, "live")[0]));
+    }
+
+    #[test]
+    fn non_test_cfg_does_not_mark() {
+        let src = "#[cfg(feature = \"fast\")]\nfn real() { live(); }\n";
+        let (m, lexed) = map(src);
+        assert!(!m.is_test(find(&lexed, "live")[0]));
+    }
+
+    #[test]
+    fn unit_suffixes() {
+        assert_eq!(unit_suffix("power_w").unwrap().class, "power");
+        assert_eq!(unit_suffix("delta_ms").unwrap().unit, "ms");
+        assert_eq!(unit_suffix("backoff_slots").unwrap().class, "time");
+        assert_eq!(unit_suffix("cell_m").unwrap().class, "distance");
+        assert!(unit_suffix("rhs").is_none());
+        assert!(unit_suffix("_s").is_none(), "bare underscore binder");
+        assert!(unit_suffix("not_for_us").is_none(), "`_us` not a unit");
+        assert!(unit_suffix("delays").is_none());
+    }
+
+    #[test]
+    fn fn_signatures_collect_units_and_drop_self() {
+        let src = "impl S {\n\
+                   fn tune(&mut self, gain_dbm: f64, window_s: f64) {}\n\
+                   }\n\
+                   fn free(count: usize, span_ms: f64) {}\n";
+        let (m, _) = map(src);
+        let tune = m.fn_sig("tune").unwrap();
+        assert_eq!(tune.params.len(), 2);
+        assert_eq!(tune.params[0].unwrap().unit, "dbm");
+        assert_eq!(tune.params[1].unwrap().unit, "s");
+        let free = m.fn_sig("free").unwrap();
+        assert_eq!(free.params, vec![None, unit_suffix("span_ms")]);
+    }
+
+    #[test]
+    fn conflicting_signatures_are_dropped() {
+        let src = "fn f(x_s: f64) {}\nmod a { fn f(x_ms: f64) {} }\n";
+        let (m, _) = map(src);
+        assert!(m.fn_sig("f").is_none());
+    }
+
+    #[test]
+    fn hot_regions_parse() {
+        let src = "fn a() {}\n\
+                   // mesh-lint: hot(fan-out)\n\
+                   fn b() {}\n\
+                   // mesh-lint: end-hot\n\
+                   fn c() {}\n";
+        let (m, _) = map(src);
+        assert_eq!(m.hot.len(), 1);
+        assert_eq!(m.hot[0].label, "fan-out");
+        assert!(m.hot_region_at(3).is_some());
+        assert!(m.hot_region_at(5).is_none());
+        assert!(m.marker_errors.is_empty());
+    }
+
+    #[test]
+    fn prose_mentions_of_markers_do_not_open_regions() {
+        let src = "//! The `// mesh-lint: hot(<label>)` marker opens a region\n\
+                   //! closed by `// mesh-lint: end-hot`.\n\
+                   // docs may show:  // mesh-lint: hot(example)\n\
+                   fn a() {}\n";
+        let (m, _) = map(src);
+        assert!(m.hot.is_empty());
+        assert!(m.marker_errors.is_empty());
+    }
+
+    #[test]
+    fn unterminated_hot_region_is_reported_and_enforced() {
+        let (m, _) = map("// mesh-lint: hot(x)\nfn b() {}\n");
+        assert_eq!(m.marker_errors.len(), 1);
+        assert!(m.hot_region_at(2).is_some(), "still enforced to EOF");
+    }
+
+    #[test]
+    fn stray_end_hot_is_reported() {
+        let (m, _) = map("fn a() {}\n// mesh-lint: end-hot\n");
+        assert_eq!(m.marker_errors.len(), 1);
+        assert!(m.hot.is_empty());
+    }
+}

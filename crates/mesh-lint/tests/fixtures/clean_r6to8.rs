@@ -1,0 +1,34 @@
+//! Adversarial clean fixture for R6–R8: near-misses that must stay silent.
+//!
+//! Prose that mentions markers — "wrap the loop in // mesh-lint: hot(x)" —
+//! must not open a region; only a comment that *begins* with the directive
+//! does.
+
+pub fn non_panicking(v: &[u32], opt: Option<u32>, i: usize) -> u32 {
+    let a = opt.unwrap_or(0);
+    let b = opt.unwrap_or_else(|| 1);
+    let c = v.get(i + 1).copied().unwrap_or_default();
+    let d = v.first().map_or(0, |x| *x);
+    let plain = v[i];
+    let buf: [u8; 4 - 1] = [0; 4 - 1];
+    a + b + c + d + plain + u32::from(buf[0])
+}
+
+pub fn conversions(delay_s: f64, delta_ms: f64) -> f64 {
+    let total_s = delay_s + delta_ms / 1000.0;
+    let t_ms = delay_s * 1000.0;
+    total_s + t_ms / 1000.0
+}
+
+// mesh-lint: hot(clean-path)
+pub fn forward(out: &mut Vec<u32>, msg: &std::sync::Arc<Vec<u32>>) {
+    let m = std::sync::Arc::clone(msg);
+    out.push(m.len() as u32);
+}
+// mesh-lint: end-hot
+
+pub fn cold_allocs() -> Vec<String> {
+    let mut v = Vec::with_capacity(4);
+    v.push("outside any hot region".to_string());
+    v
+}

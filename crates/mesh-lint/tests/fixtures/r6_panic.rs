@@ -1,0 +1,21 @@
+//! Known-bad fixture for R6 panic-freedom: every site in `hot()` panics or
+//! can panic mid-run, and the test module below must stay exempt.
+
+pub fn hot(v: &[u32], opt: Option<u32>, i: usize) -> u32 {
+    let a = opt.unwrap();
+    let b = opt.expect("present");
+    if v.is_empty() {
+        panic!("empty input");
+    }
+    let c = v[i + 1];
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! Known-bad fixture for R7 unit-safety: cross-unit and cross-class mixes
+//! over `+`/`<`/`=`, plus a call site conflicting with an in-file signature.
+
+pub fn set_window(window_ms: f64) -> f64 {
+    window_ms
+}
+
+pub fn mixes(delay_s: f64, delta_ms: f64, power_dbm: f64, floor_w: f64) -> bool {
+    let _bad_sum = delay_s + delta_ms;
+    power_dbm < floor_w
+}
+
+pub fn assigns(mut t_ms: f64, hold_s: f64) -> f64 {
+    t_ms = hold_s;
+    t_ms
+}
+
+pub fn calls(win_s: f64) -> f64 {
+    set_window(win_s)
+}

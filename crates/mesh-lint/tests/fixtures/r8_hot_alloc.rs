@@ -1,0 +1,17 @@
+//! Known-bad fixture for R8: four allocating calls inside a marked hot
+//! region; the identical call outside the region stays legal.
+
+// mesh-lint: hot(fixture-loop)
+pub fn hot(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let s = format!("{}", xs.len());
+    let copied = xs.to_vec();
+    let _twice = copied.clone();
+    out.push(s.len() as u32);
+    out
+}
+// mesh-lint: end-hot
+
+pub fn cold() -> Vec<u32> {
+    Vec::new()
+}

@@ -1,0 +1,22 @@
+//! Every R6–R8 finding in this file carries a reasoned allow, so the whole
+//! fixture must lint silent — the suppression contract for the extended
+//! families.
+
+pub fn guarded(v: &[u32], opt: Option<u32>, i: usize) -> u32 {
+    // mesh-lint: allow(R6, "fixture: opt is Some by construction at every call site")
+    let a = opt.unwrap();
+    let b = v[i + 1]; // mesh-lint: allow(R6, "fixture: caller checks i + 1 < v.len()")
+    a + b
+}
+
+pub fn mixed(delay_s: f64, delta_ms: f64) -> f64 {
+    // mesh-lint: allow(R7, "fixture: delta_ms is pre-converted at this call site")
+    delay_s + delta_ms
+}
+
+// mesh-lint: hot(suppressed-fixture)
+pub fn hot() -> String {
+    // mesh-lint: allow(R8, "fixture: one-time startup formatting, not per-event work")
+    format!("boot banner")
+}
+// mesh-lint: end-hot

@@ -342,6 +342,7 @@ impl FanOutCache {
         }
     }
 
+    // mesh-lint: hot(index-replay)
     /// Absorb one mobility tick's moves, stamping epochs onto the affected
     /// cells. `stats` is the owning medium's maintenance ledger.
     fn absorb_moves(&mut self, moves: &[PositionDelta], stats: &mut IndexStats) {
@@ -504,7 +505,9 @@ impl FanOutCache {
                 seen_membership: 0,
                 seen_motion: 0,
                 seen_seq: 0,
+                // mesh-lint: allow(R8, "capacity-0 Vec::new() does not allocate; the buffers grow on the entry's first rebuild only")
                 superset: Vec::new(),
+                // mesh-lint: allow(R8, "capacity-0 Vec::new() does not allocate; the buffers grow on the entry's first rebuild only")
                 list: Vec::new(),
             });
             if patchable {
@@ -553,6 +556,7 @@ impl FanOutCache {
                 visit,
             );
         } else {
+            // mesh-lint: allow(R6, "stale_superset above is true whenever the slot is None, so this branch only runs on an occupied slot")
             let entry = slot.as_mut().expect("entry exists when not stale");
             if entry.seen_motion < mot_max {
                 stats.cache_refreshes += 1;
@@ -573,6 +577,7 @@ impl FanOutCache {
             }
         }
     }
+    // mesh-lint: end-hot
 }
 
 /// Physics-based medium: path loss + fading from node positions.
@@ -714,6 +719,7 @@ impl Default for PhysicalMedium {
 }
 
 impl Medium for PhysicalMedium {
+    // mesh-lint: hot(fan-out)
     fn fan_out(
         &mut self,
         tx: NodeId,
@@ -726,13 +732,6 @@ impl Medium for PhysicalMedium {
             self.fan_out_scan(tx, positions, rng, out);
             return;
         }
-        if self
-            .cache
-            .as_ref()
-            .is_none_or(|c| c.positions.len() != positions.len())
-        {
-            self.cache = Some(FanOutCache::new(positions, &self.phy, self.floor_w));
-        }
         let Self {
             cache,
             phy,
@@ -741,7 +740,10 @@ impl Medium for PhysicalMedium {
             stats,
             ..
         } = self;
-        let cache = cache.as_mut().unwrap();
+        let cache = match cache {
+            Some(c) if c.positions.len() == positions.len() => c,
+            slot => slot.insert(FanOutCache::new(positions, phy, *floor_w)),
+        };
         debug_assert_eq!(
             cache.positions, positions,
             "positions changed without Medium::positions_changed()"
@@ -784,6 +786,7 @@ impl Medium for PhysicalMedium {
             });
         }
     }
+    // mesh-lint: end-hot
 
     fn phy(&self) -> &PhyParams {
         &self.phy
@@ -898,6 +901,7 @@ impl LinkTableMedium {
         let slot = self
             .links
             .get_mut(&(from, to))
+            // mesh-lint: allow(R6, "documented # Panics contract: scenario construction API, misuse is a caller bug caught before any run starts")
             .expect("link must be added before set_loss");
         *slot = loss;
         // Membership and order are unchanged; patch the adjacency in place

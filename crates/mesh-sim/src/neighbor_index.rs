@@ -132,6 +132,7 @@ impl NeighborIndex {
     /// # Panics
     ///
     /// Panics if `new_pos` is non-finite or `node` is not indexed.
+    // mesh-lint: hot(cell-crossing)
     pub fn update_position(&mut self, node: u32, new_pos: Pos) -> Option<(usize, usize)> {
         assert!(
             new_pos.x.is_finite() && new_pos.y.is_finite(),
@@ -145,6 +146,7 @@ impl NeighborIndex {
         let bucket = &mut self.cells[old];
         let i = bucket
             .binary_search(&node)
+            // mesh-lint: allow(R6, "node_cell and the buckets move in lockstep: node_cell[n] == old implies n is in cells[old]")
             .expect("node present in its bucket");
         bucket.remove(i);
         let bucket = &mut self.cells[new];
@@ -155,6 +157,7 @@ impl NeighborIndex {
         self.node_cell[node as usize] = new as u32;
         Some((old, new))
     }
+    // mesh-lint: end-hot
 
     /// Number of indexed nodes.
     pub fn len(&self) -> usize {
@@ -234,6 +237,7 @@ impl NeighborIndex {
     /// half-side `radius_m` around `center` — a superset of the nodes within
     /// `radius_m` meters. Within a cell nodes come out ascending, but cells
     /// are visited row-major, so the overall order is not sorted.
+    // mesh-lint: hot(candidate-query)
     pub fn candidates_within(&self, center: Pos, radius_m: f64, out: &mut Vec<u32>) {
         let lo = Pos::new(center.x - radius_m, center.y - radius_m);
         let hi = Pos::new(center.x + radius_m, center.y + radius_m);
@@ -241,10 +245,12 @@ impl NeighborIndex {
         let (cx1, cy1) = self.cell_coords(hi);
         for cy in cy0..=cy1 {
             for cx in cx0..=cx1 {
+                // mesh-lint: allow(R6, "cell_coords clamps to cols-1/rows-1, so cy * cols + cx < rows * cols == cells.len()")
                 out.extend_from_slice(&self.cells[cy * self.cols + cx]);
             }
         }
     }
+    // mesh-lint: end-hot
 }
 
 /// Cells needed to cover `span` meters with `cell`-sized cells, capped.

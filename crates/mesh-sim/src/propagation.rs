@@ -319,6 +319,7 @@ impl MeanPowerEval {
         MeanPowerEval { lambda, model }
     }
 
+    // mesh-lint: hot(mean-power-eval)
     /// Mean received power at distance `d` meters; bit-identical to
     /// [`PhyParams::mean_rx_power_w`] of the source parameters.
     ///
@@ -359,6 +360,7 @@ impl MeanPowerEval {
             }
         }
     }
+    // mesh-lint: end-hot
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@ pub fn random_connected(
             return placement;
         }
     }
+    // mesh-lint: allow(R6, "documented # Panics contract: placement runs before the simulation starts, and an impossible density must abort loudly")
     panic!(
         "no connected {n}-node placement in {area} at range {range}m after {max_attempts} attempts"
     );

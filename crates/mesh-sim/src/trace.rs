@@ -588,6 +588,7 @@ impl<'a> Fields<'a> {
             let key_body = rest.strip_prefix('"').ok_or("expected a quoted key")?;
             let kq = key_body.find('"').ok_or("unterminated key")?;
             let key = &key_body[..kq];
+            // mesh-lint: allow(R6, "kq comes from find on this very slice, so kq + 1 <= len and lands after a one-byte ASCII quote")
             rest = key_body[kq + 1..]
                 .trim_start()
                 .strip_prefix(':')
@@ -601,6 +602,7 @@ impl<'a> Fields<'a> {
                     return Err("escaped strings are not supported".into());
                 }
                 value = Value::Str(v);
+                // mesh-lint: allow(R6, "vq comes from find on this very slice, so vq + 1 <= len and lands after a one-byte ASCII quote")
                 rest = &s[vq + 1..];
             } else {
                 let end = rest

@@ -838,13 +838,17 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         }
     }
 
+    // mesh-lint: hot(mac-transmit)
     /// Contention won: send either an RTS or the data frame itself.
     fn transmit_head(&mut self, node: NodeId) {
-        if self.head_uses_rts(node) {
-            let (dst, bytes) = {
-                let f = self.macs[node.index()].queue.front().expect("head exists");
-                (f.dst.expect("unicast"), f.bytes)
-            };
+        // One queue read decides RTS-vs-data and yields the head fields, so
+        // the `head_uses_rts` predicate needs no second (panicking) lookup.
+        let rts_head = self.macs[node.index()].queue.front().and_then(|f| {
+            f.dst
+                .filter(|_| f.bytes >= self.params.rts_threshold_bytes)
+                .map(|dst| (dst, f.bytes))
+        });
+        if let Some((dst, bytes)) = rts_head {
             let nav = self.params.rts_nav(bytes);
             self.macs[node.index()].state = MacState::TxRts;
             let rts_bytes = self.params.rts_bytes;
@@ -864,6 +868,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
 
     fn transmit_data(&mut self, node: NodeId) {
         let (body, bytes, class) = {
+            // mesh-lint: allow(R6, "TxData/SifsBeforeData are only entered while a head frame is queued; finish_head is what leaves them")
             let f = self.macs[node.index()].queue.front().expect("head exists");
             (
                 FrameBody::Data {
@@ -958,6 +963,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
         }
         self.queue.push(end, EventKind::TxEnd { node, frame: id });
     }
+    // mesh-lint: end-hot
 
     fn on_tx_end(&mut self, node: NodeId, frame: FrameId, upcalls: &mut Vec<Upcall<M>>) {
         let i = node.index();
@@ -1054,6 +1060,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             self.counters.unicast_failures += 1;
             let (handle, retries) = {
                 let mac = &self.macs[i];
+                // mesh-lint: allow(R6, "retry_head only fires from WaitAck/TxRts timeouts, which require the head frame still queued")
                 let f = mac.queue.front().expect("head exists");
                 (f.handle, mac.short_retries + mac.long_retries)
             };
@@ -1094,6 +1101,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                     class,
                     frame: Some(frame),
                     kind: TraceEventKind::RxStart {
+                        // mesh-lint: allow(R6, "frame_trace_meta returns src = Some for every live frame; the slot was checked alive above")
                         src: src.expect("live frame has a source"),
                     },
                 });
@@ -1119,9 +1127,8 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                 self.counters.capture_losses += 1;
                 // The *previous* reception is the one lost here; the new
                 // frame is now being decoded and resolves at its own RxEnd.
-                if prev_rx_frame.is_some_and(|p| self.frame_is_data(p)) {
+                if let Some(prev) = prev_rx_frame.filter(|&p| self.frame_is_data(p)) {
                     self.counters.rx_lost_data += 1;
-                    let prev = prev_rx_frame.expect("checked above");
                     self.emit_rx_drop(node, prev, DropReason::Captured);
                 }
             }
@@ -1197,6 +1204,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
     ) {
         let i = node.index();
         let (src, body) = {
+            // mesh-lint: allow(R6, "frames are freed only after their last scheduled RxEnd has been delivered, so the slot is alive here")
             let f = self.frames.get(frame).expect("frame alive at RxEnd");
             (f.src, f.body.clone())
         };
@@ -1257,6 +1265,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                         .queue
                         .front()
                         .map(|f| f.handle)
+                        // mesh-lint: allow(R6, "WaitAck is only entered after transmitting the queued head, and finish_head leaves the state before popping")
                         .expect("head exists in WaitAck");
                     self.macs[i].bump_timer();
                     upcalls.push(Upcall::TxDone {
