@@ -15,6 +15,7 @@ fn obs(df: f64) -> LinkObservation {
         delay_s: Some(0.005 / df),
         bandwidth_bps: Some(2.0e6 * df),
         reverse_df: Some(df),
+        congestion: Some(1.0 - df),
     }
 }
 

@@ -58,6 +58,12 @@ pub struct LinkObservation {
     /// Our delivery ratio as measured *by the neighbor* (reverse direction);
     /// only used by the bidirectional-ETX ablation.
     pub reverse_df: Option<f64>,
+    /// Congestion of the prospective *forwarder* in `[0, 1]` (MAC-queue
+    /// occupancy / unicast retry pressure), filled in by the protocol layer
+    /// at query-handling time; only used by load-aware metrics (WCETT-LB).
+    /// `None` means no reading, which every metric treats as calm — link
+    /// estimation itself never produces a value here.
+    pub congestion: Option<f64>,
 }
 
 impl LinkObservation {
@@ -68,6 +74,7 @@ impl LinkObservation {
             delay_s: None,
             bandwidth_bps: None,
             reverse_df: None,
+            congestion: None,
         }
     }
 }
@@ -247,6 +254,7 @@ impl LinkEstimate {
             delay_s: Some(self.pp_delay_s(now, cfg)),
             bandwidth_bps: self.ewma_bandwidth_bps,
             reverse_df: self.reverse_df,
+            congestion: None,
         }
     }
 

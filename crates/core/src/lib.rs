@@ -25,8 +25,17 @@
 //! | [`Metx`] | `df` | `(p+1)/df` | lower | 1 probe / 5 s |
 //! | [`Spp`] | `df` | product | **higher** | 1 probe / 5 s |
 //!
-//! plus [`HopCount`] (baseline) and [`UnicastEtx`] (a deliberately-wrong
-//! bidirectional ETX used as an ablation).
+//! plus [`HopCount`] (baseline), [`UnicastEtx`] (a deliberately-wrong
+//! bidirectional ETX used as an ablation), and two post-paper entrants:
+//! [`InvEtx`] (ETX inverted into a quality score, higher wins) and
+//! [`WcettLb`] (load-aware ETT with a queue/retry congestion term and σ/δ
+//! switching thresholds).
+//!
+//! Metrics are *registered plugins*: the [`MetricRegistry`] resolves
+//! deck/CLI names (case-insensitively, aliases included) to builders, and
+//! every comparison table and sweep axis enumerates the registry, so adding
+//! a metric is one new file plus one registration — see
+//! [`metrics::registry`].
 //!
 //! ## Example: why SPP beats ETX on the paper's Figure 3 network
 //!
@@ -66,7 +75,8 @@ pub mod window;
 pub use cost::{LinkCost, PathCost};
 pub use estimator::{EstimatorConfig, LinkEstimate, LinkObservation};
 pub use metrics::{
-    AnyMetric, ChannelHop, Ett, Etx, HopCount, Metric, MetricKind, Metx, Pp, Spp, UnicastEtx, Wcett,
+    AnyMetric, ChannelHop, Ett, Etx, HopCount, InvEtx, Metric, MetricKind, MetricPlugin,
+    MetricRegistry, Metx, Pp, Spp, UnicastEtx, Wcett, WcettLb,
 };
 pub use neighbor_table::NeighborTable;
 pub use path::{choose_path, figure1_candidates, figure3_candidates, CandidatePath, PathChoice};

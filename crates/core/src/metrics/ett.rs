@@ -12,11 +12,23 @@ use crate::cost::{LinkCost, PathCost};
 use crate::estimator::LinkObservation;
 use crate::probe::ProbePlan;
 
-use super::{Metric, MetricKind};
+use super::registry::MetricPlugin;
+use super::{AnyMetric, Metric, MetricKind};
 
 /// Nominal data packet size used to scale ETT, in bytes (the paper's CBR
 /// payload).
 pub const DEFAULT_DATA_BYTES: u32 = 512;
+
+/// Registry entry for ETT.
+pub(super) const PLUGIN: MetricPlugin = MetricPlugin {
+    name: "ETT",
+    kind: MetricKind::Ett,
+    aliases: &[],
+    paper: true,
+    comparison: true,
+    summary: "expected transmission time (ETX * S/B from packet pairs, additive)",
+    build: |rate| AnyMetric::Ett(Ett::with_rate(rate)),
+};
 
 /// The ETT metric.
 ///
@@ -25,6 +37,7 @@ pub const DEFAULT_DATA_BYTES: u32 = 512;
 /// let m = Ett::default();
 /// let obs = LinkObservation {
 ///     df: 1.0, delay_s: None, bandwidth_bps: Some(2.0e6), reverse_df: None,
+///     congestion: None,
 /// };
 /// // 512 bytes at 2 Mbps over a perfect link: ~2.05 ms.
 /// assert!((m.link_cost(&obs).value() - 512.0 * 8.0 / 2.0e6).abs() < 1e-9);
@@ -43,13 +56,10 @@ impl Default for Ett {
 }
 
 impl Ett {
-    /// ETT with probe intervals divided by `rate`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rate` is not strictly positive.
+    /// ETT with probe intervals divided by `rate`. Non-positive or
+    /// non-finite rates saturate the probe interval instead of panicking
+    /// (see [`ProbePlan::pair_at_rate`]).
     pub fn with_rate(rate: f64) -> Self {
-        assert!(rate > 0.0, "probe rate must be positive");
         Ett {
             rate,
             data_bytes: DEFAULT_DATA_BYTES,
@@ -109,6 +119,7 @@ mod tests {
             delay_s: None,
             bandwidth_bps: bw,
             reverse_df: None,
+            congestion: None,
         }
     }
 

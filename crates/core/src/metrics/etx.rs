@@ -9,14 +9,29 @@ use crate::cost::{LinkCost, PathCost};
 use crate::estimator::LinkObservation;
 use crate::probe::ProbePlan;
 
-use super::{Metric, MetricKind};
+use super::registry::MetricPlugin;
+use super::{AnyMetric, Metric, MetricKind};
+
+/// Registry entry for ETX.
+pub(super) const PLUGIN: MetricPlugin = MetricPlugin {
+    name: "ETX",
+    kind: MetricKind::Etx,
+    aliases: &[],
+    paper: true,
+    comparison: true,
+    summary: "expected transmissions, forward-only (1/df, additive)",
+    build: |rate| AnyMetric::Etx(Etx::with_rate(rate)),
+};
 
 /// The forward-only ETX metric.
 ///
 /// ```
 /// use mcast_metrics::{Etx, Metric, LinkObservation};
 /// let m = Etx::default();
-/// let obs = LinkObservation { df: 0.5, delay_s: None, bandwidth_bps: None, reverse_df: None };
+/// let obs = LinkObservation {
+///     df: 0.5, delay_s: None, bandwidth_bps: None, reverse_df: None,
+///     congestion: None,
+/// };
 /// assert_eq!(m.link_cost(&obs).value(), 2.0);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -31,13 +46,10 @@ impl Default for Etx {
 }
 
 impl Etx {
-    /// ETX with probe intervals divided by `rate`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rate` is not strictly positive.
+    /// ETX with probe intervals divided by `rate`. Non-positive or
+    /// non-finite rates saturate the probe interval instead of panicking
+    /// (see [`ProbePlan::single_at_rate`]).
     pub fn with_rate(rate: f64) -> Self {
-        assert!(rate > 0.0, "probe rate must be positive");
         Etx { rate }
     }
 }
@@ -82,6 +94,7 @@ mod tests {
             delay_s: None,
             bandwidth_bps: None,
             reverse_df: Some(dr),
+            congestion: None,
         }
     }
 

@@ -10,7 +10,21 @@ use crate::cost::{LinkCost, PathCost};
 use crate::estimator::LinkObservation;
 use crate::probe::ProbePlan;
 
-use super::{Metric, MetricKind};
+use super::registry::MetricPlugin;
+use super::{AnyMetric, Metric, MetricKind};
+
+/// Registry entry for hop count. Selectable by name but not part of the
+/// comparison tables: the experiments' baseline is *original* ODMRP
+/// (first-query arrival), which already approximates minimum hops.
+pub(super) const PLUGIN: MetricPlugin = MetricPlugin {
+    name: "HOP",
+    kind: MetricKind::HopCount,
+    aliases: &["HOPCOUNT", "HOP_COUNT"],
+    paper: false,
+    comparison: false,
+    summary: "hop count: every link costs 1, no probing",
+    build: |_rate| AnyMetric::HopCount(HopCount),
+};
 
 /// The hop-count metric.
 ///
@@ -65,6 +79,7 @@ mod tests {
             delay_s: None,
             bandwidth_bps: None,
             reverse_df: None,
+            congestion: None,
         };
         let bad = LinkObservation { df: 0.01, ..good };
         assert_eq!(m.link_cost(&good), m.link_cost(&bad));

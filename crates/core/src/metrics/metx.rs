@@ -14,14 +14,29 @@ use crate::cost::{LinkCost, PathCost};
 use crate::estimator::LinkObservation;
 use crate::probe::ProbePlan;
 
-use super::{Metric, MetricKind};
+use super::registry::MetricPlugin;
+use super::{AnyMetric, Metric, MetricKind};
+
+/// Registry entry for METX.
+pub(super) const PLUGIN: MetricPlugin = MetricPlugin {
+    name: "METX",
+    kind: MetricKind::Metx,
+    aliases: &[],
+    paper: true,
+    comparison: true,
+    summary: "multicast ETX: total expected transmissions, METX' = (METX+1)/df",
+    build: |rate| AnyMetric::Metx(Metx::with_rate(rate)),
+};
 
 /// The METX metric.
 ///
 /// ```
 /// use mcast_metrics::{Metx, Metric, LinkObservation};
 /// let m = Metx::default();
-/// let df = |d| LinkObservation { df: d, delay_s: None, bandwidth_bps: None, reverse_df: None };
+/// let df = |d| LinkObservation {
+///     df: d, delay_s: None, bandwidth_bps: None, reverse_df: None,
+///     congestion: None,
+/// };
 /// // Fig. 1, path A-B-D: links 0.25 then 1.0 → METX = 5.
 /// let p = m.path_cost([m.link_cost(&df(0.25)), m.link_cost(&df(1.0))]);
 /// assert!((p.value() - 5.0).abs() < 1e-9);
@@ -38,13 +53,10 @@ impl Default for Metx {
 }
 
 impl Metx {
-    /// METX with probe intervals divided by `rate`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rate` is not strictly positive.
+    /// METX with probe intervals divided by `rate`. Non-positive or
+    /// non-finite rates saturate the probe interval instead of panicking
+    /// (see [`ProbePlan::single_at_rate`]).
     pub fn with_rate(rate: f64) -> Self {
-        assert!(rate > 0.0, "probe rate must be positive");
         Metx { rate }
     }
 }
@@ -106,6 +118,7 @@ mod tests {
             delay_s: None,
             bandwidth_bps: None,
             reverse_df: None,
+            congestion: None,
         }
     }
 

@@ -9,8 +9,14 @@
 //!    starting from [`Metric::identity`]) — a *sum* for ETX/ETT/PP, a
 //!    *product* for SPP, and the recursion `METX' = (METX + 1) / df` for METX.
 //! 4. **Which of two path costs is better?** ([`Metric::better`]) — lower for
-//!    every metric except SPP, where the value is a success probability and
-//!    higher wins.
+//!    every metric except SPP and InvETX, where the value is a success
+//!    probability / quality score and higher wins.
+//!
+//! A metric is a *registered plugin*: the [`MetricRegistry`] maps deck/CLI
+//! names to builders, and everything that enumerates metrics (comparison
+//! tables, sweep variant axes, the metric-matrix CI smoke) walks the
+//! registry rather than a hard-coded list. See [`registry`] for the
+//! add-a-metric recipe.
 
 use crate::cost::{LinkCost, PathCost};
 use crate::estimator::LinkObservation;
@@ -19,20 +25,26 @@ use crate::probe::ProbePlan;
 mod ett;
 mod etx;
 mod hop_count;
+mod inv_etx;
 mod metx;
 mod pp;
+pub mod registry;
 mod spp;
 mod unicast_etx;
 mod wcett;
+mod wcett_lb;
 
 pub use ett::Ett;
 pub use etx::Etx;
 pub use hop_count::HopCount;
+pub use inv_etx::InvEtx;
 pub use metx::{metx_closed_form, Metx};
 pub use pp::Pp;
+pub use registry::{MetricPlugin, MetricRegistry};
 pub use spp::Spp;
 pub use unicast_etx::UnicastEtx;
 pub use wcett::{ChannelHop, Wcett};
+pub use wcett_lb::{WcettLb, DEFAULT_DELTA, DEFAULT_SIGMA};
 
 /// Identifies a routing metric (display names match the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -52,6 +64,11 @@ pub enum MetricKind {
     /// Deliberately-wrong bidirectional ETX (ablation; not in the paper's
     /// final metric set).
     UnicastEtx,
+    /// ETX inverted into a quality score (maximize).
+    InvEtx,
+    /// Load-balanced WCETT: ETT plus a queue/retry congestion term with
+    /// σ/δ switching thresholds.
+    WcettLb,
 }
 
 impl MetricKind {
@@ -65,35 +82,35 @@ impl MetricKind {
         MetricKind::Spp,
     ];
 
+    /// Every kind, in registry registration order. Kept in sync with the
+    /// registry by `every_kind_has_a_plugin_that_builds_it`.
+    pub const ALL: [MetricKind; 9] = [
+        MetricKind::Ett,
+        MetricKind::Etx,
+        MetricKind::Metx,
+        MetricKind::Pp,
+        MetricKind::Spp,
+        MetricKind::HopCount,
+        MetricKind::UnicastEtx,
+        MetricKind::InvEtx,
+        MetricKind::WcettLb,
+    ];
+
     /// Build the metric with the default (paper) probing rate.
     pub fn build(self) -> AnyMetric {
         self.build_with_rate(1.0)
     }
 
-    /// Build the metric with probe intervals divided by `rate`.
+    /// Build the metric with probe intervals divided by `rate`, through the
+    /// registry. Never panics: invalid rates saturate the probe interval
+    /// (see [`ProbePlan::single_at_rate`]).
     pub fn build_with_rate(self, rate: f64) -> AnyMetric {
-        match self {
-            MetricKind::HopCount => AnyMetric::HopCount(HopCount),
-            MetricKind::Etx => AnyMetric::Etx(Etx::with_rate(rate)),
-            MetricKind::Ett => AnyMetric::Ett(Ett::with_rate(rate)),
-            MetricKind::Pp => AnyMetric::Pp(Pp::with_rate(rate)),
-            MetricKind::Metx => AnyMetric::Metx(Metx::with_rate(rate)),
-            MetricKind::Spp => AnyMetric::Spp(Spp::with_rate(rate)),
-            MetricKind::UnicastEtx => AnyMetric::UnicastEtx(UnicastEtx::with_rate(rate)),
-        }
+        MetricRegistry::global().plugin_of(self).instantiate(rate)
     }
 
-    /// The paper's name for the metric.
+    /// The paper's name for the metric (the registry's canonical name).
     pub fn name(self) -> &'static str {
-        match self {
-            MetricKind::HopCount => "HOP",
-            MetricKind::Etx => "ETX",
-            MetricKind::Ett => "ETT",
-            MetricKind::Pp => "PP",
-            MetricKind::Metx => "METX",
-            MetricKind::Spp => "SPP",
-            MetricKind::UnicastEtx => "ETX-bidir",
-        }
+        MetricRegistry::global().plugin_of(self).name
     }
 }
 
@@ -113,9 +130,12 @@ impl std::fmt::Display for MetricKind {
 /// * **monotonicity** — extending a path never makes it better:
 ///   `!better(accumulate(p, c), p)` holds for SPP-style metrics and the
 ///   additive ones alike;
-/// * **totality** — `better` is a strict weak ordering (no NaNs).
+/// * **totality** — `better` is a strict weak ordering (no NaNs), or a
+///   strict semiorder for hysteresis comparators like WCETT-LB's (still
+///   irreflexive, asymmetric, and monotone).
 ///
-/// These laws are checked by property tests in this crate.
+/// These laws are checked by property tests in this crate, over every
+/// registered metric.
 pub trait Metric {
     /// Which metric this is.
     fn kind(&self) -> MetricKind;
@@ -167,6 +187,10 @@ pub enum AnyMetric {
     Spp(Spp),
     /// See [`UnicastEtx`].
     UnicastEtx(UnicastEtx),
+    /// See [`InvEtx`].
+    InvEtx(InvEtx),
+    /// See [`WcettLb`].
+    WcettLb(WcettLb),
 }
 
 macro_rules! delegate {
@@ -179,6 +203,8 @@ macro_rules! delegate {
             AnyMetric::Metx($m) => $body,
             AnyMetric::Spp($m) => $body,
             AnyMetric::UnicastEtx($m) => $body,
+            AnyMetric::InvEtx($m) => $body,
+            AnyMetric::WcettLb($m) => $body,
         }
     };
 }
@@ -216,26 +242,43 @@ mod tests {
             df,
             // On a real link, loss penalties inflate the PP delay EWMA and
             // shrink the bandwidth estimate; model that coupling so the
-            // cross-metric assertions make sense for PP and ETT too.
+            // cross-metric assertions make sense for PP and ETT too. A
+            // lossier link also plausibly sits behind a busier queue.
             delay_s: Some(0.005 / df),
             bandwidth_bps: Some(2.0e6 * df),
             reverse_df: Some(df),
+            congestion: Some(1.0 - df),
         }
     }
 
     #[test]
     fn kinds_roundtrip_through_build() {
-        for kind in [
-            MetricKind::HopCount,
-            MetricKind::Etx,
-            MetricKind::Ett,
-            MetricKind::Pp,
-            MetricKind::Metx,
-            MetricKind::Spp,
-            MetricKind::UnicastEtx,
-        ] {
+        for kind in MetricKind::ALL {
             assert_eq!(kind.build().kind(), kind);
         }
+    }
+
+    #[test]
+    fn all_is_exhaustive() {
+        // A new MetricKind variant fails this match until it is added to
+        // ALL (and, via the registry coverage test, to the registry).
+        for kind in MetricKind::ALL {
+            match kind {
+                MetricKind::HopCount
+                | MetricKind::Etx
+                | MetricKind::Ett
+                | MetricKind::Pp
+                | MetricKind::Metx
+                | MetricKind::Spp
+                | MetricKind::UnicastEtx
+                | MetricKind::InvEtx
+                | MetricKind::WcettLb => {}
+            }
+        }
+        let mut sorted = MetricKind::ALL.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), MetricKind::ALL.len(), "ALL has duplicates");
     }
 
     #[test]
@@ -260,7 +303,7 @@ mod tests {
 
     #[test]
     fn every_metric_beats_worst() {
-        for kind in MetricKind::PAPER_SET {
+        for kind in MetricKind::ALL {
             let m = kind.build();
             let p = m.path_cost([m.link_cost(&obs(0.5)), m.link_cost(&obs(0.8))]);
             assert!(m.better(p, m.worst()), "{kind}: real path beats worst()");
@@ -271,5 +314,7 @@ mod tests {
     fn display_names() {
         assert_eq!(MetricKind::Spp.to_string(), "SPP");
         assert_eq!(MetricKind::HopCount.to_string(), "HOP");
+        assert_eq!(MetricKind::InvEtx.to_string(), "InvETX");
+        assert_eq!(MetricKind::WcettLb.to_string(), "WCETT-LB");
     }
 }

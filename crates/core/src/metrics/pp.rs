@@ -16,10 +16,22 @@ use crate::cost::{LinkCost, PathCost};
 use crate::estimator::LinkObservation;
 use crate::probe::ProbePlan;
 
-use super::{Metric, MetricKind};
+use super::registry::MetricPlugin;
+use super::{AnyMetric, Metric, MetricKind};
 
 /// Delay assumed (in seconds) for links whose delay was never measured.
 pub const DEFAULT_DELAY_S: f64 = 0.005;
+
+/// Registry entry for PP.
+pub(super) const PLUGIN: MetricPlugin = MetricPlugin {
+    name: "PP",
+    kind: MetricKind::Pp,
+    aliases: &[],
+    paper: true,
+    comparison: true,
+    summary: "packet-pair delay EWMA with 20% loss penalty (additive)",
+    build: |rate| AnyMetric::Pp(Pp::with_rate(rate)),
+};
 
 /// The packet-pair delay metric.
 ///
@@ -28,6 +40,7 @@ pub const DEFAULT_DELAY_S: f64 = 0.005;
 /// let m = Pp::default();
 /// let obs = LinkObservation {
 ///     df: 1.0, delay_s: Some(0.004), bandwidth_bps: None, reverse_df: None,
+///     congestion: None,
 /// };
 /// // Costs are carried in milliseconds.
 /// assert!((m.link_cost(&obs).value() - 4.0).abs() < 1e-9);
@@ -44,13 +57,10 @@ impl Default for Pp {
 }
 
 impl Pp {
-    /// PP with probe intervals divided by `rate`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rate` is not strictly positive.
+    /// PP with probe intervals divided by `rate`. Non-positive or
+    /// non-finite rates saturate the probe interval instead of panicking
+    /// (see [`ProbePlan::pair_at_rate`]).
     pub fn with_rate(rate: f64) -> Self {
-        assert!(rate > 0.0, "probe rate must be positive");
         Pp { rate }
     }
 }
@@ -96,6 +106,7 @@ mod tests {
             delay_s,
             bandwidth_bps: None,
             reverse_df: None,
+            congestion: None,
         }
     }
 

@@ -1,0 +1,230 @@
+//! The metric plugin registry.
+//!
+//! A metric is a *registered plugin*: a named bundle of cost algebra
+//! ([`Metric::link_cost`](super::Metric::link_cost) /
+//! [`accumulate`](super::Metric::accumulate) /
+//! [`identity`](super::Metric::identity) /
+//! [`better`](super::Metric::better)), probe plan and accumulation rule,
+//! discoverable **by name** instead of through a closed `match` over
+//! [`MetricKind`]. The scenario compiler resolves deck variant names here,
+//! and the fig2/table1 runners enumerate [`MetricRegistry::comparison_kinds`]
+//! so a newly registered metric appears in every comparison table without
+//! touching a single runner.
+//!
+//! ## Adding a metric
+//!
+//! 1. Write the metric in one new file under `metrics/` (implement
+//!    [`Metric`](super::Metric), export a `PLUGIN` const like the ones in
+//!    `inv_etx.rs`).
+//! 2. Register it: one `MetricKind`/`AnyMetric` variant, one `delegate!`
+//!    arm and one entry in [`MetricRegistry::builtin`]'s list, all in
+//!    `metrics/mod.rs`.
+//!
+//! Everything downstream — deck parsing, sweep axes, comparison tables, the
+//! metric-matrix CI smoke — picks the metric up from the registry.
+
+use std::sync::OnceLock;
+
+use super::{AnyMetric, MetricKind};
+
+/// A registered metric: what the registry knows about one [`Metric`]
+/// implementation.
+///
+/// [`Metric`]: super::Metric
+#[derive(Debug, Clone, Copy)]
+pub struct MetricPlugin {
+    /// Canonical deck/CLI name; always equal to [`MetricKind::name`].
+    pub name: &'static str,
+    /// The kind this plugin builds (the `Copy` identifier used in configs).
+    pub kind: MetricKind,
+    /// Additional accepted spellings. Both `name` and aliases are matched
+    /// ASCII-case-insensitively by [`MetricRegistry::lookup`].
+    pub aliases: &'static [&'static str],
+    /// Whether the metric is one of the paper's evaluated five (ETT, ETX,
+    /// METX, PP, SPP — Fig. 2 / Table 1).
+    pub paper: bool,
+    /// Whether the fig2/table1 comparison tables enumerate it. Ablations
+    /// (`ETX-bidir`) and the implicit baseline (`HOP`) opt out but remain
+    /// selectable by name.
+    pub comparison: bool,
+    /// One-line summary of the cost algebra, for generated docs and usage
+    /// listings.
+    pub summary: &'static str,
+    /// Construct the metric with probe intervals divided by `rate`.
+    pub build: fn(rate: f64) -> AnyMetric,
+}
+
+impl MetricPlugin {
+    /// Whether `name` selects this plugin (canonical name or any alias,
+    /// ASCII-case-insensitive).
+    pub fn matches(&self, name: &str) -> bool {
+        self.name.eq_ignore_ascii_case(name)
+            || self.aliases.iter().any(|a| a.eq_ignore_ascii_case(name))
+    }
+
+    /// Build the metric with probe intervals divided by `rate`.
+    pub fn instantiate(&self, rate: f64) -> AnyMetric {
+        (self.build)(rate)
+    }
+}
+
+/// A set of metric plugins, searchable by name or kind.
+///
+/// Iteration order is registration order everywhere (a `Vec`, never a hash
+/// map — mesh-lint R1), so tables and error messages are deterministic.
+#[derive(Debug, Clone)]
+pub struct MetricRegistry {
+    plugins: Vec<MetricPlugin>,
+}
+
+impl MetricRegistry {
+    /// A registry over the given plugins, in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plugins` is empty (an empty registry cannot satisfy
+    /// [`MetricRegistry::plugin_of`]'s total contract).
+    pub fn new(plugins: Vec<MetricPlugin>) -> Self {
+        assert!(!plugins.is_empty(), "registry needs at least one plugin");
+        MetricRegistry { plugins }
+    }
+
+    /// All in-tree metrics: the paper five first (in the paper's figure
+    /// order), then the baseline and ablation, then the post-paper entrants.
+    pub fn builtin() -> Self {
+        MetricRegistry::new(vec![
+            super::ett::PLUGIN,
+            super::etx::PLUGIN,
+            super::metx::PLUGIN,
+            super::pp::PLUGIN,
+            super::spp::PLUGIN,
+            super::hop_count::PLUGIN,
+            super::unicast_etx::PLUGIN,
+            super::inv_etx::PLUGIN,
+            super::wcett_lb::PLUGIN,
+        ])
+    }
+
+    /// The process-wide registry of built-in metrics.
+    pub fn global() -> &'static MetricRegistry {
+        static GLOBAL: OnceLock<MetricRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricRegistry::builtin)
+    }
+
+    /// Every registered plugin, in registration order.
+    pub fn plugins(&self) -> &[MetricPlugin] {
+        &self.plugins
+    }
+
+    /// Find the plugin a deck/CLI `name` selects (canonical name or alias,
+    /// ASCII-case-insensitive).
+    pub fn lookup(&self, name: &str) -> Option<&MetricPlugin> {
+        self.plugins.iter().find(|p| p.matches(name))
+    }
+
+    /// The plugin for `kind`. Total over every registered kind; a kind that
+    /// was never registered (impossible for the built-in registry, which
+    /// [`MetricRegistry::builtin`]'s coverage test pins) falls back to the
+    /// first registration rather than panicking mid-simulation.
+    pub fn plugin_of(&self, kind: MetricKind) -> &MetricPlugin {
+        self.plugins
+            .iter()
+            .find(|p| p.kind == kind)
+            .unwrap_or(&self.plugins[0])
+    }
+
+    /// Canonical names in registration order (deck error messages, docs).
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.plugins.iter().map(|p| p.name)
+    }
+
+    /// Kinds of the paper's evaluated five, in registration order.
+    pub fn paper_kinds(&self) -> impl Iterator<Item = MetricKind> + '_ {
+        self.plugins.iter().filter(|p| p.paper).map(|p| p.kind)
+    }
+
+    /// Kinds the comparison tables enumerate, in registration order.
+    pub fn comparison_kinds(&self) -> impl Iterator<Item = MetricKind> + '_ {
+        self.plugins.iter().filter(|p| p.comparison).map(|p| p.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Metric;
+    use super::*;
+
+    #[test]
+    fn every_kind_has_a_plugin_that_builds_it() {
+        let reg = MetricRegistry::global();
+        for kind in MetricKind::ALL {
+            let p = reg.plugin_of(kind);
+            assert_eq!(p.kind, kind, "plugin_of({kind}) resolved a stranger");
+            assert_eq!(p.instantiate(1.0).kind(), kind);
+            assert_eq!(p.name, kind.name(), "canonical name drifted");
+        }
+        assert_eq!(reg.plugins().len(), MetricKind::ALL.len());
+    }
+
+    #[test]
+    fn lookup_accepts_names_and_aliases_case_insensitively() {
+        let reg = MetricRegistry::global();
+        assert_eq!(reg.lookup("SPP").map(|p| p.kind), Some(MetricKind::Spp));
+        assert_eq!(reg.lookup("spp").map(|p| p.kind), Some(MetricKind::Spp));
+        assert_eq!(
+            reg.lookup("invetx").map(|p| p.kind),
+            Some(MetricKind::InvEtx)
+        );
+        assert_eq!(
+            reg.lookup("WCETT_LB").map(|p| p.kind),
+            Some(MetricKind::WcettLb)
+        );
+        assert_eq!(
+            reg.lookup("etx-bidir").map(|p| p.kind),
+            Some(MetricKind::UnicastEtx)
+        );
+        assert!(reg.lookup("WAT").is_none());
+    }
+
+    #[test]
+    fn paper_kinds_match_the_paper_set() {
+        let kinds: Vec<MetricKind> = MetricRegistry::global().paper_kinds().collect();
+        assert_eq!(kinds, MetricKind::PAPER_SET);
+    }
+
+    #[test]
+    fn comparison_set_is_paper_five_plus_new_entrants() {
+        let kinds: Vec<MetricKind> = MetricRegistry::global().comparison_kinds().collect();
+        assert_eq!(
+            kinds,
+            [
+                MetricKind::Ett,
+                MetricKind::Etx,
+                MetricKind::Metx,
+                MetricKind::Pp,
+                MetricKind::Spp,
+                MetricKind::InvEtx,
+                MetricKind::WcettLb,
+            ]
+        );
+    }
+
+    #[test]
+    fn names_are_unique_even_across_aliases() {
+        let reg = MetricRegistry::global();
+        for (i, p) in reg.plugins().iter().enumerate() {
+            for q in reg.plugins().iter().skip(i + 1) {
+                assert!(!q.matches(p.name), "{} collides with {}", p.name, q.name);
+                for a in p.aliases {
+                    assert!(!q.matches(a), "alias {a} of {} hits {}", p.name, q.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one plugin")]
+    fn empty_registry_rejected() {
+        let _ = MetricRegistry::new(Vec::new());
+    }
+}

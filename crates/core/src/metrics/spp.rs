@@ -12,14 +12,29 @@ use crate::cost::{LinkCost, PathCost};
 use crate::estimator::LinkObservation;
 use crate::probe::ProbePlan;
 
-use super::{Metric, MetricKind};
+use super::registry::MetricPlugin;
+use super::{AnyMetric, Metric, MetricKind};
+
+/// Registry entry for SPP.
+pub(super) const PLUGIN: MetricPlugin = MetricPlugin {
+    name: "SPP",
+    kind: MetricKind::Spp,
+    aliases: &[],
+    paper: true,
+    comparison: true,
+    summary: "success probability product (df product, higher wins)",
+    build: |rate| AnyMetric::Spp(Spp::with_rate(rate)),
+};
 
 /// The success-probability-product metric.
 ///
 /// ```
 /// use mcast_metrics::{Spp, Metric, LinkObservation};
 /// let m = Spp::default();
-/// let df = |d| LinkObservation { df: d, delay_s: None, bandwidth_bps: None, reverse_df: None };
+/// let df = |d| LinkObservation {
+///     df: d, delay_s: None, bandwidth_bps: None, reverse_df: None,
+///     congestion: None,
+/// };
 /// let p = m.path_cost([m.link_cost(&df(0.8)), m.link_cost(&df(0.5))]);
 /// assert!((p.value() - 0.4).abs() < 1e-12);
 /// ```
@@ -35,13 +50,10 @@ impl Default for Spp {
 }
 
 impl Spp {
-    /// SPP with probe intervals divided by `rate`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rate` is not strictly positive.
+    /// SPP with probe intervals divided by `rate`. Non-positive or
+    /// non-finite rates saturate the probe interval instead of panicking
+    /// (see [`ProbePlan::single_at_rate`]).
     pub fn with_rate(rate: f64) -> Self {
-        assert!(rate > 0.0, "probe rate must be positive");
         Spp { rate }
     }
 }
@@ -86,6 +98,7 @@ mod tests {
             delay_s: None,
             bandwidth_bps: None,
             reverse_df: None,
+            congestion: None,
         }
     }
 

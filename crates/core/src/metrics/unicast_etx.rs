@@ -15,7 +15,21 @@ use crate::cost::{LinkCost, PathCost};
 use crate::estimator::LinkObservation;
 use crate::probe::ProbePlan;
 
-use super::{Metric, MetricKind};
+use super::registry::MetricPlugin;
+use super::{AnyMetric, Metric, MetricKind};
+
+/// Registry entry for the bidirectional-ETX ablation. Selectable by name
+/// (decks use it for the §2.1 distortion experiment) but kept out of the
+/// paper-figure comparison tables.
+pub(super) const PLUGIN: MetricPlugin = MetricPlugin {
+    name: "ETX-bidir",
+    kind: MetricKind::UnicastEtx,
+    aliases: &["ETX_BIDIR", "UNICAST_ETX", "UNICASTETX"],
+    paper: false,
+    comparison: false,
+    summary: "ablation: unicast-style 1/(df*dr) ETX (reverse term distorts)",
+    build: |rate| AnyMetric::UnicastEtx(UnicastEtx::with_rate(rate)),
+};
 
 /// The deliberately-bidirectional ETX ablation metric.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,12 +45,9 @@ impl Default for UnicastEtx {
 
 impl UnicastEtx {
     /// Bidirectional ETX with probe intervals divided by `rate`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rate` is not strictly positive.
+    /// Non-positive or non-finite rates saturate the probe interval instead
+    /// of panicking (see [`ProbePlan::single_at_rate`]).
     pub fn with_rate(rate: f64) -> Self {
-        assert!(rate > 0.0, "probe rate must be positive");
         UnicastEtx { rate }
     }
 }
@@ -82,6 +93,7 @@ mod tests {
             delay_s: None,
             bandwidth_bps: None,
             reverse_df: dr,
+            congestion: None,
         }
     }
 

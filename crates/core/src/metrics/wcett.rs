@@ -63,15 +63,52 @@ impl Wcett {
 
     /// WCETT of a path, in seconds. Lower is better. Empty paths cost 0.
     pub fn path_cost(&self, hops: &[ChannelHop]) -> f64 {
-        let total: f64 = hops.iter().map(|h| h.ett_s).sum();
-        // BTreeMap: `values()` below traverses it (mesh-lint R1).
-        let mut per_channel = std::collections::BTreeMap::new();
-        for h in hops {
-            *per_channel.entry(h.channel).or_insert(0.0f64) += h.ett_s;
+        self.combine(hops.iter().map(|h| (h.ett_s, h.channel)))
+    }
+
+    /// WCETT with per-hop load scaling (mamure's WCETT-LB): each hop's ETT
+    /// is inflated by `(1 + sigma · congestion)` before the `(1 − β)/β`
+    /// combination, so the bottleneck-channel term also charges congestion.
+    /// Congestion readings clamp into `[0, 1]`; non-finite ones count as
+    /// calm. With `sigma = 0` this is exactly [`Wcett::path_cost`].
+    pub fn loaded_path_cost(&self, hops: &[(ChannelHop, f64)], sigma: f64) -> f64 {
+        self.combine(hops.iter().map(|&(h, congestion)| {
+            let c = if congestion.is_finite() {
+                congestion.clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            (h.ett_s * (1.0 + sigma * c), h.channel)
+        }))
+    }
+
+    /// δ-hysteresis path switching: a challenger only displaces the
+    /// incumbent when it undercuts it by more than the threshold. This is
+    /// the comparator the WCETT-LB routing metric uses for
+    /// [`Metric::better`](super::Metric::better).
+    pub fn should_switch(current: f64, candidate: f64, delta: f64) -> bool {
+        candidate < current * (1.0 - delta)
+    }
+
+    // The shared `(1 − β)·Σ + β·max_j` fold. Per-evaluation scratch is a
+    // fixed stack array indexed by the u8 channel (channels are few, the
+    // channel space is 256 either way) — path evaluation runs once per
+    // candidate per route refresh, so it must not allocate. The ascending
+    // index scan visits channel sums in the same order the old BTreeMap's
+    // `values()` did, and `max(acc, 0.0)` over the untouched zero slots is
+    // the identity, so results are bit-for-bit what the map produced.
+    // mesh-lint: hot(wcett-path-cost)
+    fn combine<I: Iterator<Item = (f64, u8)>>(&self, hops: I) -> f64 {
+        let mut total = 0.0f64;
+        let mut per_channel = [0.0f64; 256];
+        for (ett_s, channel) in hops {
+            total += ett_s;
+            per_channel[channel as usize] += ett_s;
         }
-        let bottleneck = per_channel.values().copied().fold(0.0f64, f64::max);
+        let bottleneck = per_channel.iter().copied().fold(0.0f64, f64::max);
         (1.0 - self.beta) * total + self.beta * bottleneck
     }
+    // mesh-lint: end-hot
 
     /// Index of the best path among `candidates`.
     ///
@@ -147,6 +184,83 @@ mod tests {
     #[test]
     fn empty_path_costs_zero() {
         assert_eq!(Wcett::default().path_cost(&[]), 0.0);
+    }
+
+    #[test]
+    fn scratch_fold_is_bit_identical_to_a_btreemap_reference() {
+        // The pre-refactor implementation, kept as the oracle: per-channel
+        // sums in a BTreeMap, bottleneck from its `values()` traversal.
+        fn reference(beta: f64, hops: &[ChannelHop]) -> f64 {
+            let total: f64 = hops.iter().map(|h| h.ett_s).sum();
+            let mut per_channel = std::collections::BTreeMap::new();
+            for h in hops {
+                *per_channel.entry(h.channel).or_insert(0.0f64) += h.ett_s;
+            }
+            let bottleneck = per_channel.values().copied().fold(0.0f64, f64::max);
+            (1.0 - beta) * total + beta * bottleneck
+        }
+        // Deterministic pseudo-random hop lists covering repeated channels,
+        // extreme channel ids and irrational ETTs.
+        let mut state = 0x9e37_79b9_u32;
+        for beta in [0.0, 0.3, 0.5, 0.7, 1.0] {
+            for len in 0..24usize {
+                let hops: Vec<ChannelHop> = (0..len)
+                    .map(|i| {
+                        state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                        let ch = (state >> 24) as u8;
+                        ChannelHop::new(1e-4 + (i as f64 + 1.0) / 3.0_f64.sqrt(), ch)
+                    })
+                    .collect();
+                let w = Wcett::new(beta);
+                assert_eq!(
+                    w.path_cost(&hops).to_bits(),
+                    reference(beta, &hops).to_bits(),
+                    "beta={beta} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loaded_cost_with_zero_sigma_is_plain_wcett() {
+        let w = Wcett::default();
+        let hops = [hop(2.0, 1), hop(3.0, 2), hop(4.0, 1)];
+        let loaded: Vec<(ChannelHop, f64)> = hops.iter().map(|&h| (h, 0.9)).collect();
+        assert_eq!(
+            w.loaded_path_cost(&loaded, 0.0).to_bits(),
+            w.path_cost(&hops).to_bits()
+        );
+    }
+
+    #[test]
+    fn congestion_charges_the_bottleneck_channel_too() {
+        let w = Wcett::new(1.0); // pure bottleneck term
+        let calm = [(hop(3.0, 1), 0.0), (hop(3.0, 1), 0.0)];
+        let busy = [(hop(3.0, 1), 1.0), (hop(3.0, 1), 1.0)];
+        let sigma = 0.5;
+        assert!(w.loaded_path_cost(&busy, sigma) > w.loaded_path_cost(&calm, sigma));
+        // sigma=0.5 at full congestion inflates the channel sum by 1.5x.
+        let ratio = w.loaded_path_cost(&busy, sigma) / w.loaded_path_cost(&calm, sigma);
+        assert!((ratio - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bogus_congestion_counts_as_calm_in_loaded_cost() {
+        let w = Wcett::default();
+        let nan = [(hop(2.0, 1), f64::NAN), (hop(3.0, 2), f64::INFINITY)];
+        let calm = [hop(2.0, 1), hop(3.0, 2)];
+        assert_eq!(
+            w.loaded_path_cost(&nan, 0.5).to_bits(),
+            w.path_cost(&calm).to_bits()
+        );
+    }
+
+    #[test]
+    fn should_switch_applies_the_hysteresis_margin() {
+        assert!(!Wcett::should_switch(1.0, 0.95, 0.1)); // within the margin
+        assert!(Wcett::should_switch(1.0, 0.8, 0.1)); // clear of it
+        assert!(!Wcett::should_switch(1.0, 1.0, 0.0)); // strict at delta=0
+        assert!(Wcett::should_switch(1.0, 0.99, 0.0));
     }
 
     #[test]

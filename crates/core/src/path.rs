@@ -19,6 +19,7 @@ pub fn path_cost_from_dfs<M: Metric>(metric: &M, dfs: &[f64]) -> PathCost {
             delay_s: None,
             bandwidth_bps: None,
             reverse_df: None,
+            congestion: None,
         })
     }))
 }

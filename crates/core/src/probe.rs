@@ -45,6 +45,11 @@ impl ProbePlan {
     /// The standard single-probe plan, with the interval divided by `rate`
     /// (`rate = 5.0` reproduces the paper's "high overhead" configuration,
     /// `rate = 0.1` its low-rate note).
+    ///
+    /// Never panics: a non-positive or NaN rate saturates to the slowest
+    /// supported interval (effectively "probing off"), an infinite rate to
+    /// the fastest. Decks still reject such rates at compile time with a
+    /// line-anchored error; the saturation here is the in-core backstop.
     pub fn single_at_rate(rate: f64) -> ProbePlan {
         ProbePlan::Single {
             interval: scale_interval(DEFAULT_SINGLE_INTERVAL, rate),
@@ -52,7 +57,8 @@ impl ProbePlan {
         }
     }
 
-    /// The standard packet-pair plan at the given rate factor.
+    /// The standard packet-pair plan at the given rate factor. Saturates on
+    /// invalid rates exactly like [`ProbePlan::single_at_rate`].
     pub fn pair_at_rate(rate: f64) -> ProbePlan {
         ProbePlan::Pair {
             interval: scale_interval(DEFAULT_PAIR_INTERVAL, rate),
@@ -83,9 +89,23 @@ impl ProbePlan {
     }
 }
 
+// Interval scale factor bounds: 1e9 turns the 5 s default into ~158 years of
+// sim time ("probing off" for any practical run, still finite in u64 nanos);
+// 1e-9 bottoms out at a few nanoseconds between probes.
+const MIN_SCALE: f64 = 1.0e-9;
+const MAX_SCALE: f64 = 1.0e9;
+
 fn scale_interval(base: SimDuration, rate: f64) -> SimDuration {
-    assert!(rate > 0.0, "probe rate factor must be positive");
-    base.mul_f64(1.0 / rate)
+    // Saturate instead of panicking: a rate of 0 (or NaN, or negative) used
+    // to trip an assert that was reachable straight from a scenario deck's
+    // `probe_rate` knob. Valid rates land inside the clamp window, so their
+    // intervals are bit-identical to the unclamped computation.
+    let scale = if rate > 0.0 {
+        (1.0 / rate).clamp(MIN_SCALE, MAX_SCALE)
+    } else {
+        MAX_SCALE
+    };
+    base.mul_f64(scale)
 }
 
 /// A probe on the air.
@@ -216,6 +236,39 @@ mod tests {
         assert_eq!(fast.interval(), Some(SimDuration::from_secs(1)));
         let slow = ProbePlan::single_at_rate(0.1);
         assert_eq!(slow.interval(), Some(SimDuration::from_secs(50)));
+    }
+
+    #[test]
+    fn degenerate_rates_saturate_instead_of_panicking() {
+        // Rates a buggy config could produce: zero, negative, NaN. All mean
+        // "effectively never probe", not "abort the simulation".
+        for rate in [0.0, -3.0, f64::NAN] {
+            let plan = ProbePlan::single_at_rate(rate);
+            let interval = plan.interval().expect("still a Single plan");
+            assert_eq!(
+                interval,
+                DEFAULT_SINGLE_INTERVAL.mul_f64(1.0e9),
+                "rate={rate}"
+            );
+        }
+        // An infinite rate pins to the fastest supported interval.
+        let fast = ProbePlan::pair_at_rate(f64::INFINITY);
+        assert_eq!(fast.interval(), Some(DEFAULT_PAIR_INTERVAL.mul_f64(1.0e-9)));
+    }
+
+    #[test]
+    fn valid_rates_are_unaffected_by_the_saturation_clamp() {
+        // The clamp window spans [1e-9, 1e9]; every realistic rate's scale
+        // factor sits strictly inside, so intervals match the unclamped
+        // arithmetic exactly.
+        for rate in [0.1, 1.0, 5.0, 1000.0] {
+            let plan = ProbePlan::single_at_rate(rate);
+            assert_eq!(
+                plan.interval(),
+                Some(DEFAULT_SINGLE_INTERVAL.mul_f64(1.0 / rate)),
+                "rate={rate}"
+            );
+        }
     }
 
     #[test]

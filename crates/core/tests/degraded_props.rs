@@ -5,13 +5,19 @@
 //! decayed to the floor.
 
 use mcast_metrics::{
-    AnyMetric, EstimatorConfig, Freshness, LinkEstimate, LinkObservation, Metric, MetricKind,
+    AnyMetric, EstimatorConfig, Freshness, LinkEstimate, LinkObservation, Metric, MetricRegistry,
 };
 use mesh_sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn paper_metrics() -> Vec<AnyMetric> {
-    MetricKind::PAPER_SET.iter().map(|k| k.build()).collect()
+    // Historically the paper five; now every registered metric, so a new
+    // plugin inherits the degraded-input obligations automatically.
+    MetricRegistry::global()
+        .plugins()
+        .iter()
+        .map(|p| p.instantiate(1.0))
+        .collect()
 }
 
 /// Cost the observation as a `hops`-long uniform path and check every value

@@ -3,8 +3,8 @@
 use mcast_metrics::metrics::metx_closed_form;
 use mcast_metrics::window::SeqWindow;
 use mcast_metrics::{
-    choose_path, CandidatePath, EstimatorConfig, LinkEstimate, LinkObservation, Metric, MetricKind,
-    Metx, Spp,
+    choose_path, CandidatePath, EstimatorConfig, LinkEstimate, LinkObservation, Metric,
+    MetricRegistry, Metx, Spp,
 };
 use mesh_sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -20,22 +20,20 @@ fn obs(df: f64) -> LinkObservation {
         delay_s: Some(0.005 / df),
         bandwidth_bps: Some(2.0e6 * df),
         reverse_df: Some(df),
+        // Couple congestion to link quality (lossier link = busier
+        // forwarder) so WCETT-LB's load term stays monotone with df and the
+        // cross-metric laws below apply to it unchanged.
+        congestion: Some(1.0 - df),
     }
 }
 
 fn all_metrics() -> Vec<mcast_metrics::AnyMetric> {
-    [
-        MetricKind::HopCount,
-        MetricKind::Etx,
-        MetricKind::Ett,
-        MetricKind::Pp,
-        MetricKind::Metx,
-        MetricKind::Spp,
-        MetricKind::UnicastEtx,
-    ]
-    .into_iter()
-    .map(|k| k.build())
-    .collect()
+    // Every registered metric — new plugins are law-checked automatically.
+    MetricRegistry::global()
+        .plugins()
+        .iter()
+        .map(|p| p.instantiate(1.0))
+        .collect()
 }
 
 proptest! {

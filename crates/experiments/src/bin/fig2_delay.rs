@@ -8,7 +8,7 @@
 
 use experiments::cli::CliArgs;
 use experiments::report;
-use experiments::runner::{paper_variants, run_matrix, run_mesh_once, summarize};
+use experiments::runner::{comparison_variants, run_matrix, run_mesh_once, summarize};
 use experiments::scenario::MeshScenario;
 use odmrp::Variant;
 
@@ -24,7 +24,7 @@ fn main() {
     }
     let seeds = args.seeds(10);
     eprintln!("fig2 (delay): {} topologies", seeds.len());
-    let results = run_matrix(&paper_variants(), &seeds, |v, s| {
+    let results = run_matrix(&comparison_variants(), &seeds, |v, s| {
         run_mesh_once(&scenario, v, s)
     });
     let summaries = summarize(&results, Variant::Original);

@@ -3,7 +3,7 @@
 //! gain dropping by about 2 % — probes interfere with data.
 
 use experiments::cli::CliArgs;
-use experiments::runner::{paper_variants, run_matrix, run_mesh_once, summarize};
+use experiments::runner::{comparison_variants, run_matrix, run_mesh_once, summarize};
 use experiments::scenario::MeshScenario;
 use experiments::{paper, report};
 use odmrp::Variant;
@@ -22,7 +22,7 @@ fn main() {
         scenario.probe_rate,
         seeds.len()
     );
-    let results = run_matrix(&paper_variants(), &seeds, |v, s| {
+    let results = run_matrix(&comparison_variants(), &seeds, |v, s| {
         run_mesh_once(&scenario, v, s)
     });
     let summaries = summarize(&results, Variant::Original);

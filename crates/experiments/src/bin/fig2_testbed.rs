@@ -4,7 +4,7 @@
 //! 4 → {1, 7}, five repetitions.
 
 use experiments::cli::CliArgs;
-use experiments::runner::{paper_variants, run_matrix, run_testbed_once, summarize};
+use experiments::runner::{comparison_variants, run_matrix, run_testbed_once, summarize};
 use experiments::scenario::TestbedScenario;
 use experiments::{paper, report};
 use mcast_metrics::MetricKind;
@@ -27,7 +27,7 @@ fn main() {
         scenario.data_start,
         scenario.data_stop
     );
-    let results = run_matrix(&paper_variants(), &seeds, |v, s| {
+    let results = run_matrix(&comparison_variants(), &seeds, |v, s| {
         let m = run_testbed_once(&scenario, v, s);
         eprintln!("  {} run={} pdr={:.3}", m.variant, s, m.pdr());
         m

@@ -3,7 +3,7 @@
 //! the 50-node random mesh, averaged over random topologies.
 
 use experiments::cli::CliArgs;
-use experiments::runner::{paper_variants, run_matrix, run_mesh_once, summarize};
+use experiments::runner::{comparison_variants, run_matrix, run_mesh_once, summarize};
 use experiments::scenario::MeshScenario;
 use experiments::{paper, report};
 use odmrp::Variant;
@@ -27,7 +27,7 @@ fn main() {
         scenario.data_stop
     );
     let t0 = std::time::Instant::now();
-    let results = run_matrix(&paper_variants(), &seeds, |v, s| {
+    let results = run_matrix(&comparison_variants(), &seeds, |v, s| {
         let m = run_mesh_once(&scenario, v, s);
         eprintln!(
             "  {} seed={} pdr={:.3} delay={:.1}ms overhead={:.2}% ({:.1}s elapsed)",

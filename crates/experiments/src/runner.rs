@@ -8,13 +8,29 @@ use crate::measure::RunMeasurement;
 use crate::scenario::{MeshScenario, TestbedScenario};
 use crate::stats::Summary;
 
-/// All variants of Figure 2, baseline first.
+/// All variants of Figure 2, baseline first. This is the *paper's* set —
+/// frozen so golden-shape checks keep comparing exactly what the paper
+/// plotted; the runners' comparison tables use [`comparison_variants`].
 pub fn paper_variants() -> Vec<Variant> {
     let mut v = vec![Variant::Original];
     v.extend(
         mcast_metrics::MetricKind::PAPER_SET
             .iter()
             .map(|&k| Variant::Metric(k)),
+    );
+    v
+}
+
+/// Baseline plus every registry metric flagged for comparison tables: the
+/// paper five and the post-paper entrants (InvETX, WCETT-LB). A newly
+/// registered metric with `comparison: true` appears here — and therefore
+/// in every fig2/table1 runner — without touching any runner code.
+pub fn comparison_variants() -> Vec<Variant> {
+    let mut v = vec![Variant::Original];
+    v.extend(
+        mcast_metrics::MetricRegistry::global()
+            .comparison_kinds()
+            .map(Variant::Metric),
     );
     v
 }
@@ -512,6 +528,19 @@ mod tests {
         let v = paper_variants();
         assert_eq!(v[0], Variant::Original);
         assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn comparison_variants_extend_the_paper_set() {
+        let v = comparison_variants();
+        // Prefix is exactly the paper set (same order), so existing tables
+        // read the same; new entrants append after it.
+        assert_eq!(v[..6], paper_variants()[..]);
+        assert!(v.contains(&Variant::Metric(mcast_metrics::MetricKind::InvEtx)));
+        assert!(v.contains(&Variant::Metric(mcast_metrics::MetricKind::WcettLb)));
+        // The baseline and opt-outs appear exactly once / not at all.
+        assert!(!v.contains(&Variant::Metric(mcast_metrics::MetricKind::HopCount)));
+        assert!(!v.contains(&Variant::Metric(mcast_metrics::MetricKind::UnicastEtx)));
     }
 
     /// Regression: one panicking run used to propagate out of the worker

@@ -7,7 +7,6 @@
 //! errors carrying the 1-based line number of the offending construct —
 //! a scenario file either compiles to exactly one meaning or not at all.
 
-use mcast_metrics::MetricKind;
 use mesh_sim::time::{SimDuration, SimTime};
 use odmrp::Variant;
 
@@ -371,10 +370,13 @@ fn compile_protocol(doc: &Doc, mesh: &mut MeshScenario) -> Result<(), TomlError>
     ])?;
     if let Some(e) = t.get("probe_rate") {
         let v = e.float()?;
-        if v <= 0.0 {
+        // Rejected here, at the deck line, rather than deep in a run: the
+        // core saturates degenerate rates instead of panicking, but a rate
+        // of 0 (or NaN/inf) in a deck is always a typo worth naming.
+        if !(v.is_finite() && v > 0.0) {
             return Err(TomlError::at(
                 e.line,
-                format!("probe_rate must be positive, got {v}"),
+                format!("probe_rate must be positive and finite, got {v}"),
             ));
         }
         mesh.probe_rate = v;
@@ -682,22 +684,26 @@ fn compile_faults(doc: &Doc) -> Result<FaultSpec, TomlError> {
     }
 }
 
-/// Parse a variant name: `ODMRP` is the baseline; metric names (`ETX`,
-/// `ETT`, `METX`, `PP`, `SPP`, `HOP`) select that metric variant. The
-/// `ODMRP_` label prefix is accepted.
+/// Parse a variant name: `ODMRP` is the baseline; any name registered in
+/// the [`MetricRegistry`](mcast_metrics::MetricRegistry) (canonical or
+/// alias, case-insensitive) selects that metric variant. The `ODMRP_` label
+/// prefix is accepted. Unknown names list every registered metric so the
+/// deck error is self-repairing.
 pub fn parse_variant(s: &str) -> Result<Variant, String> {
     let core = s.strip_prefix("ODMRP_").unwrap_or(s);
-    match core {
-        "ODMRP" => Ok(Variant::Original),
-        "HOP" => Ok(Variant::Metric(MetricKind::HopCount)),
-        "ETX" => Ok(Variant::Metric(MetricKind::Etx)),
-        "ETT" => Ok(Variant::Metric(MetricKind::Ett)),
-        "PP" => Ok(Variant::Metric(MetricKind::Pp)),
-        "METX" => Ok(Variant::Metric(MetricKind::Metx)),
-        "SPP" => Ok(Variant::Metric(MetricKind::Spp)),
-        other => Err(format!(
-            "unknown variant \"{other}\" (expected ODMRP, HOP, ETX, ETT, METX, PP or SPP)"
-        )),
+    if core.eq_ignore_ascii_case("ODMRP") {
+        return Ok(Variant::Original);
+    }
+    let registry = mcast_metrics::MetricRegistry::global();
+    match registry.lookup(core) {
+        Some(plugin) => Ok(Variant::Metric(plugin.kind)),
+        None => {
+            let names: Vec<&str> = registry.names().collect();
+            Err(format!(
+                "unknown variant \"{core}\" (expected ODMRP or a registered metric: {})",
+                names.join(", ")
+            ))
+        }
     }
 }
 
@@ -775,6 +781,7 @@ fn compile_sweep(doc: &Doc, scenario: &WorkloadScenario) -> Result<SweepSpec, To
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcast_metrics::MetricKind;
 
     const MINIMAL: &str = "name = \"t\"\n[topology]\nfamily = \"random\"\nnodes = 30\n";
 
@@ -842,19 +849,79 @@ mod tests {
     #[test]
     fn variants_parse_and_unknown_names_fail() {
         let c = compile(&format!(
-            "{MINIMAL}[sweep]\nvariants = [\"ODMRP\", \"SPP\"]\n"
+            "{MINIMAL}[sweep]\nvariants = [\"ODMRP\", \"SPP\", \"InvETX\", \"wcett_lb\"]\n"
         ))
         .unwrap();
         assert_eq!(
             c.sweep.variants,
-            vec![Variant::Original, Variant::Metric(MetricKind::Spp)]
+            vec![
+                Variant::Original,
+                Variant::Metric(MetricKind::Spp),
+                Variant::Metric(MetricKind::InvEtx),
+                Variant::Metric(MetricKind::WcettLb),
+            ]
         );
         let err = compile(&format!("{MINIMAL}[sweep]\nvariants = [\"WAT\"]\n")).unwrap_err();
         assert_eq!(err.line, 6);
         assert!(err.msg.contains("unknown variant"), "{}", err.msg);
+        // The rejection names every registered metric, so a deck author can
+        // fix the typo without opening the source.
+        for name in mcast_metrics::MetricRegistry::global().names() {
+            assert!(err.msg.contains(name), "error omits {name}: {}", err.msg);
+        }
         for v in crate::runner::paper_variants() {
             assert_eq!(parse_variant(variant_name(v)).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn every_registered_metric_is_deck_selectable() {
+        // Tentpole acceptance: names come from the registry, so UnicastEtx
+        // (never listed in the old hand-written match) and the new entrants
+        // are all reachable from decks, prefix and case included.
+        for p in mcast_metrics::MetricRegistry::global().plugins() {
+            assert_eq!(
+                parse_variant(p.name).unwrap(),
+                Variant::Metric(p.kind),
+                "{}",
+                p.name
+            );
+            assert_eq!(
+                parse_variant(&format!("ODMRP_{}", p.name)).unwrap(),
+                Variant::Metric(p.kind)
+            );
+            assert_eq!(
+                parse_variant(&p.name.to_ascii_lowercase()).unwrap(),
+                Variant::Metric(p.kind)
+            );
+            for alias in p.aliases {
+                assert_eq!(parse_variant(alias).unwrap(), Variant::Metric(p.kind));
+            }
+        }
+        assert_eq!(
+            parse_variant("ETX-bidir").unwrap(),
+            Variant::Metric(MetricKind::UnicastEtx)
+        );
+    }
+
+    #[test]
+    fn degenerate_probe_rates_fail_at_their_line() {
+        for bad in ["0.0", "0", "-1.0"] {
+            let err = compile(&format!("{MINIMAL}[protocol]\nprobe_rate = {bad}\n")).unwrap_err();
+            assert_eq!(err.line, 6, "probe_rate = {bad}");
+            assert!(
+                err.msg.contains("probe_rate must be positive and finite"),
+                "probe_rate = {bad}: {}",
+                err.msg
+            );
+        }
+        // Non-finite literals never even reach the check: the TOML subset
+        // rejects them while lexing the value, same line anchoring.
+        let err = compile(&format!("{MINIMAL}[protocol]\nprobe_rate = 1e999\n")).unwrap_err();
+        assert_eq!(err.line, 6);
+        assert!(err.msg.contains("non-finite"), "{}", err.msg);
+        let ok = compile(&format!("{MINIMAL}[protocol]\nprobe_rate = 5.0\n")).unwrap();
+        assert_eq!(ok.scenario.mesh.probe_rate, 5.0);
     }
 
     #[test]

@@ -33,6 +33,17 @@ const EXPECTED: &[(&str, usize, &str)] = &[
     ),
     ("roles-exceed-nodes.toml", 3, "distinct nodes"),
     ("duplicate-key.toml", 6, "duplicate key `nodes`"),
+    (
+        "zero-probe-rate.toml",
+        8,
+        "probe_rate must be positive and finite, got 0",
+    ),
+    (
+        "unknown-variant.toml",
+        8,
+        "unknown variant \"WAT\" (expected ODMRP or a registered metric: \
+         ETT, ETX, METX, PP, SPP, HOP, ETX-bidir, InvETX, WCETT-LB)",
+    ),
 ];
 
 fn fixture_dir() -> std::path::PathBuf {

@@ -1484,6 +1484,13 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
         self.world.macs[self.node.index()].queue.len()
     }
 
+    /// Capacity of this node's MAC transmit queue (the drop threshold).
+    /// Together with [`Ctx::mac_queue_len`] this gives protocols a local
+    /// occupancy signal, e.g. for load-aware metrics.
+    pub fn mac_queue_cap(&self) -> usize {
+        self.world.params.queue_cap
+    }
+
     /// Run counters (read-only).
     pub fn counters(&self) -> &Counters {
         self.world.counters()

@@ -104,6 +104,9 @@ pub struct OdmrpNode {
     elected_rounds: HashSet<u32>,
     /// Currently routing on the min-hop fallback (no usable estimates).
     fallback_active: bool,
+    /// EWMA of MAC transmit failures (unicast retry exhaustion), one input
+    /// of the local congestion signal charged by load-aware metrics.
+    tx_fail_ewma: f64,
 
     stats: NodeStats,
 }
@@ -143,8 +146,22 @@ impl OdmrpNode {
             refresh_token: vec![None; n_sources],
             elected_rounds: HashSet::new(),
             fallback_active: false,
+            tx_fail_ewma: 0.0,
             stats: NodeStats::default(),
         }
+    }
+
+    /// Local congestion in `[0, 1]`: the worse of MAC-queue occupancy and
+    /// the unicast retry-failure EWMA. A node handling a `JOIN QUERY` is the
+    /// prospective forwarder, so this is the load that load-aware metrics
+    /// (WCETT-LB) charge into the accumulated path cost. Under ODMRP's
+    /// pure-broadcast substrate the MAC never reports retry exhaustion
+    /// (broadcasts are unacknowledged), so queue occupancy is the live
+    /// signal; the retry term activates if a deployment adds unicast
+    /// traffic.
+    fn local_congestion(&self, ctx: &Ctx<'_, OdmrpMsg>) -> f64 {
+        let occupancy = ctx.mac_queue_len() as f64 / ctx.mac_queue_cap().max(1) as f64;
+        occupancy.clamp(0.0, 1.0).max(self.tx_fail_ewma)
     }
 
     /// The statistics collected so far.
@@ -420,6 +437,12 @@ impl OdmrpNode {
                     self.fallback_active = fallback;
                 }
                 let consumed_quarantined = used_measured && fresh == Some(Freshness::Quarantined);
+                // We are the prospective forwarder of this query, so charge
+                // our own congestion into the link cost. Congestion-blind
+                // metrics ignore the field, leaving their costs (and
+                // schedules) untouched.
+                let mut obs = obs;
+                obs.congestion = Some(self.local_congestion(ctx));
                 let link = metric.link_cost(&obs);
                 let new_cost = metric.accumulate(PathCost::new(q.cost), link);
                 match self.query_state.get_mut(&key) {
@@ -668,9 +691,15 @@ impl Protocol for OdmrpNode {
         &mut self,
         _ctx: &mut Ctx<'_, OdmrpMsg>,
         _handle: TxHandle,
-        _outcome: TxOutcome,
+        outcome: TxOutcome,
     ) {
-        // Everything ODMRP sends is broadcast; no per-frame follow-up needed.
+        // Everything ODMRP itself sends is broadcast, which the MAC never
+        // retries, so under this protocol `Failed` cannot occur and the
+        // EWMA stays 0. Tracking the verdict anyway keeps the congestion
+        // signal honest if a deployment routes unicast traffic through the
+        // same MAC.
+        let fail = if outcome.is_sent() { 0.0 } else { 1.0 };
+        self.tx_fail_ewma = 0.9 * self.tx_fail_ewma + 0.1 * fail;
     }
 
     fn handle_restart(&mut self, ctx: &mut Ctx<'_, OdmrpMsg>) {
@@ -694,6 +723,7 @@ impl Protocol for OdmrpNode {
         self.refresh_token.iter_mut().for_each(|t| *t = None);
         self.elected_rounds.clear();
         self.fallback_active = false;
+        self.tx_fail_ewma = 0.0;
         self.stats.restarts += 1;
         self.stats.fg_selected.clear();
 
