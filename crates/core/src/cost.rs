@@ -10,6 +10,8 @@
 
 use std::fmt;
 
+use mesh_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
 /// The metric value of a single link.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct LinkCost(f64);
@@ -28,6 +30,20 @@ impl LinkCost {
     /// The raw value.
     pub const fn value(self) -> f64 {
         self.0
+    }
+}
+
+impl Snap for LinkCost {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_f64(self.0);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let v = r.f64()?;
+        if v.is_nan() {
+            return Err(SnapError::StateMismatch("NaN link cost"));
+        }
+        Ok(LinkCost(v))
     }
 }
 
@@ -58,6 +74,20 @@ impl PathCost {
     /// The raw value.
     pub const fn value(self) -> f64 {
         self.0
+    }
+}
+
+impl Snap for PathCost {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_f64(self.0);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let v = r.f64()?;
+        if v.is_nan() {
+            return Err(SnapError::StateMismatch("NaN path cost"));
+        }
+        Ok(PathCost(v))
     }
 }
 

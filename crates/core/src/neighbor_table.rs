@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 
 use mesh_sim::ids::NodeId;
+use mesh_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use mesh_sim::time::SimTime;
 
 use crate::cost::LinkCost;
@@ -41,6 +42,25 @@ impl NeighborTable {
     /// The estimator configuration in use.
     pub fn config(&self) -> &EstimatorConfig {
         &self.cfg
+    }
+
+    /// Write the table's mutable state (estimates and reported freshness)
+    /// into a checkpoint; the estimator configuration is not serialized.
+    pub fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.links.snap(w);
+        self.reported.snap(w);
+    }
+
+    /// Restore the mutable state written by
+    /// [`NeighborTable::snapshot_state`]. The table keeps its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the checkpoint is malformed or truncated.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.links = Snap::unsnap(r)?;
+        self.reported = Snap::unsnap(r)?;
+        Ok(())
     }
 
     /// Process a probe received from `from` at `now`. `me` is this node's id

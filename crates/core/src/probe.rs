@@ -7,6 +7,7 @@
 //! the forward direction.
 
 use mesh_sim::ids::NodeId;
+use mesh_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use mesh_sim::time::SimDuration;
 
 /// Default single-probe interval (ETX / METX / SPP).
@@ -143,6 +144,52 @@ pub enum ProbeMsg {
     },
 }
 
+impl Snap for ProbeMsg {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            ProbeMsg::Single {
+                seq,
+                interval_ns,
+                reverse_df,
+            } => {
+                w.put_u8(0);
+                w.put_u64(*seq);
+                w.put_u64(*interval_ns);
+                reverse_df.snap(w);
+            }
+            ProbeMsg::PairSmall { seq, interval_ns } => {
+                w.put_u8(1);
+                w.put_u64(*seq);
+                w.put_u64(*interval_ns);
+            }
+            ProbeMsg::PairLarge { seq, bytes } => {
+                w.put_u8(2);
+                w.put_u64(*seq);
+                w.put_u32(*bytes);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => ProbeMsg::Single {
+                seq: r.u64()?,
+                interval_ns: r.u64()?,
+                reverse_df: Snap::unsnap(r)?,
+            },
+            1 => ProbeMsg::PairSmall {
+                seq: r.u64()?,
+                interval_ns: r.u64()?,
+            },
+            2 => ProbeMsg::PairLarge {
+                seq: r.u64()?,
+                bytes: r.u32()?,
+            },
+            t => return Err(SnapError::BadTag(t as u32)),
+        })
+    }
+}
+
 /// Sender-side probe generator: owns the sequence counters.
 #[derive(Debug, Clone)]
 pub struct Prober {
@@ -159,6 +206,22 @@ impl Prober {
     /// The plan this prober follows.
     pub fn plan(&self) -> ProbePlan {
         self.plan
+    }
+
+    /// Write the prober's mutable state (the sequence counter) into a
+    /// checkpoint; the plan is configuration and is not serialized.
+    pub fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.seq);
+    }
+
+    /// Restore the mutable state written by [`Prober::snapshot_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the checkpoint is truncated.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.seq = r.u64()?;
+        Ok(())
     }
 
     /// Produce the messages for the next probing round, with their payload

@@ -10,6 +10,7 @@
 //! no-history default observation, which makes every link cost a constant —
 //! i.e. the path choice falls back to minimum hop count.
 
+use mesh_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use mesh_sim::time::SimDuration;
 
 /// Freshness class of one link estimate.
@@ -35,6 +36,25 @@ impl Freshness {
             Freshness::Suspect => "suspect",
             Freshness::Quarantined => "quarantined",
         }
+    }
+}
+
+impl Snap for Freshness {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            Freshness::Fresh => 0,
+            Freshness::Suspect => 1,
+            Freshness::Quarantined => 2,
+        });
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Freshness::Fresh,
+            1 => Freshness::Suspect,
+            2 => Freshness::Quarantined,
+            t => return Err(SnapError::BadTag(t as u32)),
+        })
     }
 }
 

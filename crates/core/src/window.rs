@@ -5,6 +5,8 @@
 //! direction only** — the adaptation the paper requires for multicast (no
 //! ACKs, so the reverse direction is irrelevant).
 
+use mesh_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
 /// Tracks receipt of the most recent `k` sequence numbers (k ≤ 64).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeqWindow {
@@ -13,6 +15,24 @@ pub struct SeqWindow {
     /// Bit `i` set ⇒ sequence `latest - i` was received.
     bits: u64,
     k: u32,
+}
+
+impl Snap for SeqWindow {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.latest.snap(w);
+        w.put_u64(self.bits);
+        w.put_u32(self.k);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let latest = Snap::unsnap(r)?;
+        let bits = r.u64()?;
+        let k = r.u32()?;
+        if !(1..=64).contains(&k) {
+            return Err(SnapError::StateMismatch("SeqWindow size out of 1..=64"));
+        }
+        Ok(SeqWindow { latest, bits, k })
+    }
 }
 
 impl SeqWindow {

@@ -6,7 +6,10 @@
 //! * `filter` — print the events matching node/class/frame/kind/time filters;
 //! * `lifecycle` — reconstruct one packet's life (by frame id or MAC seq);
 //! * `drops` — histogram of `rx_drop` reasons;
-//! * `validate` — parse every line, failing loudly on the first bad one.
+//! * `validate` — parse every line, failing loudly on the first bad one;
+//! * `bisect` — binary-search checkpoint times to localize the first event
+//!   where a resumed run diverges from the uninterrupted one (a broken
+//!   `Snap`/`SnapshotState` impl shows up here as a narrow time window).
 //!
 //! See TESTING.md for the debugging workflow this supports.
 
@@ -26,7 +29,10 @@ const USAGE: &str = "usage: trace <subcommand> [options]
                  [--from SECS] [--to SECS]       print matching JSONL events
   lifecycle FILE (--frame F | --seq S)           one packet's full life
   drops     FILE                                 rx_drop reason histogram
-  validate  FILE                                 parse-check every line";
+  validate  FILE                                 parse-check every line
+  bisect    [--seed N] [--faults X] [--variant V] [--probes K]
+                                                 localize the first snapshot
+                                                 time whose resume diverges";
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -275,6 +281,116 @@ fn cmd_drops(mut args: std::vec::IntoIter<String>) {
     println!("total: {total}");
 }
 
+/// Binary-search checkpoint times on the bisect scenario: find the earliest
+/// snapshot time whose resumed run no longer reproduces the uninterrupted
+/// run's schedule hash. On a healthy tree every probe resumes exactly and
+/// the command reports so; after a checkpoint regression the reported
+/// window brackets the first event whose state round-trips unfaithfully.
+fn cmd_bisect(mut args: std::vec::IntoIter<String>) {
+    use experiments::scenario_compiler::{parse_variant, FaultSpec, WorkloadScenario};
+
+    let mut seed = 1u64;
+    let mut faults: Option<f64> = None;
+    let mut variant = Variant::Original;
+    let mut probes = 8u64;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => seed = parse_u64("--seed", args.next()),
+            "--faults" => faults = Some(parse_f64("--faults", args.next())),
+            "--probes" => probes = parse_u64("--probes", args.next()).max(1),
+            "--variant" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--variant needs a value"));
+                variant = parse_variant(&v).unwrap_or_else(|e| die(&e));
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    // The same deliberately small mesh `trace run` uses, as a workload so
+    // the checkpoint fingerprint machinery applies.
+    let mut w = WorkloadScenario::from_mesh(
+        "trace-bisect",
+        MeshScenario {
+            nodes: 25,
+            area_side: 700.0,
+            data_start: SimTime::from_secs(5),
+            data_stop: SimTime::from_secs(15),
+            ..MeshScenario::paper_default()
+        },
+    );
+    if let Some(x) = faults {
+        w.faults = FaultSpec::Random { intensity: x };
+    }
+    let end = w.run_until();
+    let fp = w.fingerprint(variant, seed);
+
+    let mut reference = w.build(variant, seed);
+    reference.run_until(end);
+    let want = reference.schedule_hash();
+
+    // One probe: snapshot the run at `t`, restore into a fresh simulator,
+    // run out the horizon, and compare final schedule hashes.
+    let resumed_hash = |t: SimTime| -> u64 {
+        let mut donor = w.build(variant, seed);
+        donor.run_until(t);
+        let bytes = donor.snapshot(fp);
+        let mut resumed = w.build(variant, seed);
+        resumed
+            .restore(&bytes, fp)
+            .unwrap_or_else(|e| die(&format!("snapshot at {t} failed to restore: {e}")));
+        resumed.run_until(end);
+        resumed.schedule_hash()
+    };
+
+    // Coarse scan for the first divergent probe, then binary search the
+    // good→bad boundary down to 1 ms of sim time.
+    let mut last_good = SimTime::from_nanos(0);
+    let mut first_bad: Option<(SimTime, u64)> = None;
+    for i in 1..=probes {
+        let t = SimTime::from_nanos(end.as_nanos() * i / (probes + 1));
+        let got = resumed_hash(t);
+        let verdict = if got == want { "ok" } else { "DIVERGED" };
+        eprintln!("probe {i}/{probes} at {t}: {verdict}");
+        if got == want {
+            last_good = t;
+        } else {
+            first_bad = Some((t, got));
+            break;
+        }
+    }
+    let Some((mut bad, mut bad_hash)) = first_bad else {
+        println!("no divergence: {probes} resume points all reproduce schedule hash {want:#018x}");
+        return;
+    };
+    let resolution = 1_000_000; // 1 ms in nanos
+    while bad.as_nanos() - last_good.as_nanos() > resolution {
+        let mid = SimTime::from_nanos((last_good.as_nanos() + bad.as_nanos()) / 2);
+        let got = resumed_hash(mid);
+        eprintln!(
+            "bisect [{last_good} .. {bad}] -> {mid}: {}",
+            if got == want { "ok" } else { "DIVERGED" }
+        );
+        if got == want {
+            last_good = mid;
+        } else {
+            bad = mid;
+            bad_hash = got;
+        }
+    }
+    println!(
+        "first divergent checkpoint in ({last_good} .. {bad}]: resume from {bad} yields \
+         schedule hash {bad_hash:#018x}, uninterrupted run {want:#018x}"
+    );
+    println!(
+        "the snapshot taken at {bad} round-trips some state unfaithfully; inspect events \
+         between {last_good} and {bad} (trace filter --from {:.3} --to {:.3})",
+        last_good.as_secs_f64(),
+        bad.as_secs_f64()
+    );
+    std::process::exit(1);
+}
+
 fn cmd_validate(mut args: std::vec::IntoIter<String>) {
     let path = args.next().unwrap_or_else(|| die(USAGE));
     if let Some(a) = args.next() {
@@ -306,6 +422,7 @@ fn main() {
         "lifecycle" => cmd_lifecycle(rest),
         "drops" => cmd_drops(rest),
         "validate" => cmd_validate(rest),
+        "bisect" => cmd_bisect(rest),
         "--help" | "-h" => println!("{USAGE}"),
         other => die(&format!("unknown subcommand: {other}\n{USAGE}")),
     }

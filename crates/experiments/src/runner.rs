@@ -1,7 +1,7 @@
 //! Running variant × topology matrices, in parallel across topologies.
 
 use mesh_sim::fault::FaultPlan;
-use mesh_sim::time::SimDuration;
+use mesh_sim::time::{SimDuration, SimTime};
 use odmrp::Variant;
 
 use crate::measure::RunMeasurement;
@@ -153,6 +153,56 @@ pub fn run_testbed_once(scenario: &TestbedScenario, variant: Variant, seed: u64)
     RunMeasurement::from_sim(&sim, &groups, seed)
 }
 
+/// A thread-safe mailbox holding the **last good checkpoint** of one job.
+///
+/// The supervised runner hands one slot to every job attempt; the job wires
+/// it into [`mesh_sim::simulator::Simulator::checkpoint_every`] so periodic
+/// snapshots land here. Because the slot lives *outside* the `catch_unwind`
+/// boundary, a panicking attempt's most recent checkpoint survives the
+/// unwind, and the retry can resume from it instead of from `t = 0`.
+///
+/// Clones share the same storage (`Arc` inside), so an owned clone can move
+/// into the `'static` checkpoint sink while the runner keeps its handle.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointSlot {
+    inner: SlotInner,
+}
+
+/// Shared storage behind a [`CheckpointSlot`]: the newest `(time, bytes)`
+/// checkpoint, or `None` before the first one lands.
+type SlotInner = std::sync::Arc<std::sync::Mutex<Option<(SimTime, Vec<u8>)>>>;
+
+impl CheckpointSlot {
+    /// An empty slot (no checkpoint yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the stored checkpoint with a newer one.
+    pub fn store(&self, at: SimTime, bytes: Vec<u8>) {
+        *self.inner.lock().expect("checkpoint slot poisoned") = Some((at, bytes));
+    }
+
+    /// Sim time of the stored checkpoint, if any.
+    pub fn time(&self) -> Option<SimTime> {
+        self.inner
+            .lock()
+            .expect("checkpoint slot poisoned")
+            .as_ref()
+            .map(|(t, _)| *t)
+    }
+
+    /// Clone the stored checkpoint bytes, if any.
+    pub fn get(&self) -> Option<(SimTime, Vec<u8>)> {
+        self.inner.lock().expect("checkpoint slot poisoned").clone()
+    }
+
+    /// Drop the stored checkpoint (e.g. after it failed to deserialize).
+    pub fn clear(&self) {
+        *self.inner.lock().expect("checkpoint slot poisoned") = None;
+    }
+}
+
 /// Why one `(variant, seed)` job of a supervised matrix failed.
 #[derive(Debug, Clone)]
 pub struct RunFailure {
@@ -162,6 +212,12 @@ pub struct RunFailure {
     pub seed: u64,
     /// Attempts made (1 = no retry succeeded or none configured).
     pub attempts: u32,
+    /// Where each attempt started: `None` = from scratch (`t = 0`),
+    /// `Some(t)` = resumed from the checkpoint taken at sim time `t`. One
+    /// entry per attempt, so salvage reports can distinguish "retried from
+    /// scratch N times" from "resumed and failed again" — a watchdog
+    /// livelock *after* a resume points at the checkpoint, not the run.
+    pub resume_points: Vec<Option<SimTime>>,
     /// Whether the last failure was the sim-time watchdog declaring a
     /// livelock (classified by [`mesh_sim::simulator::WATCHDOG_PANIC_PREFIX`]).
     pub livelock: bool,
@@ -169,17 +225,38 @@ pub struct RunFailure {
     pub reason: String,
 }
 
+impl RunFailure {
+    /// Whether the last attempt started from a checkpoint rather than from
+    /// scratch.
+    pub fn last_attempt_resumed(&self) -> bool {
+        self.resume_points.last().is_some_and(|p| p.is_some())
+    }
+}
+
 impl std::fmt::Display for RunFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tag = match (self.livelock, self.last_attempt_resumed()) {
+            (true, true) => " [livelock after resume]",
+            (true, false) => " [livelock]",
+            (false, _) => "",
+        };
         write!(
             f,
             "{} seed {} failed after {} attempt(s){}: {}",
-            self.variant,
-            self.seed,
-            self.attempts,
-            if self.livelock { " [livelock]" } else { "" },
-            self.reason
-        )
+            self.variant, self.seed, self.attempts, tag, self.reason
+        )?;
+        if self.resume_points.iter().any(|p| p.is_some()) {
+            let pts: Vec<String> = self
+                .resume_points
+                .iter()
+                .map(|p| match p {
+                    None => "scratch".to_string(),
+                    Some(t) => format!("ckpt@{t}"),
+                })
+                .collect();
+            write!(f, " (attempts: {})", pts.join(", "))?;
+        }
+        Ok(())
     }
 }
 
@@ -290,10 +367,31 @@ pub fn run_jobs_supervised<F, O>(
     jobs: &[(Variant, u64)],
     retries: u32,
     run: F,
-    mut on_result: O,
+    on_result: O,
 ) -> MatrixReport
 where
     F: Fn(usize, Variant, u64) -> RunMeasurement + Sync,
+    O: FnMut(usize, &Result<RunMeasurement, RunFailure>),
+{
+    run_jobs_supervised_resumable(jobs, retries, |i, v, s, _slot| run(i, v, s), on_result)
+}
+
+/// [`run_jobs_supervised`] with **checkpoint-aware retries**: every job gets
+/// a [`CheckpointSlot`] that outlives the panic boundary. A job that wires
+/// the slot into `Simulator::checkpoint_every` leaves its last good
+/// checkpoint behind when it panics, and the retry (same closure, same
+/// slot) can restore from it instead of replaying from `t = 0` — see
+/// `WorkloadScenario::run_supervised_resumable`. Each attempt's starting
+/// point (`None` = scratch, `Some(t)` = resumed from the checkpoint at `t`)
+/// is recorded in [`RunFailure::resume_points`].
+pub fn run_jobs_supervised_resumable<F, O>(
+    jobs: &[(Variant, u64)],
+    retries: u32,
+    run: F,
+    mut on_result: O,
+) -> MatrixReport
+where
+    F: Fn(usize, Variant, u64, &CheckpointSlot) -> RunMeasurement + Sync,
     O: FnMut(usize, &Result<RunMeasurement, RunFailure>),
 {
     type Slot = Result<RunMeasurement, RunFailure>;
@@ -322,11 +420,21 @@ where
                 }
                 let (v, s) = jobs[i];
                 let mut outcome: Option<Slot> = None;
+                // The slot outlives every catch_unwind below, so a
+                // panicking attempt's last checkpoint survives for the
+                // retry to resume from.
+                let ckpt = CheckpointSlot::new();
+                let mut resume_points: Vec<Option<SimTime>> = Vec::new();
                 for attempt in 1..=retries + 1 {
-                    // The closure only borrows `run` (required Sync) and Copy
-                    // job parameters, and a panicking attempt leaves no state
-                    // behind that later attempts observe.
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(i, v, s))) {
+                    resume_points.push(ckpt.time());
+                    // The closure only borrows `run` (required Sync), Copy
+                    // job parameters and the checkpoint slot; the slot is
+                    // the *only* state a panicking attempt leaves behind
+                    // for later attempts, and it holds a checkpoint taken
+                    // strictly before the panic.
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run(i, v, s, &ckpt)
+                    })) {
                         Ok(m) => {
                             outcome = Some(Ok(m));
                             break;
@@ -339,6 +447,7 @@ where
                                 variant: v,
                                 seed: s,
                                 attempts: attempt,
+                                resume_points: resume_points.clone(),
                                 livelock,
                                 reason,
                             }));
@@ -632,6 +741,70 @@ mod tests {
             .map(|r| r.as_ref().unwrap().seed)
             .collect();
         assert_eq!(seeds, vec![11, 22, 33]);
+    }
+
+    /// Satellite of the checkpoint/restore PR: a retry that found a
+    /// checkpoint in the slot records where it resumed from, per attempt,
+    /// and the salvage report distinguishes post-resume livelocks.
+    #[test]
+    fn resumable_retries_record_resume_points() {
+        let t3 = SimTime::ZERO + SimDuration::from_secs(3);
+        let report = run_jobs_supervised_resumable(
+            &[(Variant::Original, 5u64)],
+            2,
+            |_, _, _, slot| {
+                if slot.time().is_none() {
+                    // First attempt: checkpoint at t=3s, then die.
+                    slot.store(t3, vec![1, 2, 3]);
+                    panic!("dies after checkpointing");
+                }
+                // Resumed attempts find the checkpoint and die again.
+                assert_eq!(slot.get().map(|(_, b)| b), Some(vec![1, 2, 3]));
+                panic!(
+                    "{}no progress after resume",
+                    mesh_sim::simulator::WATCHDOG_PANIC_PREFIX
+                );
+            },
+            |_, _| {},
+        );
+        let failures = report.failures();
+        let f = failures[0];
+        assert_eq!(f.attempts, 3);
+        assert_eq!(f.resume_points, vec![None, Some(t3), Some(t3)]);
+        assert!(f.last_attempt_resumed());
+        assert!(f.livelock);
+        let shown = f.to_string();
+        assert!(
+            shown.contains("[livelock after resume]"),
+            "post-resume livelock must be classified distinctly, got: {shown}"
+        );
+        assert!(
+            shown.contains("scratch") && shown.contains("ckpt@"),
+            "{shown}"
+        );
+    }
+
+    /// The non-resumable wrapper never resumes, so its failures read as
+    /// plain scratch retries (and the legacy `[livelock]` tag survives).
+    #[test]
+    fn plain_supervised_failures_are_all_scratch() {
+        let report = run_jobs_supervised(
+            &[(Variant::Original, 1u64)],
+            1,
+            |_, _, _| {
+                panic!(
+                    "{}stuck from the start",
+                    mesh_sim::simulator::WATCHDOG_PANIC_PREFIX
+                )
+            },
+            |_, _| {},
+        );
+        let failures = report.failures();
+        let f = failures[0];
+        assert_eq!(f.resume_points, vec![None, None]);
+        assert!(!f.last_attempt_resumed());
+        let shown = f.to_string();
+        assert!(shown.contains("[livelock]") && !shown.contains("after resume"));
     }
 
     #[test]

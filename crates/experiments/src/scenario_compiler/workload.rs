@@ -23,6 +23,7 @@ use mesh_sim::topology;
 use odmrp::{CbrSource, MembershipWindow, OdmrpNode, Variant};
 
 use crate::measure::RunMeasurement;
+use crate::runner::CheckpointSlot;
 use crate::scenario::{build_simulator, draw_layout, MeshScenario, ScenarioLayout};
 
 /// How nodes are placed.
@@ -812,6 +813,31 @@ impl WorkloadScenario {
     /// `run_matrix_supervised` expects from sweep jobs.
     pub fn run_supervised(&self, variant: Variant, seed: u64) -> RunMeasurement {
         let groups = self.layout(seed).groups;
+        let mut sim = self.supervised_sim(variant, seed);
+        sim.run_until(self.run_until());
+        RunMeasurement::from_sim(&sim, &groups, seed)
+    }
+
+    /// The snapshot-header fingerprint of one `(scenario, variant, seed)`
+    /// cell: FNV-1a over the scenario's full debug form plus the variant and
+    /// seed. A checkpoint restores only into a simulator built from the same
+    /// cell — everything the snapshot does *not* serialize (topology,
+    /// configs, roles) is pinned by this value.
+    pub fn fingerprint(&self, variant: Variant, seed: u64) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        fold(format!("{self:?}").as_bytes());
+        fold(format!("{variant:?}").as_bytes());
+        fold(&seed.to_le_bytes());
+        h
+    }
+
+    fn supervised_sim(&self, variant: Variant, seed: u64) -> Simulator<OdmrpNode> {
         let refresh = self.mesh.odmrp_config(variant).refresh_interval;
         let mut sim = self.build(variant, seed);
         sim.set_invariant_interval(refresh);
@@ -819,6 +845,56 @@ impl WorkloadScenario {
         sim.set_watchdog(mesh_sim::simulator::WatchdogBudget {
             max_events: 20_000_000,
             min_progress: SimDuration::from_millis(100),
+        });
+        sim
+    }
+
+    /// [`WorkloadScenario::run_supervised`] with **checkpoint/restore**: if
+    /// `slot` holds a checkpoint (left behind by a previous panicking
+    /// attempt), the run resumes from it instead of replaying from `t = 0`;
+    /// either way the run checkpoints into `slot` every quarter of the
+    /// simulated horizon. Resume is exact — the deterministic-resume
+    /// contract guarantees the resumed run's `schedule_hash`, counters and
+    /// timeseries are bit-identical to an uninterrupted run.
+    ///
+    /// A checkpoint that fails to restore (fingerprint mismatch, truncation)
+    /// is discarded and the run falls back to a fresh start.
+    pub fn run_supervised_resumable(
+        &self,
+        variant: Variant,
+        seed: u64,
+        slot: &CheckpointSlot,
+    ) -> RunMeasurement {
+        self.run_supervised_checkpointed(variant, seed, slot, |_, _| {})
+    }
+
+    /// [`WorkloadScenario::run_supervised_resumable`] with an extra
+    /// `persist` hook invoked after each checkpoint lands in `slot` — the
+    /// sweep binary uses it to mirror checkpoints to disk so a SIGKILLed
+    /// sweep can resume mid-cell in a fresh process.
+    pub fn run_supervised_checkpointed(
+        &self,
+        variant: Variant,
+        seed: u64,
+        slot: &CheckpointSlot,
+        mut persist: impl FnMut(SimTime, &[u8]) + Send + 'static,
+    ) -> RunMeasurement {
+        let groups = self.layout(seed).groups;
+        let fp = self.fingerprint(variant, seed);
+        let mut sim = self.supervised_sim(variant, seed);
+        if let Some((_, bytes)) = slot.get() {
+            if sim.restore(&bytes, fp).is_err() {
+                // Stale or foreign checkpoint: discard it and rebuild (the
+                // restore may have half-overwritten the simulator).
+                slot.clear();
+                sim = self.supervised_sim(variant, seed);
+            }
+        }
+        let sink_slot = slot.clone();
+        let every = SimDuration::from_nanos((self.run_until().as_nanos() / 4).max(1));
+        sim.checkpoint_every(every, fp, move |at, bytes| {
+            persist(at, &bytes);
+            sink_slot.store(at, bytes);
         });
         sim.run_until(self.run_until());
         RunMeasurement::from_sim(&sim, &groups, seed)

@@ -1,0 +1,200 @@
+//! Differential checkpoint/resume identity.
+//!
+//! The deterministic-resume contract: a run resumed from a checkpoint taken
+//! at **any** sim time must produce exactly the same `schedule_hash`,
+//! counters, per-node stats and metrics timeseries as the uninterrupted
+//! run. Property-tested at random snapshot times — including under an
+//! active fault plan (mid-blackout, mid-backoff, quarantined links) and
+//! under mobility (live RNG streams, moving spatial index) — and pinned for
+//! every paper-five variant.
+
+use experiments::measure::RunMeasurement;
+use experiments::scenario::MeshScenario;
+use experiments::scenario_compiler::{FaultSpec, MobilitySpec, WorkloadScenario};
+use mcast_metrics::MetricKind;
+use mesh_sim::prelude::*;
+use mesh_sim::simulator::Simulator;
+use odmrp::{OdmrpNode, Variant};
+use proptest::prelude::*;
+
+/// A mesh small enough that a proptest case (three runs) stays fast.
+fn tiny_workload() -> WorkloadScenario {
+    WorkloadScenario::from_mesh(
+        "resume-tiny",
+        MeshScenario {
+            nodes: 12,
+            area_side: 500.0,
+            groups: 1,
+            members_per_group: 3,
+            data_start: SimTime::from_secs(10),
+            data_stop: SimTime::from_secs(40),
+            ..MeshScenario::paper_default()
+        },
+    )
+}
+
+/// The same mesh under a seeded random fault plan: snapshots land
+/// mid-blackout / mid-backoff / with quarantined links in the estimator
+/// tables, which is exactly the state the snapshot must carry.
+fn faulted_workload() -> WorkloadScenario {
+    WorkloadScenario {
+        faults: FaultSpec::Random { intensity: 0.6 },
+        ..tiny_workload()
+    }
+}
+
+/// The mesh under pedestrian random-waypoint motion: live mobility RNG
+/// streams and an incrementally-maintained spatial index in flight.
+fn mobile_workload() -> WorkloadScenario {
+    WorkloadScenario {
+        mobility: Some(MobilitySpec {
+            min_speed: 0.75,
+            max_speed: 2.25,
+            pause: SimDuration::ZERO,
+        }),
+        ..tiny_workload()
+    }
+}
+
+const VARIANTS: [Variant; 3] = [
+    Variant::Original,
+    Variant::Metric(MetricKind::Etx),
+    Variant::Metric(MetricKind::Spp),
+];
+
+/// Measure a finished simulator, timeseries attached.
+fn measure(mut sim: Simulator<OdmrpNode>, w: &WorkloadScenario, seed: u64) -> RunMeasurement {
+    let groups = w.layout(seed).groups;
+    let mut m = RunMeasurement::from_sim(&sim, &groups, seed);
+    m.timeseries = sim.world_mut().take_metrics();
+    m
+}
+
+/// Run `w` uninterrupted, and again with a snapshot/restore round-trip at
+/// `t_snap`, then assert the two runs are bit-identical.
+fn assert_resume_identity(w: &WorkloadScenario, variant: Variant, seed: u64, t_snap: SimTime) {
+    let end = w.run_until();
+    let fp = w.fingerprint(variant, seed);
+    let bucket = SimDuration::from_secs(3);
+
+    // Uninterrupted reference.
+    let mut reference = w.build(variant, seed);
+    reference.world_mut().set_metrics(bucket);
+    reference.run_until(end);
+    let expect = measure(reference, w, seed);
+
+    // Interrupted run: snapshot at t_snap...
+    let mut first = w.build(variant, seed);
+    first.world_mut().set_metrics(bucket);
+    first.run_until(t_snap);
+    let bytes = first.snapshot(fp);
+    drop(first);
+
+    // ...restore into a *fresh* simulator (constructor side effects and all)
+    // and run out the horizon.
+    let mut resumed = w.build(variant, seed);
+    resumed
+        .restore(&bytes, fp)
+        .expect("checkpoint must restore into a same-cell simulator");
+    resumed.run_until(end);
+    let got = measure(resumed, w, seed);
+
+    assert_eq!(
+        expect.schedule_hash, got.schedule_hash,
+        "schedule hash diverged after resume at {t_snap} ({variant} seed {seed})"
+    );
+    assert_eq!(
+        expect.counters, got.counters,
+        "counters diverged after resume at {t_snap}"
+    );
+    assert_eq!(expect.delivered, got.delivered);
+    assert_eq!(expect.sent, got.sent);
+    assert!(
+        (expect.mean_delay_s - got.mean_delay_s).abs() == 0.0,
+        "mean delay diverged: {} vs {}",
+        expect.mean_delay_s,
+        got.mean_delay_s
+    );
+    assert_eq!(
+        expect.timeseries, got.timeseries,
+        "metrics timeseries diverged after resume at {t_snap}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The tentpole property: resume from a random snapshot time is exact,
+    /// with and without an active fault plan.
+    #[test]
+    fn resume_is_bit_identical_at_random_times(
+        seed in 1u64..10_000,
+        frac in 0.05f64..0.95,
+        variant_idx in 0usize..3,
+        faulted in any::<bool>(),
+    ) {
+        let w = if faulted { faulted_workload() } else { tiny_workload() };
+        let t_snap = SimTime::from_nanos(
+            (w.run_until().as_nanos() as f64 * frac) as u64,
+        );
+        assert_resume_identity(&w, VARIANTS[variant_idx], seed, t_snap);
+    }
+
+    /// Mobility keeps its RNG streams and spatial index exact across the
+    /// snapshot boundary too.
+    #[test]
+    fn mobile_resume_is_bit_identical(
+        seed in 1u64..10_000,
+        frac in 0.05f64..0.95,
+    ) {
+        let w = mobile_workload();
+        let t_snap = SimTime::from_nanos(
+            (w.run_until().as_nanos() as f64 * frac) as u64,
+        );
+        assert_resume_identity(&w, Variant::Metric(MetricKind::Etx), seed, t_snap);
+    }
+}
+
+/// Pinned: every paper-five variant (plus the baseline) resumes exactly,
+/// snapshot taken mid-data-window.
+#[test]
+fn paper_variants_resume_exactly() {
+    let w = tiny_workload();
+    let t_snap = SimTime::from_secs(25);
+    for variant in experiments::runner::paper_variants() {
+        assert_resume_identity(&w, variant, 7, t_snap);
+    }
+}
+
+/// Pinned: a fault-plan scenario resumes exactly from a snapshot taken
+/// while faults are active (the plan runs inside the data window).
+#[test]
+fn faulted_scenario_resumes_exactly() {
+    let w = faulted_workload();
+    for &t in &[SimTime::from_secs(18), SimTime::from_secs(33)] {
+        assert_resume_identity(&w, Variant::Metric(MetricKind::Spp), 11, t);
+    }
+}
+
+/// A checkpoint refuses to restore into a different cell (wrong variant ⇒
+/// wrong fingerprint), and the error is typed, not a panic.
+#[test]
+fn checkpoint_rejects_foreign_cells() {
+    let w = tiny_workload();
+    let seed = 3;
+    let mut sim = w.build(Variant::Original, seed);
+    sim.run_until(SimTime::from_secs(15));
+    let bytes = sim.snapshot(w.fingerprint(Variant::Original, seed));
+
+    let mut other = w.build(Variant::Metric(MetricKind::Etx), seed);
+    let err = other
+        .restore(
+            &bytes,
+            w.fingerprint(Variant::Metric(MetricKind::Etx), seed),
+        )
+        .expect_err("foreign checkpoint must be rejected");
+    assert!(matches!(
+        err,
+        mesh_sim::snapshot::SnapError::FingerprintMismatch { .. }
+    ));
+}

@@ -128,6 +128,87 @@ fn unwritable_out_dir_is_a_clean_error() {
     assert_clean_failure(&out, "cannot create");
 }
 
+#[test]
+fn resume_with_no_manifest_is_a_clean_error() {
+    let dir = scratch("resume-empty");
+    let out = sweep()
+        .arg("--resume")
+        .arg(&dir)
+        .output()
+        .expect("spawn sweep");
+    assert_clean_failure(&out, "nothing to resume");
+}
+
+#[test]
+fn resume_rejects_extra_flags() {
+    let dir = scratch("resume-flags");
+    let deck = write_deck(&dir);
+    let out = sweep()
+        .arg(deck)
+        .arg("--resume")
+        .arg(&dir)
+        .output()
+        .expect("spawn sweep");
+    assert_clean_failure(&out, "--resume takes only a directory");
+}
+
+#[test]
+fn resume_rejects_drifted_deck() {
+    // A manifest whose grid fingerprint no longer matches what the deck
+    // expands to (here: a bogus fingerprint) must refuse to resume — the
+    // recorded JSONL and the pending jobs would describe different grids.
+    let dir = scratch("resume-drift");
+    let deck = write_deck(&dir);
+    std::fs::write(
+        dir.join("tiny.manifest.json"),
+        format!(
+            "{{\"scenario_file\":\"{}\",\"name\":\"tiny\",\"quick\":false,\"retries\":1,\
+             \"limit\":null,\"jobs\":1,\"grid_fingerprint\":12345}}\n",
+            deck.display()
+        ),
+    )
+    .expect("write manifest");
+    let out = sweep()
+        .arg("--resume")
+        .arg(&dir)
+        .output()
+        .expect("spawn sweep");
+    assert_clean_failure(&out, "grid fingerprint drifted");
+}
+
+#[test]
+fn finished_sweep_leaves_no_recovery_state() {
+    let dir = scratch("resume-done");
+    let deck = write_deck(&dir);
+    let results = dir.join("results");
+    let out = sweep()
+        .arg(deck)
+        .arg("--out")
+        .arg(&results)
+        .output()
+        .expect("spawn sweep");
+    assert!(
+        out.status.success(),
+        "sweep failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        !results.join("tiny.manifest.json").exists(),
+        "manifest must be removed on success"
+    );
+    assert!(
+        !results.join("tiny.ckpt").exists(),
+        "checkpoint dir must be removed on success"
+    );
+    // ...so resuming a finished sweep reports there is nothing to do.
+    let out = sweep()
+        .arg("--resume")
+        .arg(&results)
+        .output()
+        .expect("spawn sweep");
+    assert_clean_failure(&out, "nothing to resume");
+}
+
 #[cfg(unix)]
 #[test]
 fn jsonl_write_failure_mid_run_is_a_clean_error() {

@@ -2,6 +2,7 @@
 
 use mcast_metrics::probe::ProbeMsg;
 use mesh_sim::ids::{GroupId, NodeId};
+use mesh_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use odmrp::messages::DataPacket;
 
 /// A route request flooded by a multicast source, accumulating the path
@@ -27,6 +28,28 @@ impl RouteRequest {
     pub const BYTES: u32 = 52;
 }
 
+impl Snap for RouteRequest {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.group.snap(w);
+        self.source.snap(w);
+        w.put_u32(self.seq);
+        self.prev_hop.snap(w);
+        w.put_u8(self.hop_count);
+        w.put_f64(self.cost);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RouteRequest {
+            group: Snap::unsnap(r)?,
+            source: Snap::unsnap(r)?,
+            seq: r.u32()?,
+            prev_hop: Snap::unsnap(r)?,
+            hop_count: r.u8()?,
+            cost: r.f64()?,
+        })
+    }
+}
+
 /// A graft (MAODV's `MACT`-style activation), **unicast** hop by hop from a
 /// member toward the source. Each hop adds the sender as a tree child and
 /// forwards the graft to its own upstream.
@@ -47,6 +70,24 @@ impl Graft {
     pub const BYTES: u32 = 36;
 }
 
+impl Snap for Graft {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.group.snap(w);
+        self.source.snap(w);
+        w.put_u32(self.seq);
+        self.origin.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Graft {
+            group: Snap::unsnap(r)?,
+            source: Snap::unsnap(r)?,
+            seq: r.u32()?,
+            origin: Snap::unsnap(r)?,
+        })
+    }
+}
+
 /// Everything a tree-multicast node puts on the air.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MaodvMsg {
@@ -58,6 +99,39 @@ pub enum MaodvMsg {
     Data(DataPacket),
     /// Link-quality probe.
     Probe(ProbeMsg),
+}
+
+impl Snap for MaodvMsg {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            MaodvMsg::RouteRequest(rq) => {
+                w.put_u8(0);
+                rq.snap(w);
+            }
+            MaodvMsg::Graft(g) => {
+                w.put_u8(1);
+                g.snap(w);
+            }
+            MaodvMsg::Data(d) => {
+                w.put_u8(2);
+                d.snap(w);
+            }
+            MaodvMsg::Probe(p) => {
+                w.put_u8(3);
+                p.snap(w);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => MaodvMsg::RouteRequest(Snap::unsnap(r)?),
+            1 => MaodvMsg::Graft(Snap::unsnap(r)?),
+            2 => MaodvMsg::Data(Snap::unsnap(r)?),
+            3 => MaodvMsg::Probe(Snap::unsnap(r)?),
+            t => return Err(SnapError::BadTag(t as u32)),
+        })
+    }
 }
 
 #[cfg(test)]

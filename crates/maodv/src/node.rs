@@ -6,13 +6,14 @@
 //! is kept **per source** and activated hop-by-hop with **unicast grafts**,
 //! producing a tree with no mesh redundancy.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use mcast_metrics::{
     AnyMetric, Freshness, LinkObservation, Metric, NeighborTable, PathCost, Prober,
 };
 use mesh_sim::ids::{GroupId, NodeId, TimerId, TxHandle};
 use mesh_sim::protocol::{Protocol, RxMeta, TxOutcome};
+use mesh_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter, SnapshotState};
 use mesh_sim::time::{SimDuration, SimTime};
 use mesh_sim::trace::Decision;
 use mesh_sim::world::Ctx;
@@ -49,6 +50,73 @@ struct RequestState {
     forward_pending: bool,
 }
 
+impl Snap for TimerPayload {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            TimerPayload::Probe => w.put_u8(0),
+            TimerPayload::Cbr(i) => {
+                w.put_u8(1);
+                w.put_usize(*i);
+            }
+            TimerPayload::Refresh(i) => {
+                w.put_u8(2);
+                w.put_usize(*i);
+            }
+            TimerPayload::Delta(n, s) => {
+                w.put_u8(3);
+                n.snap(w);
+                w.put_u32(*s);
+            }
+            TimerPayload::ForwardRequest(n, s) => {
+                w.put_u8(4);
+                n.snap(w);
+                w.put_u32(*s);
+            }
+            TimerPayload::GraftRetry(g, attempt) => {
+                w.put_u8(5);
+                g.snap(w);
+                w.put_u32(*attempt);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => TimerPayload::Probe,
+            1 => TimerPayload::Cbr(r.usize()?),
+            2 => TimerPayload::Refresh(r.usize()?),
+            3 => TimerPayload::Delta(Snap::unsnap(r)?, r.u32()?),
+            4 => TimerPayload::ForwardRequest(Snap::unsnap(r)?, r.u32()?),
+            5 => TimerPayload::GraftRetry(Snap::unsnap(r)?, r.u32()?),
+            t => return Err(SnapError::BadTag(t as u32)),
+        })
+    }
+}
+
+impl Snap for RequestState {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.group.snap(w);
+        self.best_cost.snap(w);
+        self.upstream.snap(w);
+        w.put_u8(self.hop_count);
+        self.alpha_deadline.snap(w);
+        self.best_forwarded.snap(w);
+        w.put_bool(self.forward_pending);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RequestState {
+            group: Snap::unsnap(r)?,
+            best_cost: Snap::unsnap(r)?,
+            upstream: Snap::unsnap(r)?,
+            hop_count: r.u8()?,
+            alpha_deadline: Snap::unsnap(r)?,
+            best_forwarded: Snap::unsnap(r)?,
+            forward_pending: r.bool()?,
+        })
+    }
+}
+
 /// Per-`(group, source)` tree membership.
 #[derive(Debug, Default)]
 struct TreeState {
@@ -64,6 +132,18 @@ impl TreeState {
     }
 }
 
+impl Snap for TreeState {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.children.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TreeState {
+            children: Snap::unsnap(r)?,
+        })
+    }
+}
+
 /// A tree-based multicast protocol instance (MAODV-style).
 #[derive(Debug)]
 pub struct MaodvNode {
@@ -74,19 +154,21 @@ pub struct MaodvNode {
     table: NeighborTable,
     me: NodeId,
 
-    timers: HashMap<u64, TimerPayload>,
+    // BTree containers throughout: checkpointing serializes them in
+    // iteration order, which must be key order, never hash order
+    // (mesh-lint rule R1).
+    timers: BTreeMap<u64, TimerPayload>,
     timer_token: u64,
 
-    requests: HashMap<(NodeId, u32), RequestState>,
-    // Iterated (tree_count): BTreeMap for the same reason as `children`.
+    requests: BTreeMap<(NodeId, u32), RequestState>,
     trees: BTreeMap<(GroupId, NodeId), TreeState>,
     /// Rounds for which this node already sent its own graft upstream.
-    grafted: HashSet<(NodeId, u32)>,
-    delta_scheduled: HashSet<(NodeId, u32)>,
+    grafted: BTreeSet<(NodeId, u32)>,
+    delta_scheduled: BTreeSet<(NodeId, u32)>,
     /// Outstanding graft transmissions by MAC handle, for retry on failure.
-    pending_grafts: HashMap<TxHandle, (Graft, u32)>,
+    pending_grafts: BTreeMap<TxHandle, (Graft, u32)>,
 
-    data_seen: HashSet<(NodeId, u32)>,
+    data_seen: BTreeSet<(NodeId, u32)>,
     data_seen_order: VecDeque<(NodeId, u32)>,
     data_seq: u32,
     refresh_seq: u32,
@@ -100,7 +182,7 @@ pub struct MaodvNode {
     refresh_token: Vec<Option<u64>>,
     /// Request rounds (ours, as source) whose graft chain reached us.
     /// Keyed access only.
-    elected_rounds: HashSet<u32>,
+    elected_rounds: BTreeSet<u32>,
     /// Currently routing on the min-hop fallback (no usable estimates).
     fallback_active: bool,
 
@@ -127,21 +209,21 @@ impl MaodvNode {
             prober,
             table,
             me: NodeId::new(0),
-            timers: HashMap::new(),
+            timers: BTreeMap::new(),
             timer_token: 0,
-            requests: HashMap::new(),
+            requests: BTreeMap::new(),
             trees: BTreeMap::new(),
-            grafted: HashSet::new(),
-            delta_scheduled: HashSet::new(),
-            pending_grafts: HashMap::new(),
-            data_seen: HashSet::new(),
+            grafted: BTreeSet::new(),
+            delta_scheduled: BTreeSet::new(),
+            pending_grafts: BTreeMap::new(),
+            data_seen: BTreeSet::new(),
             data_seen_order: VecDeque::new(),
             data_seq: 0,
             refresh_seq: 0,
             backoff_exp: vec![0; n_sources],
             last_round: vec![None; n_sources],
             refresh_token: vec![None; n_sources],
-            elected_rounds: HashSet::new(),
+            elected_rounds: BTreeSet::new(),
             fallback_active: false,
             stats: NodeStats::default(),
         }
@@ -555,6 +637,76 @@ impl MaodvNode {
                 pkt_seq: d.seq,
             });
         }
+    }
+}
+
+impl SnapshotState for MaodvNode {
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        // `cfg`, `role`, and `metric` are configuration: the restoring side
+        // rebuilds them from the scenario (fingerprint-checked at the
+        // header). Everything below is mutable run state — including `me`,
+        // because `start()` never re-runs on a restored simulator.
+        self.me.snap(w);
+        self.timers.snap(w);
+        w.put_u64(self.timer_token);
+        self.requests.snap(w);
+        self.trees.snap(w);
+        self.grafted.snap(w);
+        self.delta_scheduled.snap(w);
+        self.pending_grafts.snap(w);
+        self.data_seen.snap(w);
+        self.data_seen_order.snap(w);
+        w.put_u32(self.data_seq);
+        w.put_u32(self.refresh_seq);
+        self.backoff_exp.snap(w);
+        self.last_round.snap(w);
+        self.refresh_token.snap(w);
+        self.elected_rounds.snap(w);
+        w.put_bool(self.fallback_active);
+        self.stats.snap(w);
+        w.put_bool(self.prober.is_some());
+        if let Some(p) = &self.prober {
+            p.snapshot_state(w);
+        }
+        self.table.snapshot_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.me = Snap::unsnap(r)?;
+        self.timers = Snap::unsnap(r)?;
+        self.timer_token = r.u64()?;
+        self.requests = Snap::unsnap(r)?;
+        self.trees = Snap::unsnap(r)?;
+        self.grafted = Snap::unsnap(r)?;
+        self.delta_scheduled = Snap::unsnap(r)?;
+        self.pending_grafts = Snap::unsnap(r)?;
+        self.data_seen = Snap::unsnap(r)?;
+        self.data_seen_order = Snap::unsnap(r)?;
+        self.data_seq = r.u32()?;
+        self.refresh_seq = r.u32()?;
+        let backoff_exp: Vec<u32> = Snap::unsnap(r)?;
+        if backoff_exp.len() != self.role.sources.len() {
+            return Err(SnapError::StateMismatch("MAODV source count"));
+        }
+        self.backoff_exp = backoff_exp;
+        self.last_round = Snap::unsnap(r)?;
+        self.refresh_token = Snap::unsnap(r)?;
+        if self.last_round.len() != self.backoff_exp.len()
+            || self.refresh_token.len() != self.backoff_exp.len()
+        {
+            return Err(SnapError::StateMismatch("MAODV per-source state length"));
+        }
+        self.elected_rounds = Snap::unsnap(r)?;
+        self.fallback_active = r.bool()?;
+        self.stats = Snap::unsnap(r)?;
+        let has_prober = r.bool()?;
+        if has_prober != self.prober.is_some() {
+            return Err(SnapError::StateMismatch("MAODV prober presence"));
+        }
+        if let Some(p) = &mut self.prober {
+            p.restore_state(r)?;
+        }
+        self.table.restore_state(r)
     }
 }
 

@@ -7,6 +7,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::ids::{FrameId, NodeId, TimerId};
+use crate::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::time::SimTime;
 
 /// The kinds of events the simulator processes.
@@ -141,6 +142,137 @@ pub(crate) fn fold_schedule_hash(h: &mut u64, ev: &ScheduledEvent) {
 
 /// FNV-1a offset basis: the schedule hash of a run with zero events.
 pub(crate) const SCHEDULE_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+// Wire tags match the schedule-hash kind tags (1–8) so the two encodings
+// can never silently drift apart.
+impl Snap for EventKind {
+    fn snap(&self, w: &mut SnapWriter) {
+        match *self {
+            EventKind::MacTimer { node, gen } => {
+                w.put_u8(1);
+                node.snap(w);
+                w.put_u64(gen);
+            }
+            EventKind::CtrlTimer { node, gen } => {
+                w.put_u8(2);
+                node.snap(w);
+                w.put_u64(gen);
+            }
+            EventKind::TxEnd { node, frame } => {
+                w.put_u8(3);
+                node.snap(w);
+                frame.snap(w);
+            }
+            EventKind::RxStart {
+                node,
+                frame,
+                power_w,
+            } => {
+                w.put_u8(4);
+                node.snap(w);
+                frame.snap(w);
+                w.put_f64(power_w);
+            }
+            EventKind::RxEnd {
+                node,
+                frame,
+                power_w,
+            } => {
+                w.put_u8(5);
+                node.snap(w);
+                frame.snap(w);
+                w.put_f64(power_w);
+            }
+            EventKind::ProtoTimer { node, timer, kind } => {
+                w.put_u8(6);
+                node.snap(w);
+                timer.snap(w);
+                w.put_u64(kind);
+            }
+            EventKind::MobilityTick => w.put_u8(7),
+            EventKind::Fault { idx } => {
+                w.put_u8(8);
+                w.put_usize(idx);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            1 => EventKind::MacTimer {
+                node: NodeId::unsnap(r)?,
+                gen: r.u64()?,
+            },
+            2 => EventKind::CtrlTimer {
+                node: NodeId::unsnap(r)?,
+                gen: r.u64()?,
+            },
+            3 => EventKind::TxEnd {
+                node: NodeId::unsnap(r)?,
+                frame: FrameId::unsnap(r)?,
+            },
+            4 => EventKind::RxStart {
+                node: NodeId::unsnap(r)?,
+                frame: FrameId::unsnap(r)?,
+                power_w: r.f64()?,
+            },
+            5 => EventKind::RxEnd {
+                node: NodeId::unsnap(r)?,
+                frame: FrameId::unsnap(r)?,
+                power_w: r.f64()?,
+            },
+            6 => EventKind::ProtoTimer {
+                node: NodeId::unsnap(r)?,
+                timer: TimerId::unsnap(r)?,
+                kind: r.u64()?,
+            },
+            7 => EventKind::MobilityTick,
+            8 => EventKind::Fault { idx: r.usize()? },
+            t => return Err(SnapError::BadTag(t as u32)),
+        })
+    }
+}
+
+impl Snap for ScheduledEvent {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.time.snap(w);
+        w.put_u64(self.seq);
+        self.kind.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(ScheduledEvent {
+            time: SimTime::unsnap(r)?,
+            seq: r.u64()?,
+            kind: EventKind::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for EventQueue {
+    fn snap(&self, w: &mut SnapWriter) {
+        // The heap's internal layout is not canonical; serialize the pending
+        // events in their (unique) `(time, seq)` dequeue order instead so
+        // equal queues always produce equal bytes.
+        let mut pending: Vec<&ScheduledEvent> = self.heap.iter().collect();
+        pending.sort_by_key(|e| (e.time, e.seq));
+        w.put_usize(pending.len());
+        for ev in pending {
+            ev.snap(w);
+        }
+        w.put_u64(self.seq);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.len()?;
+        let mut heap = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            heap.push(ScheduledEvent::unsnap(r)?);
+        }
+        let seq = r.u64()?;
+        Ok(EventQueue { heap, seq })
+    }
+}
 
 /// Min-heap of scheduled events with deterministic tie-breaking.
 #[derive(Debug, Default)]

@@ -5,6 +5,7 @@
 //! slab while any reception or transmission event still references them.
 
 use crate::ids::{FrameId, NodeId, TxHandle};
+use crate::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::time::SimDuration;
 use std::sync::Arc;
 
@@ -140,6 +141,106 @@ impl<M> FrameSlab<M> {
     /// Number of live frames (for leak assertions in tests).
     pub fn live(&self) -> usize {
         self.live
+    }
+}
+
+impl<M: Snap> Snap for FrameBody<M> {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            FrameBody::Rts { dst, nav } => {
+                w.put_u8(0);
+                dst.snap(w);
+                nav.snap(w);
+            }
+            FrameBody::Cts { dst, nav } => {
+                w.put_u8(1);
+                dst.snap(w);
+                nav.snap(w);
+            }
+            FrameBody::Ack { dst } => {
+                w.put_u8(2);
+                dst.snap(w);
+            }
+            FrameBody::Data {
+                dst,
+                msg,
+                class,
+                handle,
+                mac_seq,
+            } => {
+                w.put_u8(3);
+                dst.snap(w);
+                msg.snap(w);
+                w.put_u8(*class);
+                handle.snap(w);
+                w.put_u64(*mac_seq);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => FrameBody::Rts {
+                dst: Snap::unsnap(r)?,
+                nav: Snap::unsnap(r)?,
+            },
+            1 => FrameBody::Cts {
+                dst: Snap::unsnap(r)?,
+                nav: Snap::unsnap(r)?,
+            },
+            2 => FrameBody::Ack {
+                dst: Snap::unsnap(r)?,
+            },
+            3 => FrameBody::Data {
+                dst: Snap::unsnap(r)?,
+                msg: Snap::unsnap(r)?,
+                class: r.u8()?,
+                handle: Snap::unsnap(r)?,
+                mac_seq: r.u64()?,
+            },
+            t => return Err(SnapError::BadTag(t as u32)),
+        })
+    }
+}
+
+impl<M: Snap> Snap for Frame<M> {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.src.snap(w);
+        self.body.snap(w);
+        w.put_u32(self.bytes);
+        self.duration.snap(w);
+        w.put_u32(self.refs);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Frame {
+            src: Snap::unsnap(r)?,
+            body: Snap::unsnap(r)?,
+            bytes: r.u32()?,
+            duration: Snap::unsnap(r)?,
+            refs: r.u32()?,
+        })
+    }
+}
+
+// The slab is serialized structurally (slots, free list, generations) so
+// restored `FrameId`s — which encode `(slot, generation)` and are referenced
+// from the event queue — keep resolving to the same frames.
+impl<M: Snap> Snap for FrameSlab<M> {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.slots.snap(w);
+        self.free.snap(w);
+        self.gens.snap(w);
+        w.put_usize(self.live);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FrameSlab {
+            slots: Snap::unsnap(r)?,
+            free: Snap::unsnap(r)?,
+            gens: Snap::unsnap(r)?,
+            live: r.usize()?,
+        })
     }
 }
 

@@ -74,6 +74,7 @@ pub mod protocol;
 mod radio;
 pub mod rng;
 pub mod simulator;
+pub mod snapshot;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -94,6 +95,7 @@ pub mod prelude {
     pub use crate::protocol::{Protocol, RxMeta, TxOutcome};
     pub use crate::rng::SimRng;
     pub use crate::simulator::{Simulator, WatchdogBudget};
+    pub use crate::snapshot::{Snap, SnapError, SnapReader, SnapWriter, SnapshotState};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{Decision, DropReason, JsonlTrace, RingTrace, TraceEvent, TraceSink};
     pub use crate::world::{Ctx, SendError, World, WorldConfig};

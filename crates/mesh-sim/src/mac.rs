@@ -10,9 +10,10 @@
 //! timing parameters, queue entries and state data, plus pure timing helpers
 //! that are unit-tested in isolation.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::ids::{NodeId, TxHandle};
+use crate::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::time::{SimDuration, SimTime};
 
 /// MAC-layer timing and policy parameters (802.11 DSSS defaults at 2 Mbps).
@@ -209,8 +210,9 @@ pub(crate) struct Mac<M> {
     /// Pending SIFS-spaced response.
     pub pending_ctrl: Option<CtrlResponse>,
     /// Receive-side duplicate detection for unicast data: last MAC seq
-    /// accepted from each source.
-    pub rx_dedup: HashMap<NodeId, u64>,
+    /// accepted from each source. A `BTreeMap` so snapshots can serialize
+    /// it in canonical key order (mesh-lint R1 forbids `HashMap` iteration).
+    pub rx_dedup: BTreeMap<NodeId, u64>,
 }
 
 impl<M> Default for Mac<M> {
@@ -225,7 +227,7 @@ impl<M> Default for Mac<M> {
             timer_gen: 0,
             ctrl_gen: 0,
             pending_ctrl: None,
-            rx_dedup: HashMap::new(),
+            rx_dedup: BTreeMap::new(),
         }
     }
 }
@@ -248,6 +250,123 @@ impl<M> Mac<M> {
         self.cw = cw_min;
         self.short_retries = 0;
         self.long_retries = 0;
+    }
+}
+
+impl<M: Snap> Snap for OutFrame<M> {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.dst.snap(w);
+        self.msg.snap(w);
+        w.put_u32(self.bytes);
+        w.put_u8(self.class);
+        self.handle.snap(w);
+        w.put_u64(self.mac_seq);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(OutFrame {
+            dst: Snap::unsnap(r)?,
+            msg: Snap::unsnap(r)?,
+            bytes: r.u32()?,
+            class: r.u8()?,
+            handle: Snap::unsnap(r)?,
+            mac_seq: r.u64()?,
+        })
+    }
+}
+
+impl Snap for MacState {
+    fn snap(&self, w: &mut SnapWriter) {
+        match *self {
+            MacState::Idle => w.put_u8(0),
+            MacState::WaitChannel => w.put_u8(1),
+            MacState::Difs => w.put_u8(2),
+            MacState::Backoff { slot_start } => {
+                w.put_u8(3);
+                slot_start.snap(w);
+            }
+            MacState::TxData => w.put_u8(4),
+            MacState::TxRts => w.put_u8(5),
+            MacState::WaitCts => w.put_u8(6),
+            MacState::SifsBeforeData => w.put_u8(7),
+            MacState::WaitAck => w.put_u8(8),
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => MacState::Idle,
+            1 => MacState::WaitChannel,
+            2 => MacState::Difs,
+            3 => MacState::Backoff {
+                slot_start: Snap::unsnap(r)?,
+            },
+            4 => MacState::TxData,
+            5 => MacState::TxRts,
+            6 => MacState::WaitCts,
+            7 => MacState::SifsBeforeData,
+            8 => MacState::WaitAck,
+            t => return Err(SnapError::BadTag(t as u32)),
+        })
+    }
+}
+
+impl Snap for CtrlResponse {
+    fn snap(&self, w: &mut SnapWriter) {
+        match *self {
+            CtrlResponse::Cts { dst, nav } => {
+                w.put_u8(0);
+                dst.snap(w);
+                nav.snap(w);
+            }
+            CtrlResponse::Ack { dst } => {
+                w.put_u8(1);
+                dst.snap(w);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => CtrlResponse::Cts {
+                dst: Snap::unsnap(r)?,
+                nav: Snap::unsnap(r)?,
+            },
+            1 => CtrlResponse::Ack {
+                dst: Snap::unsnap(r)?,
+            },
+            t => return Err(SnapError::BadTag(t as u32)),
+        })
+    }
+}
+
+impl<M: Snap> Snap for Mac<M> {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.state.snap(w);
+        self.queue.snap(w);
+        w.put_u32(self.cw);
+        w.put_u32(self.backoff_slots);
+        w.put_u32(self.short_retries);
+        w.put_u32(self.long_retries);
+        w.put_u64(self.timer_gen);
+        w.put_u64(self.ctrl_gen);
+        self.pending_ctrl.snap(w);
+        self.rx_dedup.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Mac {
+            state: Snap::unsnap(r)?,
+            queue: Snap::unsnap(r)?,
+            cw: r.u32()?,
+            backoff_slots: r.u32()?,
+            short_retries: r.u32()?,
+            long_retries: r.u32()?,
+            timer_gen: r.u64()?,
+            ctrl_gen: r.u64()?,
+            pending_ctrl: Snap::unsnap(r)?,
+            rx_dedup: Snap::unsnap(r)?,
+        })
     }
 }
 

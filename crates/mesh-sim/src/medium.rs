@@ -14,7 +14,9 @@ use crate::ids::NodeId;
 use crate::neighbor_index::NeighborIndex;
 use crate::propagation::{FadingModel, MeanPowerEval, PhyParams};
 use crate::rng::SimRng;
+use crate::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// One node's position change over a mobility tick, as reported by the world
 /// to the medium through [`Medium::positions_changed`].
@@ -59,6 +61,28 @@ pub struct IndexStats {
     pub full_invalidations: u64,
 }
 
+impl Snap for IndexStats {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.rebuckets);
+        w.put_u64(self.epoch_bumps);
+        w.put_u64(self.cache_hits);
+        w.put_u64(self.cache_refreshes);
+        w.put_u64(self.cache_rebuilds);
+        w.put_u64(self.full_invalidations);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(IndexStats {
+            rebuckets: r.u64()?,
+            epoch_bumps: r.u64()?,
+            cache_hits: r.u64()?,
+            cache_refreshes: r.u64()?,
+            cache_rebuilds: r.u64()?,
+            full_invalidations: r.u64()?,
+        })
+    }
+}
+
 /// A fault-injected override applied to one directed link (see
 /// [`crate::fault`]). Effects replace each other: setting a second effect on
 /// the same link overwrites the first, and clearing removes any effect.
@@ -74,6 +98,31 @@ pub enum LinkEffect {
     Attenuate(f64),
     /// The link carries nothing at all (not even channel-busying energy).
     Blackout,
+}
+
+impl Snap for LinkEffect {
+    fn snap(&self, w: &mut SnapWriter) {
+        match *self {
+            LinkEffect::ExtraLoss(p) => {
+                w.put_u8(0);
+                w.put_f64(p);
+            }
+            LinkEffect::Attenuate(k) => {
+                w.put_u8(1);
+                w.put_f64(k);
+            }
+            LinkEffect::Blackout => w.put_u8(2),
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => LinkEffect::ExtraLoss(r.f64()?),
+            1 => LinkEffect::Attenuate(r.f64()?),
+            2 => LinkEffect::Blackout,
+            t => return Err(SnapError::BadTag(t as u32)),
+        })
+    }
 }
 
 /// One receiver's view of a transmitted frame, as decided by the medium.
@@ -145,6 +194,16 @@ pub trait Medium {
     fn clear_link_fault(&mut self, from: NodeId, to: NodeId) {
         let _ = (from, to);
     }
+
+    /// Write the medium's mutable state into a checkpoint (DESIGN.md §14).
+    /// Stateless media keep the no-op default.
+    fn snapshot_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restore the medium's mutable state from a checkpoint. The medium is
+    /// assumed to be freshly constructed from the same scenario config.
+    fn restore_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// A potential receiver of one transmitter, with its geometry-derived
@@ -161,6 +220,22 @@ struct Candidate {
     node: NodeId,
     mean_w: f64,
     dist_m: f64,
+}
+
+impl Snap for Candidate {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.node.snap(w);
+        w.put_f64(self.mean_w);
+        w.put_f64(self.dist_m);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Candidate {
+            node: Snap::unsnap(r)?,
+            mean_w: r.f64()?,
+            dist_m: r.f64()?,
+        })
+    }
 }
 
 /// The distance-independent inputs of one [`FanOutCache::refilter`] pass,
@@ -186,6 +261,22 @@ struct MembershipPatch {
     added: bool,
 }
 
+impl Snap for MembershipPatch {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.seq);
+        w.put_u32(self.node);
+        w.put_bool(self.added);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MembershipPatch {
+            seq: r.u64()?,
+            node: r.u32()?,
+            added: r.bool()?,
+        })
+    }
+}
+
 /// Per-cell epoch pair, kept adjacent so the hot block scan in
 /// [`FanOutCache::plan_with`] touches one slot per cell instead of two
 /// parallel arrays.
@@ -195,6 +286,20 @@ struct CellEpochs {
     membership: u64,
     /// Epoch of the last movement of any node bucketed in the cell.
     motion: u64,
+}
+
+impl Snap for CellEpochs {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.membership);
+        w.put_u64(self.motion);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(CellEpochs {
+            membership: r.u64()?,
+            motion: r.u64()?,
+        })
+    }
 }
 
 /// Bounded log of recent [`MembershipPatch`]es for one grid cell, oldest
@@ -230,6 +335,20 @@ impl CellLog {
     }
 }
 
+impl Snap for CellLog {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.patches.snap(w);
+        w.put_u64(self.retained_from);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(CellLog {
+            patches: Snap::unsnap(r)?,
+            retained_from: r.u64()?,
+        })
+    }
+}
+
 /// One transmitter's cached fan-out state (see [`FanOutCache`]).
 #[derive(Debug, Clone)]
 struct TxEntry {
@@ -251,6 +370,28 @@ struct TxEntry {
     /// `superset` filtered through the exact floor predicate, with
     /// geometry-derived quantities precomputed.
     list: Vec<Candidate>,
+}
+
+impl Snap for TxEntry {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.put_u32(self.home_cell);
+        w.put_u64(self.seen_membership);
+        w.put_u64(self.seen_motion);
+        w.put_u64(self.seen_seq);
+        self.superset.snap(w);
+        self.list.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TxEntry {
+            home_cell: r.u32()?,
+            seen_membership: r.u64()?,
+            seen_motion: r.u64()?,
+            seen_seq: r.u64()?,
+            superset: Snap::unsnap(r)?,
+            list: Snap::unsnap(r)?,
+        })
+    }
 }
 
 /// Geometry caches for [`PhysicalMedium`], maintained incrementally across
@@ -578,6 +719,66 @@ impl FanOutCache {
         }
     }
     // mesh-lint: end-hot
+
+    /// Write the cache's mutable state. The derived fields
+    /// (`candidate_range_m`, `rings`, `eval`) are functions of the medium's
+    /// PHY configuration and the grid's cell size, so they are recomputed on
+    /// restore instead of serialized; the scratch buffers are transient and
+    /// restore empty.
+    fn snap_state(&self, w: &mut SnapWriter) {
+        self.positions.snap(w);
+        self.grid.snap(w);
+        w.put_u64(self.epoch);
+        self.cell_epochs.snap(w);
+        self.cell_logs.snap(w);
+        w.put_u64(self.last_seq);
+        self.per_tx.snap(w);
+    }
+
+    /// Rebuild a cache from a checkpoint written by
+    /// [`FanOutCache::snap_state`]. The serialized grid keeps the frame it
+    /// was built with (fixed at the *initial* positions), so `rings` is
+    /// recomputed against its cell size — building a fresh grid from the
+    /// current (moved) positions could choose a different frame and diverge.
+    fn unsnap_state(
+        r: &mut SnapReader<'_>,
+        phy: &PhyParams,
+        floor_w: f64,
+    ) -> Result<Self, SnapError> {
+        let positions: Vec<Pos> = Snap::unsnap(r)?;
+        let grid: NeighborIndex = Snap::unsnap(r)?;
+        let epoch = r.u64()?;
+        let cell_epochs: Vec<CellEpochs> = Snap::unsnap(r)?;
+        let cell_logs: Vec<CellLog> = Snap::unsnap(r)?;
+        let last_seq = r.u64()?;
+        let per_tx: Vec<Option<TxEntry>> = Snap::unsnap(r)?;
+        let (cols, rows) = grid.grid_dims();
+        if cell_epochs.len() != cols * rows
+            || cell_logs.len() != cols * rows
+            || per_tx.len() != positions.len()
+        {
+            return Err(SnapError::StateMismatch("fan-out cache geometry"));
+        }
+        let candidate_range_m = phy.range_for_mean_power(floor_w / 100.0) * 1.001 + 1.0;
+        let mut rings = 1usize;
+        while (rings as f64) * grid.cell_size_m() < candidate_range_m {
+            rings += 1;
+        }
+        Ok(FanOutCache {
+            positions,
+            candidate_range_m,
+            grid,
+            rings,
+            epoch,
+            cell_epochs,
+            cell_logs,
+            last_seq,
+            per_tx,
+            near_scratch: Vec::new(),
+            patch_scratch: Vec::new(),
+            eval: phy.mean_power_eval(),
+        })
+    }
 }
 
 /// Physics-based medium: path loss + fading from node positions.
@@ -608,8 +809,9 @@ pub struct PhysicalMedium {
     cache: Option<FanOutCache>,
     /// Fault-injected per-link overrides; empty in fault-free runs, and the
     /// fan-out fast-paths on that so clean runs draw the exact same RNG
-    /// stream they did before fault injection existed.
-    faults: std::collections::HashMap<(NodeId, NodeId), LinkEffect>,
+    /// stream they did before fault injection existed. A `BTreeMap` because
+    /// checkpointing serializes it in iteration order (mesh-lint rule R1).
+    faults: BTreeMap<(NodeId, NodeId), LinkEffect>,
 }
 
 impl PhysicalMedium {
@@ -623,14 +825,14 @@ impl PhysicalMedium {
             incremental: true,
             stats: IndexStats::default(),
             cache: None,
-            faults: std::collections::HashMap::new(),
+            faults: BTreeMap::new(),
         }
     }
 
     /// Resolve a fault override into a possibly-adjusted power; `None` means
     /// the receiver hears nothing from this frame.
     fn apply_fault(
-        faults: &std::collections::HashMap<(NodeId, NodeId), LinkEffect>,
+        faults: &BTreeMap<(NodeId, NodeId), LinkEffect>,
         tx: NodeId,
         rx: NodeId,
         power: f64,
@@ -827,6 +1029,29 @@ impl Medium for PhysicalMedium {
     fn clear_link_fault(&mut self, from: NodeId, to: NodeId) {
         self.faults.remove(&(from, to));
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.stats.snap(w);
+        self.faults.snap(w);
+        match &self.cache {
+            Some(c) => {
+                w.put_bool(true);
+                c.snap_state(w);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.stats = Snap::unsnap(r)?;
+        self.faults = Snap::unsnap(r)?;
+        self.cache = if r.bool()? {
+            Some(FanOutCache::unsnap_state(r, &self.phy, self.floor_w)?)
+        } else {
+            None
+        };
+        Ok(())
+    }
 }
 
 /// Trace/table-driven medium: reception is a Bernoulli trial per directed
@@ -846,9 +1071,9 @@ pub struct LinkTableMedium {
     phy: PhyParams,
     /// Directed link -> loss probability in `[0, 1]`. A `BTreeMap` because
     /// `rebuild_adjacency` traverses it; hash-order traversal is banned in
-    /// this crate (mesh-lint rule R1). The `faults` maps stay `HashMap`s —
-    /// they are only ever probed by key.
-    links: std::collections::BTreeMap<(NodeId, NodeId), f64>,
+    /// this crate (mesh-lint rule R1). The `faults` maps are `BTreeMap`s for
+    /// the same reason: checkpointing serializes them in iteration order.
+    links: BTreeMap<(NodeId, NodeId), f64>,
     /// Per-transmitter outgoing links `(receiver, loss)` sorted by receiver,
     /// so `fan_out` iterates actual links instead of probing the map per
     /// node. Rebuilt lazily after any mutation.
@@ -859,7 +1084,7 @@ pub struct LinkTableMedium {
     /// Fault-injected per-link overrides. These compose with (rather than
     /// replace) the base loss process set via [`LinkTableMedium::set_loss`]:
     /// an `ExtraLoss(p)` makes the effective loss `1 - (1-base)(1-p)`.
-    faults: std::collections::HashMap<(NodeId, NodeId), LinkEffect>,
+    faults: BTreeMap<(NodeId, NodeId), LinkEffect>,
 }
 
 impl LinkTableMedium {
@@ -869,11 +1094,11 @@ impl LinkTableMedium {
             // Thresholds are kept from the default PHY; emitted powers are
             // chosen relative to them.
             phy: PhyParams::default(),
-            links: std::collections::BTreeMap::new(),
+            links: BTreeMap::new(),
             adjacency: Vec::new(),
             adjacency_stale: false,
             delay: SimDuration::from_nanos(200),
-            faults: std::collections::HashMap::new(),
+            faults: BTreeMap::new(),
         }
     }
 
@@ -1018,6 +1243,22 @@ impl Medium for LinkTableMedium {
 
     fn clear_link_fault(&mut self, from: NodeId, to: NodeId) {
         self.faults.remove(&(from, to));
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        // `links` mutates at runtime (testbed loss walks via `set_loss`);
+        // the adjacency lists are derived, so only staleness is implied —
+        // restore marks them stale and the next fan_out rebuilds.
+        self.links.snap(w);
+        self.faults.snap(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.links = Snap::unsnap(r)?;
+        self.faults = Snap::unsnap(r)?;
+        self.adjacency.clear();
+        self.adjacency_stale = true;
+        Ok(())
     }
 }
 

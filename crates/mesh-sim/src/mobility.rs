@@ -10,6 +10,7 @@
 
 use crate::geometry::{Area, Pos};
 use crate::rng::SimRng;
+use crate::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::time::{SimDuration, SimTime};
 
 /// A mobility model: updates node positions as simulated time advances.
@@ -19,6 +20,16 @@ pub trait Mobility: std::fmt::Debug {
     /// Returns when the model wants to be stepped next, or `None` if the
     /// positions will never change again.
     fn step(&mut self, now: SimTime, positions: &mut [Pos], rng: &mut SimRng) -> Option<SimTime>;
+
+    /// Write the model's mutable state into a checkpoint (DESIGN.md §14).
+    /// Stateless models keep the no-op default.
+    fn snapshot_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restore the model's mutable state from a checkpoint. The model is
+    /// assumed to be freshly constructed from the same scenario config.
+    fn restore_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// No movement (the mesh-network assumption).
@@ -159,6 +170,48 @@ impl Mobility for RandomWaypoint {
             }
         }
         Some(now + self.tick)
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.states.snap(w);
+        self.last_update.snap(w);
+        w.put_bool(self.started);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.states = Snap::unsnap(r)?;
+        self.last_update = Snap::unsnap(r)?;
+        self.started = r.bool()?;
+        Ok(())
+    }
+}
+
+impl Snap for WaypointState {
+    fn snap(&self, w: &mut SnapWriter) {
+        match *self {
+            WaypointState::Paused { until } => {
+                w.put_u8(0);
+                until.snap(w);
+            }
+            WaypointState::Moving { target, speed } => {
+                w.put_u8(1);
+                target.snap(w);
+                w.put_f64(speed);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => WaypointState::Paused {
+                until: Snap::unsnap(r)?,
+            },
+            1 => WaypointState::Moving {
+                target: Snap::unsnap(r)?,
+                speed: r.f64()?,
+            },
+            t => return Err(SnapError::BadTag(t as u32)),
+        })
     }
 }
 

@@ -6,8 +6,13 @@ use crate::fault::FaultPlan;
 use crate::geometry::Pos;
 use crate::medium::Medium;
 use crate::protocol::Protocol;
+use crate::snapshot::{Snap, SnapError, SnapReader, SnapWriter, SnapshotState};
 use crate::time::{SimDuration, SimTime};
 use crate::world::{Ctx, Upcall, World, WorldConfig};
+
+/// Periodic checkpoint consumer for [`Simulator::checkpoint_every`]: receives
+/// the simulated time a checkpoint was taken at plus its serialized bytes.
+pub type CheckpointSink = Box<dyn FnMut(SimTime, Vec<u8>) + Send>;
 
 /// A protocol-level invariant oracle: inspects the world and the protocol
 /// instances at a checkpoint and returns a message per violation.
@@ -32,6 +37,10 @@ pub struct WatchdogBudget {
     /// The simulated-time quantum the budget applies to.
     pub min_progress: SimDuration,
 }
+
+/// The monomorphized checkpoint serializer [`Simulator::checkpoint_every`]
+/// installs: `(sim, fingerprint) -> snapshot bytes`.
+type CkptMake<P> = fn(&Simulator<P>, u64) -> Vec<u8>;
 
 /// A complete simulation: world + one protocol instance per node.
 ///
@@ -69,6 +78,18 @@ pub struct Simulator<P: Protocol> {
     wd_anchor: SimTime,
     /// Events dispatched since `wd_anchor`.
     wd_events: u64,
+    /// Periodic-checkpoint cadence; `None` disables checkpointing.
+    ckpt_every: Option<SimDuration>,
+    /// When the next periodic checkpoint is due.
+    next_ckpt: Option<SimTime>,
+    /// Config fingerprint stamped into each emitted checkpoint header.
+    ckpt_fingerprint: u64,
+    /// Monomorphized serializer installed by [`Simulator::checkpoint_every`].
+    /// Stored as a plain `fn` so `run_until` can emit checkpoints without
+    /// `Snap`/`SnapshotState` bounds leaking onto every `Simulator` user.
+    ckpt_make: Option<CkptMake<P>>,
+    /// Where emitted checkpoints go.
+    ckpt_sink: Option<CheckpointSink>,
 }
 
 impl<P: Protocol> std::fmt::Debug for Simulator<P> {
@@ -109,6 +130,11 @@ impl<P: Protocol> Simulator<P> {
             watchdog: None,
             wd_anchor: SimTime::ZERO,
             wd_events: 0,
+            ckpt_every: None,
+            next_ckpt: None,
+            ckpt_fingerprint: 0,
+            ckpt_make: None,
+            ckpt_sink: None,
         }
     }
 
@@ -321,6 +347,27 @@ impl<P: Protocol> Simulator<P> {
                     self.next_check = Some(next);
                 }
             }
+            // Periodic checkpoints are taken after the upcall drain, so the
+            // serialized state is always at an event boundary. Snapshotting
+            // is read-only: emitting (or not emitting) checkpoints never
+            // perturbs the event schedule or the RNG stream.
+            if let (Some(every), Some(make)) = (self.ckpt_every, self.ckpt_make) {
+                let due = *self
+                    .next_ckpt
+                    .get_or_insert_with(|| self.world.now() + every);
+                if self.world.now() >= due {
+                    let bytes = make(self, self.ckpt_fingerprint);
+                    let at = self.world.now();
+                    if let Some(sink) = self.ckpt_sink.as_mut() {
+                        sink(at, bytes);
+                    }
+                    let mut next = due;
+                    while next <= self.world.now() {
+                        next += every;
+                    }
+                    self.next_ckpt = Some(next);
+                }
+            }
             if !more {
                 break;
             }
@@ -335,5 +382,83 @@ impl<P: Protocol> Simulator<P> {
     pub fn into_parts(self) -> (Vec<P>, Counters) {
         let counters = self.world.counters().clone();
         (self.protocols, counters)
+    }
+}
+
+impl<P> Simulator<P>
+where
+    P: Protocol + SnapshotState,
+    P::Msg: Snap,
+{
+    /// Serialize the complete simulation state into a versioned checkpoint
+    /// (DESIGN.md §14). `fingerprint` is an opaque hash of the scenario
+    /// configuration: [`Simulator::restore`] refuses checkpoints stamped
+    /// with a different one, catching restores into a mismatched scenario
+    /// before any state is overwritten.
+    ///
+    /// Read-only — taking a snapshot never perturbs the run.
+    pub fn snapshot(&self, fingerprint: u64) -> Vec<u8> {
+        let mut w = SnapWriter::with_header(fingerprint);
+        w.put_bool(self.started);
+        self.wd_anchor.snap(&mut w);
+        w.put_u64(self.wd_events);
+        self.next_check.snap(&mut w);
+        self.world.snapshot_state(&mut w);
+        for p in &self.protocols {
+            p.snapshot_state(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Overwrite this simulator's state from a checkpoint produced by
+    /// [`Simulator::snapshot`] on a simulator built from the **same scenario
+    /// configuration** (enforced via `fingerprint`). After a successful
+    /// restore, continuing with [`Simulator::run_until`] reproduces the
+    /// original run bit-for-bit: same schedule hash, counters and
+    /// timeseries.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the checkpoint is malformed, truncated,
+    /// from an unsupported format version, or stamped with a different
+    /// configuration fingerprint. The simulator may be partially overwritten
+    /// on error and must be discarded.
+    pub fn restore(&mut self, bytes: &[u8], fingerprint: u64) -> Result<(), SnapError> {
+        let mut r = SnapReader::with_header(bytes, fingerprint)?;
+        self.started = r.bool()?;
+        self.wd_anchor = Snap::unsnap(&mut r)?;
+        self.wd_events = r.u64()?;
+        self.next_check = Snap::unsnap(&mut r)?;
+        self.world.restore_state(&mut r)?;
+        for p in &mut self.protocols {
+            p.restore_state(&mut r)?;
+        }
+        r.finish()?;
+        // The checkpoint cadence is runner-side configuration, not simulation
+        // state: re-anchor it at the restored clock.
+        self.next_ckpt = None;
+        Ok(())
+    }
+
+    /// Emit a checkpoint roughly every `every` of simulated time into
+    /// `sink`. Checkpoints are taken at event boundaries (after the upcall
+    /// drain), stamped with `fingerprint`, and never perturb the schedule —
+    /// a run with checkpointing enabled is bit-identical to one without.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn checkpoint_every(
+        &mut self,
+        every: SimDuration,
+        fingerprint: u64,
+        sink: impl FnMut(SimTime, Vec<u8>) + Send + 'static,
+    ) {
+        assert!(every.as_nanos() > 0, "checkpoint interval must be positive");
+        self.ckpt_every = Some(every);
+        self.next_ckpt = None;
+        self.ckpt_fingerprint = fingerprint;
+        self.ckpt_make = Some(|sim, fp| sim.snapshot(fp));
+        self.ckpt_sink = Some(Box::new(sink));
     }
 }

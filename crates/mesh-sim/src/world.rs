@@ -5,7 +5,7 @@
 //! interacts with it through [`Ctx`], and the world talks back through
 //! internal upcalls that the [`crate::simulator::Simulator`] routes to protocols.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::counters::{class_slot, Counters, NodeCounters, MAX_CLASSES};
 use crate::event::{fold_schedule_hash, EventKind, EventQueue, SCHEDULE_HASH_SEED};
@@ -20,6 +20,7 @@ use crate::mobility::Mobility;
 use crate::protocol::{RxMeta, TxOutcome};
 use crate::radio::{ArrivalOutcome, Radio};
 use crate::rng::SimRng;
+use crate::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{
     fault_label, Decision, DropReason, FrameKind as TraceFrameKind, TraceEvent, TraceEventKind,
@@ -104,7 +105,9 @@ pub struct World<M> {
     rng: SimRng,
     counters: Counters,
     node_counters: Vec<NodeCounters>,
-    cancelled_timers: HashSet<u64>,
+    /// Cancelled-but-not-yet-fired protocol timers. A `BTreeSet` because
+    /// checkpointing serializes it in iteration order (mesh-lint rule R1).
+    cancelled_timers: BTreeSet<u64>,
     timer_seq: u64,
     handle_seq: u64,
     mac_seq: u64,
@@ -178,7 +181,7 @@ impl<M: Clone + std::fmt::Debug> World<M> {
             rng: SimRng::seed_from(config.seed),
             counters: Counters::default(),
             node_counters: vec![NodeCounters::default(); n],
-            cancelled_timers: HashSet::new(),
+            cancelled_timers: BTreeSet::new(),
             timer_seq: 0,
             handle_seq: 0,
             mac_seq: 0,
@@ -1384,6 +1387,98 @@ impl<M: Clone + std::fmt::Debug> World<M> {
                 );
             }
         }
+    }
+}
+
+impl<M: Clone + std::fmt::Debug + Snap> World<M> {
+    /// Serialize every piece of mutable world state into a checkpoint
+    /// (DESIGN.md §14). Configuration (`params`, the medium/mobility
+    /// constructors) is *not* written — a restore target is rebuilt from the
+    /// same scenario config and only its mutable state is overwritten. The
+    /// trace sink and the scratch buffers (`fan_buf`, `prev_positions`,
+    /// `moves_buf`) are transient: each is fully rewritten before its next
+    /// read, so they restore empty. Read-only: never perturbs the schedule.
+    pub(crate) fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.now.snap(w);
+        self.queue.snap(w);
+        self.positions.snap(w);
+        self.radios.snap(w);
+        self.macs.snap(w);
+        self.frames.snap(w);
+        self.medium.snapshot_state(w);
+        self.rng.snap(w);
+        self.counters.snap(w);
+        self.node_counters.snap(w);
+        self.cancelled_timers.snap(w);
+        w.put_u64(self.timer_seq);
+        w.put_u64(self.handle_seq);
+        w.put_u64(self.mac_seq);
+        self.metrics.snap(w);
+        match self.mobility.as_ref() {
+            Some(model) => {
+                w.put_bool(true);
+                model.snapshot_state(w);
+            }
+            None => w.put_bool(false),
+        }
+        self.down.snap(w);
+        self.tx_orphaned.snap(w);
+        self.fault_plan.snap(w);
+        self.partition_links.snap(w);
+        for &p in &self.class_drop {
+            w.put_f64(p);
+        }
+        w.put_u64(self.time_regressions);
+        w.put_u64(self.sched_hash);
+    }
+
+    /// Overwrite this world's mutable state from a checkpoint written by
+    /// [`World::snapshot_state`]. The world must have been freshly built from
+    /// the same scenario config (same node count, medium, mobility and fault
+    /// plan); constructor side effects like the initial mobility tick or the
+    /// fault plan's scheduled events are wholly superseded because the event
+    /// queue, RNG and all per-node state are replaced. `fault_plan` is
+    /// assigned directly — *not* via [`World::set_fault_plan`] — because the
+    /// restored queue already holds the pending `Fault` events.
+    pub(crate) fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.now = Snap::unsnap(r)?;
+        self.queue = Snap::unsnap(r)?;
+        let positions: Vec<Pos> = Snap::unsnap(r)?;
+        if positions.len() != self.positions.len() {
+            return Err(SnapError::StateMismatch("node count"));
+        }
+        self.positions = positions;
+        self.radios = Snap::unsnap(r)?;
+        self.macs = Snap::unsnap(r)?;
+        self.frames = Snap::unsnap(r)?;
+        self.medium.restore_state(r)?;
+        self.rng = Snap::unsnap(r)?;
+        self.counters = Snap::unsnap(r)?;
+        self.node_counters = Snap::unsnap(r)?;
+        self.cancelled_timers = Snap::unsnap(r)?;
+        self.timer_seq = r.u64()?;
+        self.handle_seq = r.u64()?;
+        self.mac_seq = r.u64()?;
+        self.metrics = Snap::unsnap(r)?;
+        let has_mobility = r.bool()?;
+        match self.mobility.as_mut() {
+            Some(model) if has_mobility => model.restore_state(r)?,
+            None if !has_mobility => {}
+            _ => return Err(SnapError::StateMismatch("mobility model presence")),
+        }
+        self.down = Snap::unsnap(r)?;
+        self.tx_orphaned = Snap::unsnap(r)?;
+        self.fault_plan = Snap::unsnap(r)?;
+        self.partition_links = Snap::unsnap(r)?;
+        for slot in self.class_drop.iter_mut() {
+            *slot = r.f64()?;
+        }
+        self.time_regressions = r.u64()?;
+        self.sched_hash = r.u64()?;
+        self.fan_buf.clear();
+        self.prev_positions.clear();
+        self.moves_buf.clear();
+        Ok(())
     }
 }
 

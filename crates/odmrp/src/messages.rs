@@ -6,6 +6,7 @@
 
 use mcast_metrics::probe::ProbeMsg;
 use mesh_sim::ids::{GroupId, NodeId};
+use mesh_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use mesh_sim::time::SimTime;
 
 /// A `JOIN QUERY`, flooded periodically by each source.
@@ -36,6 +37,28 @@ impl JoinQuery {
     pub const BYTES: u32 = 52;
 }
 
+impl Snap for JoinQuery {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.group.snap(w);
+        self.source.snap(w);
+        w.put_u32(self.seq);
+        self.prev_hop.snap(w);
+        w.put_u8(self.hop_count);
+        w.put_f64(self.cost);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(JoinQuery {
+            group: Snap::unsnap(r)?,
+            source: Snap::unsnap(r)?,
+            seq: r.u32()?,
+            prev_hop: Snap::unsnap(r)?,
+            hop_count: r.u8()?,
+            cost: r.f64()?,
+        })
+    }
+}
+
 /// One entry of a `JOIN TABLE`: "for packets from `source`, my chosen next
 /// hop toward it is `next_hop`".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +69,22 @@ pub struct JoinTableEntry {
     pub seq: u32,
     /// The upstream neighbor chosen (who becomes a forwarding-group member).
     pub next_hop: NodeId,
+}
+
+impl Snap for JoinTableEntry {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.source.snap(w);
+        w.put_u32(self.seq);
+        self.next_hop.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(JoinTableEntry {
+            source: Snap::unsnap(r)?,
+            seq: r.u32()?,
+            next_hop: Snap::unsnap(r)?,
+        })
+    }
 }
 
 /// A `JOIN REPLY`: a member's (or forwarding node's) join table, broadcast so
@@ -67,6 +106,22 @@ impl JoinReply {
     }
 }
 
+impl Snap for JoinReply {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.group.snap(w);
+        self.sender.snap(w);
+        self.entries.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(JoinReply {
+            group: Snap::unsnap(r)?,
+            sender: Snap::unsnap(r)?,
+            entries: Snap::unsnap(r)?,
+        })
+    }
+}
+
 /// A multicast data packet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DataPacket {
@@ -82,6 +137,26 @@ pub struct DataPacket {
     pub bytes: u32,
 }
 
+impl Snap for DataPacket {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.group.snap(w);
+        self.source.snap(w);
+        w.put_u32(self.seq);
+        self.sent_at.snap(w);
+        w.put_u32(self.bytes);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(DataPacket {
+            group: Snap::unsnap(r)?,
+            source: Snap::unsnap(r)?,
+            seq: r.u32()?,
+            sent_at: Snap::unsnap(r)?,
+            bytes: r.u32()?,
+        })
+    }
+}
+
 /// Everything an ODMRP node puts on the air.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OdmrpMsg {
@@ -93,6 +168,39 @@ pub enum OdmrpMsg {
     Data(DataPacket),
     /// Link-quality probe (see `mcast-metrics`).
     Probe(ProbeMsg),
+}
+
+impl Snap for OdmrpMsg {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            OdmrpMsg::JoinQuery(q) => {
+                w.put_u8(0);
+                q.snap(w);
+            }
+            OdmrpMsg::JoinReply(rp) => {
+                w.put_u8(1);
+                rp.snap(w);
+            }
+            OdmrpMsg::Data(d) => {
+                w.put_u8(2);
+                d.snap(w);
+            }
+            OdmrpMsg::Probe(p) => {
+                w.put_u8(3);
+                p.snap(w);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => OdmrpMsg::JoinQuery(Snap::unsnap(r)?),
+            1 => OdmrpMsg::JoinReply(Snap::unsnap(r)?),
+            2 => OdmrpMsg::Data(Snap::unsnap(r)?),
+            3 => OdmrpMsg::Probe(Snap::unsnap(r)?),
+            t => return Err(SnapError::BadTag(t as u32)),
+        })
+    }
 }
 
 /// Traffic classes used for byte accounting in the simulator counters.

@@ -6,13 +6,14 @@
 //! best-query `JOIN REPLY` at members, forwarding-group maintenance with
 //! soft-state timeouts, and flooding of data over the forwarding group.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use mcast_metrics::{
     AnyMetric, Freshness, LinkObservation, Metric, NeighborTable, PathCost, Prober,
 };
 use mesh_sim::ids::{GroupId, NodeId, TimerId, TxHandle};
 use mesh_sim::protocol::{Protocol, RxMeta, TxOutcome};
+use mesh_sim::snapshot::{Snap, SnapError, SnapReader, SnapWriter, SnapshotState};
 use mesh_sim::time::{SimDuration, SimTime};
 use mesh_sim::trace::Decision;
 use mesh_sim::world::Ctx;
@@ -38,6 +39,43 @@ enum TimerPayload {
     ForwardQuery(NodeId, u32),
 }
 
+impl Snap for TimerPayload {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            TimerPayload::Probe => w.put_u8(0),
+            TimerPayload::Cbr(i) => {
+                w.put_u8(1);
+                w.put_usize(*i);
+            }
+            TimerPayload::Refresh(i) => {
+                w.put_u8(2);
+                w.put_usize(*i);
+            }
+            TimerPayload::Delta(n, s) => {
+                w.put_u8(3);
+                n.snap(w);
+                w.put_u32(*s);
+            }
+            TimerPayload::ForwardQuery(n, s) => {
+                w.put_u8(4);
+                n.snap(w);
+                w.put_u32(*s);
+            }
+        }
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => TimerPayload::Probe,
+            1 => TimerPayload::Cbr(r.usize()?),
+            2 => TimerPayload::Refresh(r.usize()?),
+            3 => TimerPayload::Delta(Snap::unsnap(r)?, r.u32()?),
+            4 => TimerPayload::ForwardQuery(Snap::unsnap(r)?, r.u32()?),
+            t => return Err(SnapError::BadTag(t as u32)),
+        })
+    }
+}
+
 /// Per-`(source, seq)` query round state (the message cache of §3.1).
 #[derive(Debug)]
 struct QueryState {
@@ -60,6 +98,32 @@ struct QueryState {
     used_quarantined: bool,
 }
 
+impl Snap for QueryState {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.group.snap(w);
+        self.best_cost.snap(w);
+        self.upstream.snap(w);
+        w.put_u8(self.hop_count);
+        self.alpha_deadline.snap(w);
+        self.best_forwarded.snap(w);
+        w.put_bool(self.forward_pending);
+        w.put_bool(self.used_quarantined);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(QueryState {
+            group: Snap::unsnap(r)?,
+            best_cost: Snap::unsnap(r)?,
+            upstream: Snap::unsnap(r)?,
+            hop_count: r.u8()?,
+            alpha_deadline: Snap::unsnap(r)?,
+            best_forwarded: Snap::unsnap(r)?,
+            forward_pending: r.bool()?,
+            used_quarantined: r.bool()?,
+        })
+    }
+}
+
 /// An ODMRP protocol instance.
 ///
 /// Construct with [`OdmrpNode::new`], hand a `Vec` of them to
@@ -74,20 +138,21 @@ pub struct OdmrpNode {
     table: NeighborTable,
     me: NodeId,
 
-    timers: HashMap<u64, TimerPayload>,
+    // BTree containers throughout: checkpointing serializes them in
+    // iteration order, which must be key order, never hash order
+    // (mesh-lint rule R1).
+    timers: BTreeMap<u64, TimerPayload>,
     timer_token: u64,
 
-    // Iterated (query_upstreams, forwarding_groups): BTreeMap so traversal
-    // order is key order, never hash order (mesh-lint rule R1).
     query_state: BTreeMap<(NodeId, u32), QueryState>,
     /// Groups this node currently forwards for, with expiry.
     fg: BTreeMap<GroupId, SimTime>,
     /// (source, seq) reply rounds already forwarded upstream.
-    forwarded_reply: HashSet<(NodeId, u32)>,
+    forwarded_reply: BTreeSet<(NodeId, u32)>,
     /// (source, seq) delta timers already scheduled.
-    delta_scheduled: HashSet<(NodeId, u32)>,
+    delta_scheduled: BTreeSet<(NodeId, u32)>,
 
-    data_seen: HashSet<(NodeId, u32)>,
+    data_seen: BTreeSet<(NodeId, u32)>,
     data_seen_order: VecDeque<(NodeId, u32)>,
     data_seq: u32,
     refresh_seq: u32,
@@ -101,7 +166,7 @@ pub struct OdmrpNode {
     refresh_token: Vec<Option<u64>>,
     /// Refresh rounds (ours, as source) that elected at least one forwarder
     /// — a `JOIN REPLY` for the round reached us. Keyed access only.
-    elected_rounds: HashSet<u32>,
+    elected_rounds: BTreeSet<u32>,
     /// Currently routing on the min-hop fallback (no usable estimates).
     fallback_active: bool,
     /// EWMA of MAC transmit failures (unicast retry exhaustion), one input
@@ -131,20 +196,20 @@ impl OdmrpNode {
             prober,
             table,
             me: NodeId::new(0),
-            timers: HashMap::new(),
+            timers: BTreeMap::new(),
             timer_token: 0,
             query_state: BTreeMap::new(),
             fg: BTreeMap::new(),
-            forwarded_reply: HashSet::new(),
-            delta_scheduled: HashSet::new(),
-            data_seen: HashSet::new(),
+            forwarded_reply: BTreeSet::new(),
+            delta_scheduled: BTreeSet::new(),
+            data_seen: BTreeSet::new(),
             data_seen_order: VecDeque::new(),
             data_seq: 0,
             refresh_seq: 0,
             backoff_exp: vec![0; n_sources],
             last_round: vec![None; n_sources],
             refresh_token: vec![None; n_sources],
-            elected_rounds: HashSet::new(),
+            elected_rounds: BTreeSet::new(),
             fallback_active: false,
             tx_fail_ewma: 0.0,
             stats: NodeStats::default(),
@@ -625,6 +690,76 @@ impl OdmrpNode {
                 pkt_seq: d.seq,
             });
         }
+    }
+}
+
+impl SnapshotState for OdmrpNode {
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        // `cfg`, `role`, and `metric` are configuration: the restoring side
+        // rebuilds them from the scenario (fingerprint-checked at the
+        // header). Everything below is mutable run state — including `me`,
+        // because `start()` never re-runs on a restored simulator.
+        self.me.snap(w);
+        self.timers.snap(w);
+        w.put_u64(self.timer_token);
+        self.query_state.snap(w);
+        self.fg.snap(w);
+        self.forwarded_reply.snap(w);
+        self.delta_scheduled.snap(w);
+        self.data_seen.snap(w);
+        self.data_seen_order.snap(w);
+        w.put_u32(self.data_seq);
+        w.put_u32(self.refresh_seq);
+        self.backoff_exp.snap(w);
+        self.last_round.snap(w);
+        self.refresh_token.snap(w);
+        self.elected_rounds.snap(w);
+        w.put_bool(self.fallback_active);
+        w.put_f64(self.tx_fail_ewma);
+        self.stats.snap(w);
+        w.put_bool(self.prober.is_some());
+        if let Some(p) = &self.prober {
+            p.snapshot_state(w);
+        }
+        self.table.snapshot_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.me = Snap::unsnap(r)?;
+        self.timers = Snap::unsnap(r)?;
+        self.timer_token = r.u64()?;
+        self.query_state = Snap::unsnap(r)?;
+        self.fg = Snap::unsnap(r)?;
+        self.forwarded_reply = Snap::unsnap(r)?;
+        self.delta_scheduled = Snap::unsnap(r)?;
+        self.data_seen = Snap::unsnap(r)?;
+        self.data_seen_order = Snap::unsnap(r)?;
+        self.data_seq = r.u32()?;
+        self.refresh_seq = r.u32()?;
+        let backoff_exp: Vec<u32> = Snap::unsnap(r)?;
+        if backoff_exp.len() != self.role.sources.len() {
+            return Err(SnapError::StateMismatch("ODMRP source count"));
+        }
+        self.backoff_exp = backoff_exp;
+        self.last_round = Snap::unsnap(r)?;
+        self.refresh_token = Snap::unsnap(r)?;
+        if self.last_round.len() != self.backoff_exp.len()
+            || self.refresh_token.len() != self.backoff_exp.len()
+        {
+            return Err(SnapError::StateMismatch("ODMRP per-source state length"));
+        }
+        self.elected_rounds = Snap::unsnap(r)?;
+        self.fallback_active = r.bool()?;
+        self.tx_fail_ewma = r.f64()?;
+        self.stats = Snap::unsnap(r)?;
+        let has_prober = r.bool()?;
+        if has_prober != self.prober.is_some() {
+            return Err(SnapError::StateMismatch("ODMRP prober presence"));
+        }
+        if let Some(p) = &mut self.prober {
+            p.restore_state(r)?;
+        }
+        self.table.restore_state(r)
     }
 }
 
